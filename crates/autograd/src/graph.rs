@@ -1,0 +1,274 @@
+//! The tape: nodes, variables, and the reverse sweep.
+
+use legw_tensor::{Conv2dGeom, Tensor};
+
+/// A handle to a value on the tape. Cheap to copy; only valid for the
+/// [`Graph`] that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// One recorded operation with its output value and cached backward data.
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub grad: Option<Tensor>,
+    pub requires_grad: bool,
+    pub op: Op,
+}
+
+/// The differentiable operation set.
+pub(crate) enum Op {
+    /// A leaf: graph input or parameter (no parents).
+    Leaf,
+    /// Elementwise sum of two same-shaped tensors.
+    Add(Var, Var),
+    /// Elementwise difference of two same-shaped tensors.
+    Sub(Var, Var),
+    /// Hadamard product of two same-shaped tensors.
+    Mul(Var, Var),
+    /// `x [m,n] + b [n]`, broadcasting the bias over rows.
+    AddBias(Var, Var),
+    /// `out[b,·] = x[b,·] * s[b]` where `s` is `[m,1]` — row rescaling
+    /// (used by attention context accumulation).
+    RowScale(Var, Var),
+    /// Matrix product of 2-D tensors.
+    Matmul(Var, Var),
+    /// Multiply by a constant scalar.
+    Scale(Var, f32),
+    /// Add a constant scalar.
+    AddScalar(Var),
+    /// Logistic sigmoid (output cached in `value`).
+    Sigmoid(Var),
+    /// Hyperbolic tangent (output cached in `value`).
+    Tanh(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// View with a different shape.
+    Reshape(Var),
+    /// Concatenate 2-D tensors along columns; widths cached.
+    ConcatCols(Vec<Var>, Vec<usize>),
+    /// Columns `[start, end)` of a 2-D tensor.
+    SliceCols(Var, usize, usize),
+    /// Sum of all elements → `[1]`.
+    SumAll(Var),
+    /// Mean of all elements → `[1]`.
+    MeanAll(Var),
+    /// Dropout with a pre-sampled binary mask scaled by 1/keep.
+    Dropout(Var, Tensor),
+    /// Row lookup into an embedding table: `out[i,·] = table[ids[i],·]`.
+    Embedding { table: Var, ids: Vec<usize> },
+    /// Row-wise softmax of a 2-D tensor (output cached).
+    SoftmaxRows(Var),
+    /// Mean softmax cross-entropy between `logits [B,V]` and integer
+    /// `labels` (entries equal to `IGNORE_INDEX` are masked out).
+    /// Caches the probabilities and the count of active rows.
+    SoftmaxCrossEntropy { logits: Var, labels: Vec<usize>, probs: Tensor, active: usize },
+    /// 2-D convolution via im2col; caches the column matrix.
+    Conv2d { x: Var, w: Var, geom: Conv2dGeom, batch: usize, cols: Tensor },
+    /// 2×2 max pooling with stride 2; caches chosen input indices.
+    MaxPool2x2 { x: Var, argmax: Vec<u32> },
+    /// Global average pool `[N,C,H,W] → [N,C]`.
+    GlobalAvgPool { x: Var, hw: usize },
+    /// Per-channel batch normalisation over `(N,H,W)` with affine params.
+    /// Caches `x_hat`, the per-channel `inv_std`, and the normalised count.
+    BatchNorm { x: Var, gamma: Var, beta: Var, x_hat: Tensor, inv_std: Tensor },
+}
+
+/// Label value marking a position to exclude from the cross-entropy mean
+/// (padding in seq2seq batches).
+pub const IGNORE_INDEX: usize = usize::MAX;
+
+/// A reverse-mode tape. Create one per forward pass (allocation is reused
+/// between steps only via the allocator; the struct itself is cheap).
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, requires_grad: bool, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, requires_grad, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    pub(crate) fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Records a constant input leaf (receives no gradient).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, false, Op::Leaf)
+    }
+
+    /// Records a parameter leaf (participates in backward).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(value, true, Op::Leaf)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if backward has reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Accumulates `delta` into the gradient slot of `v`.
+    pub(crate) fn accumulate(&mut self, v: Var, delta: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        debug_assert_eq!(
+            self.nodes[v.0].value.shape(),
+            delta.shape(),
+            "gradient shape mismatch at node {}",
+            v.0
+        );
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Runs the reverse sweep from `loss` (which must be a 1-element tensor),
+    /// seeding `dLoss/dLoss = 1`.
+    ///
+    /// # Panics
+    /// If `loss` is not scalar-shaped.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward() root must be a scalar, got {:?}",
+            self.nodes[loss.0].value.shape()
+        );
+        self.backward_seeded(loss, Tensor::ones(self.nodes[loss.0].value.shape()));
+    }
+
+    /// Reverse sweep with an explicit seed gradient for `root` (used by the
+    /// Hessian-vector estimator where the seed is not 1).
+    pub fn backward_seeded(&mut self, root: Var, seed: Tensor) {
+        if !self.nodes[root.0].requires_grad {
+            return; // nothing on the tape depends on a parameter
+        }
+        self.accumulate(root, seed);
+        for i in (0..=root.0).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].requires_grad {
+                continue;
+            }
+            self.step_backward(Var(i));
+        }
+    }
+
+    /// Dispatches one node's backward rule. Implemented across the op
+    /// modules; this indirection keeps each rule next to its forward op.
+    fn step_backward(&mut self, v: Var) {
+        // Take the op out to appease the borrow checker; Leaf is put back.
+        let upstream = self.nodes[v.0].grad.clone().expect("step_backward without grad");
+        // SAFETY of logic: ops never reference later nodes, so mutating
+        // earlier grads while iterating downward is sound.
+        let op = std::mem::replace(&mut self.nodes[v.0].op, Op::Leaf);
+        self.dispatch_backward(&op, v, &upstream);
+        self.nodes[v.0].op = op;
+    }
+
+    /// Collects (var, gradient) pairs for all parameter leaves, in creation
+    /// order. Leaves without gradients yield zero tensors.
+    pub fn leaf_grads(&self) -> Vec<(Var, Tensor)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Leaf) && n.requires_grad)
+            .map(|(i, n)| {
+                let g = n.grad.clone().unwrap_or_else(|| n.value.zeros_like());
+                (Var(i), g)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_bookkeeping() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(&[2]));
+        let b = g.param(Tensor::ones(&[2]));
+        assert!(!g.requires(a));
+        assert!(g.requires(b));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![2.0], &[1]));
+        let y = g.add(x, x); // y = 2x ⇒ dy/dx = 2
+        g.backward(y);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn inputs_get_no_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2.0], &[1]));
+        let w = g.param(Tensor::from_vec(vec![3.0], &[1]));
+        let y = g.mul(x, w);
+        g.backward(y);
+        assert!(g.grad(x).is_none());
+        assert_eq!(g.grad(w).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a scalar")]
+    fn backward_on_non_scalar_panics() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::zeros(&[3]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn backward_with_no_params_is_noop() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let s = g.sum_all(x);
+        g.backward(s); // must not panic
+        assert!(g.grad(s).is_none());
+    }
+
+    #[test]
+    fn leaf_grads_lists_params_in_order() {
+        let mut g = Graph::new();
+        let w1 = g.param(Tensor::ones(&[2]));
+        let _x = g.input(Tensor::ones(&[2]));
+        let w2 = g.param(Tensor::ones(&[2]));
+        let s1 = g.sum_all(w1);
+        let s2 = g.sum_all(w2);
+        let tot = g.add(s1, s2);
+        g.backward(tot);
+        let lg = g.leaf_grads();
+        assert_eq!(lg.len(), 2);
+        assert_eq!(lg[0].0, w1);
+        assert_eq!(lg[1].0, w2);
+        assert_eq!(lg[0].1.as_slice(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Kernel microbenchmarks: the primitives that dominate every experiment in
+//! the paper reproduction, plus the parallelism ablation called out in
+//! DESIGN.md (thread pool vs serial matmul).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use legw_autograd::Graph;
+use legw_parallel::{par_map_reduce, ThreadPool};
+use legw_tensor::{im2col, Conv2dGeom, Tensor};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10)
+}
+
+fn rnd(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    Tensor::rand_uniform(rng, dims, -1.0, 1.0)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let a = rnd(&mut rng, &[n, n]);
+        let b = rnd(&mut rng, &[n, n]);
+        g.bench_with_input(BenchmarkId::new("square", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+        g.bench_with_input(BenchmarkId::new("a_t_b", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.t_matmul(&b)));
+        });
+        g.bench_with_input(BenchmarkId::new("a_b_t", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_t(&b)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the pool-backed parallel reduction vs a plain serial loop, at
+/// a size where both paths are exercised.
+fn bench_pool_ablation(c: &mut Criterion) {
+    let pool = ThreadPool::new(legw_parallel::default_threads());
+    let serial = ThreadPool::new(1);
+    let data: Vec<f32> = (0..1_000_000).map(|i| (i as f32).sin()).collect();
+    let mut g = c.benchmark_group("pool_ablation");
+    g.bench_function("sum_parallel", |b| {
+        b.iter(|| {
+            par_map_reduce(&pool, data.len(), 4096, 0.0f64, |r| {
+                data[r].iter().map(|&x| x as f64).sum()
+            }, |a, b| a + b)
+        });
+    });
+    g.bench_function("sum_single_thread_pool", |b| {
+        b.iter(|| {
+            par_map_reduce(&serial, data.len(), 4096, 0.0f64, |r| {
+                data[r].iter().map(|&x| x as f64).sum()
+            }, |a, b| a + b)
+        });
+    });
+    g.finish();
+}
+
+fn bench_lstm_cell(c: &mut Criterion) {
+    use legw_nn::{Binding, LstmCell, ParamSet};
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ps = ParamSet::new();
+    // the paper's MNIST cell: 128 in, 128 hidden → 256×512 kernel
+    let cell = LstmCell::new(&mut ps, &mut rng, "bench", 128, 128);
+    let x = rnd(&mut rng, &[64, 128]);
+
+    let mut g = c.benchmark_group("lstm_cell_128x128_b64");
+    g.bench_function("forward", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut bd = Binding::new();
+            let s0 = cell.zero_state(&mut graph, 64);
+            let xi = graph.input(x.clone());
+            let s1 = cell.step(&mut graph, &mut bd, &ps, xi, s0);
+            black_box(graph.value(s1.h).as_slice()[0])
+        });
+    });
+    g.bench_function("forward_backward", |b| {
+        let mut scratch = ps.clone();
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut bd = Binding::new();
+            let s0 = cell.zero_state(&mut graph, 64);
+            let xi = graph.input(x.clone());
+            let s1 = cell.step(&mut graph, &mut bd, &ps, xi, s0);
+            let sq = graph.mul(s1.h, s1.h);
+            let loss = graph.sum_all(sq);
+            graph.backward(loss);
+            bd.write_grads(&graph, &mut scratch);
+            black_box(scratch.grad_norm());
+            scratch.zero_grad();
+        });
+    });
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = rnd(&mut rng, &[16, 8, 16, 16]);
+    let geom = Conv2dGeom { c: 8, h: 16, w: 16, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let w = rnd(&mut rng, &[16, 8 * 9]);
+    c.bench_function("conv2d_im2col_16x8x16x16", |b| {
+        b.iter(|| {
+            let cols = im2col(&x, &geom);
+            black_box(cols.matmul_t(&w))
+        });
+    });
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    use legw_nn::ParamSet;
+    use legw_optim::{build, SolverKind};
+    let mut g = c.benchmark_group("optimizer_step_1M_params");
+    for kind in [SolverKind::Momentum, SolverKind::Adam, SolverKind::Lars] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            let mut ps = ParamSet::new();
+            let id = ps.add("w", Tensor::ones(&[1024, 1024]));
+            let mut opt = build(kind, 1e-4);
+            b.iter(|| {
+                ps.get_mut(id).grad = Tensor::full(&[1024, 1024], 0.01);
+                opt.step(&mut ps, 0.1);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_matmul(c);
+    bench_pool_ablation(c);
+    bench_lstm_cell(c);
+    bench_conv(c);
+    bench_optimizers(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick(&mut Criterion::default());
+    targets = all
+}
+criterion_main!(benches);

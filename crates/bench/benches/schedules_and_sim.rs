@@ -1,0 +1,79 @@
+//! Benchmarks for the non-training machinery: schedule evaluation (called
+//! once per optimizer step — must be trivially cheap), LEGW scaling, BLEU
+//! scoring, and the cluster performance model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legw_cluster_sim::presets;
+use legw_data::metrics::corpus_bleu;
+use legw_schedules::{BaselineSchedule, Legw};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150))
+        .sample_size(20)
+}
+
+fn bench_schedule_eval(c: &mut Criterion) {
+    let s = BaselineSchedule::multistep(
+        1024,
+        2f64.powf(2.5),
+        0.3125,
+        90.0,
+        vec![30.0, 60.0, 80.0],
+        0.1,
+    );
+    c.bench_function("schedule_lr_at_iter", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(s.lr_at_iter(i, 1251))
+        });
+    });
+    c.bench_function("legw_scale_to", |b| {
+        b.iter(|| black_box(Legw::scale_to(&s, 32768)));
+    });
+}
+
+fn bench_bleu(c: &mut Criterion) {
+    let refs: Vec<Vec<usize>> =
+        (0..256).map(|i| (0..12).map(|j| (i * 7 + j * 3) % 50).collect()).collect();
+    let cands: Vec<Vec<usize>> = refs
+        .iter()
+        .map(|r| r.iter().map(|&t| if t % 5 == 0 { (t + 1) % 50 } else { t }).collect())
+        .collect();
+    c.bench_function("corpus_bleu_256x12", |b| {
+        b.iter(|| black_box(corpus_bleu(&cands, &refs)));
+    });
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let jobs = presets::paper_jobs();
+    c.bench_function("cluster_sim_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (_, job, cluster) in &jobs {
+                let mut batch = 256usize;
+                while batch <= 32768 {
+                    acc += job.time_to_train_secs(cluster, batch);
+                    batch *= 2;
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_schedule_eval(c);
+    bench_bleu(c);
+    bench_cluster_sim(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = cfg();
+    targets = all
+}
+criterion_main!(benches);

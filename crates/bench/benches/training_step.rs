@@ -1,0 +1,128 @@
+//! End-to-end training-step benchmarks: one optimizer step (forward, tape
+//! backward, gradient write-back, solver update) for each of the paper's
+//! model families, at bench-friendly sizes.
+//!
+//! Also carries the tape ablation from DESIGN.md: full forward+backward vs
+//! forward alone, quantifying what the derived (non-fused) backward costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legw_data::{SynthMnist, SynthPtb, SynthTranslation};
+use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
+use legw_nn::ParamSet;
+use legw_optim::{build, SolverKind};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10)
+}
+
+fn bench_mnist_step(c: &mut Criterion) {
+    let data = SynthMnist::generate(1, 64, 8);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ps = ParamSet::new();
+    let model = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+    let (bx, by) = data.train.gather(&(0..32).collect::<Vec<_>>());
+    let mut opt = build(SolverKind::Momentum, 0.0);
+
+    let mut g = c.benchmark_group("mnist_lstm_b32");
+    g.bench_function("forward_only", |b| {
+        b.iter(|| {
+            let (graph, _, loss, _) = model.forward_loss(&ps, &bx, &by);
+            black_box(graph.value(loss).item())
+        });
+    });
+    g.bench_function("full_step", |b| {
+        b.iter(|| {
+            let (mut graph, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            graph.backward(loss);
+            bd.write_grads(&graph, &mut ps);
+            opt.step(&mut ps, 0.1);
+            ps.zero_grad();
+        });
+    });
+    g.finish();
+}
+
+fn bench_ptb_step(c: &mut Criterion) {
+    let data = SynthPtb::generate(2, 64, 8, 4_000, 500);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ps = ParamSet::new();
+    let cfg_m = PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2 };
+    let model = PtbLm::new(&mut ps, &mut rng, cfg_m);
+    let window = data.batches(true, 16, 16).remove(0);
+    let state = LmState::zeros(&cfg_m, 16);
+    let mut opt = build(SolverKind::Momentum, 0.0);
+
+    c.bench_function("ptb_lm_window_b16_t16", |b| {
+        b.iter(|| {
+            let (mut graph, bd, loss, _, _) = model.forward_loss(&ps, &window, &state);
+            graph.backward(loss);
+            bd.write_grads(&graph, &mut ps);
+            opt.step(&mut ps, 0.5);
+            ps.zero_grad();
+        });
+    });
+}
+
+fn bench_seq2seq_step(c: &mut Criterion) {
+    let data = SynthTranslation::generate_with(3, 16, 64, 16, 3, 5, false);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps = ParamSet::new();
+    let cfg_m =
+        Seq2SeqConfig { vocab: data.vocab, embed: 32, hidden: 32, attn: 24, max_decode: 7 };
+    let model = Seq2Seq::new(&mut ps, &mut rng, cfg_m);
+    let batch = data.batches(true, 16).remove(0);
+    let mut opt = build(SolverKind::Momentum, 0.0);
+
+    let mut g = c.benchmark_group("seq2seq_b16");
+    g.bench_function("train_step", |b| {
+        b.iter(|| {
+            let (mut graph, bd, loss, _) = model.forward_loss(&ps, &batch);
+            graph.backward(loss);
+            bd.write_grads(&graph, &mut ps);
+            opt.step(&mut ps, 0.5);
+            ps.zero_grad();
+        });
+    });
+    g.bench_function("greedy_decode", |b| {
+        b.iter(|| black_box(model.greedy_decode(&ps, &batch).len()));
+    });
+    g.finish();
+}
+
+fn bench_resnet_step(c: &mut Criterion) {
+    let data = legw_data::SynthImageNet::generate_sized(4, 8, 64, 8, 16);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ps = ParamSet::new();
+    let mut model = ResNet::new(&mut ps, &mut rng, 8, 8);
+    let (bx, by) = data.train.gather(&(0..16).collect::<Vec<_>>());
+    let mut opt = build(SolverKind::Lars, 1e-4);
+
+    c.bench_function("resnet8_step_b16_16x16", |b| {
+        b.iter(|| {
+            let (mut graph, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            graph.backward(loss);
+            bd.write_grads(&graph, &mut ps);
+            opt.step(&mut ps, 4.0);
+            ps.zero_grad();
+        });
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_mnist_step(c);
+    bench_ptb_step(c);
+    bench_seq2seq_step(c);
+    bench_resnet_step(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = cfg();
+    targets = all
+}
+criterion_main!(benches);

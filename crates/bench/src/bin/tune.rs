@@ -1,0 +1,80 @@
+//! `tune` — developer tool: sweep a learning-rate grid for one application
+//! at an arbitrary batch size and epoch budget.
+//!
+//! ```text
+//! cargo run --release -p legw-bench --bin tune -- <app> <solver> <batch> <epochs> <lr> [lr …]
+//! ```
+//!
+//! Apps: `mnist ptb-small ptb-large gnmt imagenet`. Solvers: `sgd momentum
+//! nesterov adagrad rmsprop adam adadelta lars`.
+//!
+//! Env: `TUNE_WARMUP=<epochs>` overrides the warmup length (defaults to the
+//! app baseline's).
+
+use legw::apps::{self, App};
+use legw_optim::SolverKind;
+use std::time::Instant;
+
+fn parse_app(s: &str) -> App {
+    match s {
+        "mnist" => App::MnistLstm,
+        "ptb-small" => App::PtbSmall,
+        "ptb-large" => App::PtbLarge,
+        "gnmt" => App::Gnmt,
+        "imagenet" => App::ImageNet,
+        _ => panic!("unknown app {s}"),
+    }
+}
+
+fn parse_solver(s: &str) -> SolverKind {
+    match s {
+        "sgd" => SolverKind::Sgd,
+        "momentum" => SolverKind::Momentum,
+        "nesterov" => SolverKind::Nesterov,
+        "adagrad" => SolverKind::Adagrad,
+        "rmsprop" => SolverKind::RmsProp,
+        "adam" => SolverKind::Adam,
+        "adadelta" => SolverKind::Adadelta,
+        "lars" => SolverKind::Lars,
+        _ => panic!("unknown solver {s}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 5 {
+        eprintln!("usage: tune <app> <solver> <batch> <epochs> <lr> [lr ...]");
+        std::process::exit(2);
+    }
+    let app = parse_app(&args[0]);
+    let solver = parse_solver(&args[1]);
+    let batch: usize = args[2].parse().expect("batch");
+    let epochs: f64 = args[3].parse().expect("epochs");
+    let spec = apps::spec(app);
+    let warmup: f64 = std::env::var("TUNE_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| spec.baseline.warmup_epochs());
+
+    for lr_s in &args[4..] {
+        let lr: f64 = lr_s.parse().expect("lr");
+        let sched = legw_schedules::BaselineSchedule::new(
+            batch,
+            lr,
+            warmup,
+            epochs,
+            spec.baseline.decay().clone(),
+        );
+        let t = Instant::now();
+        let rep = apps::run(app, &sched, solver, 42);
+        println!(
+            "{} {:?} batch={batch} epochs={epochs} lr={lr}: metric={:.4} diverged={} history={:?} [{:.1}s]",
+            spec.name,
+            solver,
+            rep.final_metric,
+            rep.diverged,
+            rep.history.iter().map(|(e, m)| format!("{e:.1}:{m:.3}")).collect::<Vec<_>>(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! One function per paper table/figure. Each prints an aligned table,
+//! writes `results/<id>.csv`, and returns its rows for programmatic checks.
+
+pub mod ablations;
+pub mod fig_lipschitz;
+pub mod fig_mnist;
+pub mod fig_scale;
+pub mod fig_schedule;
+pub mod speedup;
+pub mod summary;
+pub mod tables;

@@ -1,0 +1,215 @@
+//! The MNIST/PTB comparison figures: Figure 5 (Adam vs prior tuning
+//! techniques), Figures 7/8 (comprehensive LR tuning vs LEGW at the largest
+//! batch, normal and 4× epoch budgets), Figure 9 (Adam vs Adadelta).
+
+use crate::{batch_sweep, quick_mode, Table};
+use legw::apps::{self, App};
+use legw::tuning::{grid_search, log2_grid};
+use legw_optim::SolverKind;
+use legw_schedules::{scale_with, BaselineSchedule, Legw, ScalingRule, WarmupRule};
+
+fn adam_grid() -> Vec<f64> {
+    if quick_mode() {
+        vec![5e-4, 2e-3, 8e-3]
+    } else {
+        // the paper's MNIST Adam space is {0.0001 … 0.0010}; our synthetic
+        // task tolerates a slightly wider octave grid
+        log2_grid(2e-4, 0.0, 6.0, 1)
+    }
+}
+
+/// Tunes Adam's LR at the app's baseline batch size (once), as the paper
+/// does before comparing across batch sizes.
+pub fn tune_adam_baseline(app: App, seed: u64) -> f64 {
+    let spec = apps::spec(app);
+    let hib = apps::higher_is_better(app);
+    // Descending grid: on metric ties (easy baselines saturate) the larger
+    // LR wins, which is what a practitioner tuning for scale would keep.
+    let mut grid = adam_grid();
+    grid.reverse();
+    let r = grid_search(&grid, hib, |lr| {
+        let sched = spec.baseline.with_peak_lr(lr).with_warmup(0.0);
+        apps::run(app, &sched, SolverKind::Adam, seed).final_metric
+    });
+    r.best_value
+}
+
+/// Figure 5 — MNIST: Adam (η₀ tuned at the baseline batch) against the four
+/// prior tuning techniques, across batch sizes. Returns rows
+/// `(batch, [fixed, linear, +poly, +warmup, adam])` accuracies.
+pub fn fig5(seed: u64) -> Vec<(usize, [f64; 5])> {
+    let spec = apps::spec(App::MnistLstm);
+    let base = &spec.baseline;
+    // This figure is about *where the prior recipes break*, so it sweeps
+    // past the LEGW-certified range into the failure regime (4x beyond).
+    let max = if quick_mode() { base.batch_size() * 4 } else { spec.max_batch * 4 };
+    let adam_lr = tune_adam_baseline(App::MnistLstm, seed);
+    println!("fig5: Adam LR tuned at baseline batch = {adam_lr:.5}");
+
+    let mut t = Table::new(
+        "Figure 5 — MNIST: Adam beats the prior tuning techniques at large batch",
+        &["batch", "5.1 fixed lr", "5.2 linear", "5.3 +poly2", "5.4 +warmup", "Adam (tuned)"],
+    );
+    let mut rows = Vec::new();
+    for batch in batch_sweep(base.batch_size(), max) {
+        // 5.1 fixed η0, no warmup
+        let s1 = scale_with(base, batch, ScalingRule::Identity, WarmupRule::None);
+        // 5.2 linear scaling
+        let s2 = scale_with(base, batch, ScalingRule::Linear, WarmupRule::None);
+        // 5.3 linear scaling + poly decay p=2
+        let lin = scale_with(base, batch, ScalingRule::Linear, WarmupRule::None);
+        let s3 = BaselineSchedule::poly(batch, lin.peak_lr(), 0.0, base.total_epochs(), 2.0);
+        // 5.4 linear scaling + poly + fixed warmup (paper: 5 of 25 epochs →
+        // here 1 of 5)
+        let s4 = BaselineSchedule::poly(batch, lin.peak_lr(), 1.0, base.total_epochs(), 2.0);
+        // Adam with the once-tuned LR, constant schedule
+        let sa = BaselineSchedule::constant(batch, adam_lr, 0.0, base.total_epochs());
+
+        let accs = [
+            apps::run(App::MnistLstm, &s1, spec.solver, seed).final_metric,
+            apps::run(App::MnistLstm, &s2, spec.solver, seed).final_metric,
+            apps::run(App::MnistLstm, &s3, spec.solver, seed).final_metric,
+            apps::run(App::MnistLstm, &s4, spec.solver, seed).final_metric,
+            apps::run(App::MnistLstm, &sa, SolverKind::Adam, seed).final_metric,
+        ];
+        t.row(vec![
+            batch.to_string(),
+            format!("{:.4}", accs[0]),
+            format!("{:.4}", accs[1]),
+            format!("{:.4}", accs[2]),
+            format!("{:.4}", accs[3]),
+            format!("{:.4}", accs[4]),
+        ]);
+        rows.push((batch, accs));
+    }
+    t.emit("fig5");
+    rows
+}
+
+/// Comprehensive-tuning experiment shared by Figures 7 and 8: at the
+/// largest batch, sweep the LR of the baseline-style schedule (same decay,
+/// same un-scaled warmup — only LR tuned, as in §5.3), and compare the best
+/// against the single untuned LEGW configuration.
+///
+/// Returns `(lr, metric)` trials plus the LEGW metric.
+pub fn tuning_vs_legw(app: App, epochs_factor: f64, seed: u64) -> (Vec<(f64, f64)>, f64) {
+    let spec = apps::spec(app);
+    let hib = apps::higher_is_better(app);
+    let batch = if quick_mode() { spec.baseline.batch_size() * 4 } else { spec.max_batch };
+    let base = spec.baseline.with_total_epochs(spec.baseline.total_epochs() * epochs_factor);
+
+    // LEGW: derived, untuned
+    let legw_sched = Legw::scale_to(&base, batch);
+    let legw_metric = apps::run(app, &legw_sched, spec.solver, seed).final_metric;
+
+    // comprehensive tuning: baseline decay + baseline (unscaled) warmup,
+    // LR swept over octaves around the baseline value
+    let grid = if quick_mode() {
+        log2_grid(base.peak_lr(), 0.0, 4.0, 1)
+    } else {
+        log2_grid(base.peak_lr(), -1.0, 5.0, 1)
+    };
+    let trials = grid_search(&grid, hib, |lr| {
+        let mut s = base.with_peak_lr(lr);
+        s = BaselineSchedule::new(
+            batch,
+            s.peak_lr(),
+            s.warmup_epochs(),
+            s.total_epochs(),
+            s.decay().clone(),
+        );
+        apps::run(app, &s, spec.solver, seed).final_metric
+    });
+    (trials.trials, legw_metric)
+}
+
+/// Figure 7 — comprehensive LR tuning at the largest batch vs LEGW, for
+/// MNIST (7.1) and PTB-small (7.2). Returns per-app `(best_tuned, legw)`.
+pub fn fig7(seed: u64) -> Vec<(&'static str, f64, f64)> {
+    fig7_or_8("Figure 7", "fig7", 1.0, seed)
+}
+
+/// Figure 8 — the same comparison with a 4× epoch budget ("train longer").
+pub fn fig8(seed: u64) -> Vec<(&'static str, f64, f64)> {
+    fig7_or_8("Figure 8 (4x epochs)", "fig8", 4.0, seed)
+}
+
+fn fig7_or_8(
+    title: &str,
+    id: &str,
+    epochs_factor: f64,
+    seed: u64,
+) -> Vec<(&'static str, f64, f64)> {
+    let mut t = Table::new(
+        format!("{title} — comprehensive LR tuning at the largest batch cannot beat LEGW"),
+        &["app", "lr", "tuned metric", "LEGW metric"],
+    );
+    let mut out = Vec::new();
+    for (app, name) in [(App::MnistLstm, "mnist (acc)"), (App::PtbSmall, "ptb-small (ppl)")] {
+        let (trials, legw) = tuning_vs_legw(app, epochs_factor, seed);
+        let hib = apps::higher_is_better(app);
+        for (lr, m) in &trials {
+            t.row(vec![name.into(), format!("{lr:.4}"), format!("{m:.4}"), String::new()]);
+        }
+        let best = trials
+            .iter()
+            .map(|&(_, m)| m)
+            .fold(if hib { f64::MIN } else { f64::MAX }, |a, b| if hib { a.max(b) } else { a.min(b) });
+        t.row(vec![name.into(), "LEGW".into(), format!("(best tuned {best:.4})"), format!("{legw:.4}")]);
+        out.push((name, best, legw));
+    }
+    t.emit(id);
+    out
+}
+
+/// Figure 9 — Adam vs Adadelta with default hyper-parameters, MNIST and
+/// PTB-small, across batch sizes. Returns `(app, batch, adam, adadelta)`.
+pub fn fig9(seed: u64) -> Vec<(&'static str, usize, f64, f64)> {
+    let mut t = Table::new(
+        "Figure 9 — default-hyper Adam vs Adadelta (paper: Adam much better)",
+        &["app", "batch", "Adam", "Adadelta"],
+    );
+    let mut out = Vec::new();
+    for (app, name) in [(App::MnistLstm, "mnist (acc)"), (App::PtbSmall, "ptb-small (ppl)")] {
+        let spec = apps::spec(app);
+        let max = if quick_mode() { spec.baseline.batch_size() * 4 } else { spec.max_batch };
+        for batch in batch_sweep(spec.baseline.batch_size(), max) {
+            // defaults: Adam lr 1e-3; Adadelta needs no LR (multiplier 1)
+            let sa = BaselineSchedule::constant(batch, 1e-3, 0.0, spec.baseline.total_epochs());
+            let sd = BaselineSchedule::constant(batch, 1.0, 0.0, spec.baseline.total_epochs());
+            let adam = apps::run(app, &sa, SolverKind::Adam, seed).final_metric;
+            let ada = apps::run(app, &sd, SolverKind::Adadelta, seed).final_metric;
+            t.row(vec![
+                name.into(),
+                batch.to_string(),
+                format!("{adam:.4}"),
+                format!("{ada:.4}"),
+            ]);
+            out.push((name, batch, adam, ada));
+        }
+    }
+    t.emit("fig9");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_grid_is_positive_and_sorted() {
+        let g = adam_grid();
+        assert!(!g.is_empty());
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn paper_adam_space_shape() {
+        use legw::tuning::linear_grid;
+        // documented in §5.2: {0.0001 … 0.0010} / {0.001 … 0.020}
+        let g = linear_grid(0.0001, 0.0001, 10);
+        assert_eq!(g.len(), 10);
+        assert!((g[9] - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! The batch-scaling comparison figures: Figure 1 (ImageNet — LEGW vs prior
+//! tuning schemes), Figure 6 (four apps — LEGW vs tuned Adam), Figure 10
+//! (appendix: PTB-large and GNMT).
+
+use crate::{batch_sweep, quick_mode, Table};
+use legw::apps::{self, App};
+use legw::tuning::grid_search;
+use legw_optim::SolverKind;
+use legw_schedules::{scale_with, BaselineSchedule, Legw, ScalingRule, WarmupRule};
+
+/// Figure 1 — ImageNet/ResNet accuracy vs batch size:
+/// LEGW+LARS (untuned) against the prior practice of linear scaling with a
+/// fixed warmup (Goyal et al., momentum SGD) and a no-retune baseline.
+/// Returns `(batch, legw, linear_fixed_warmup, no_retune)`.
+pub fn fig1(seed: u64) -> Vec<(usize, f64, f64, f64)> {
+    let spec = apps::spec(App::ImageNet);
+    let base = &spec.baseline;
+    let max = if quick_mode() { base.batch_size() * 4 } else { spec.max_batch };
+    let mut t = Table::new(
+        "Figure 1 — ImageNet: LEGW holds accuracy; the no-retune scheme degrades",
+        &["batch", "LEGW+LARS", "linear+fixed-warmup", "no retune"],
+    );
+    // All three schemes share the LARS solver and the tuned baseline — they
+    // differ only in how (or whether) LR/warmup respond to the batch size,
+    // which is exactly the paper's comparison. Note the paper observes the
+    // linear-scaling scheme breaking down only beyond ~8K (large k); at the
+    // moderate scale factors this substitute reaches, linear scaling is
+    // expected to remain competitive while the no-retune scheme falls behind.
+    let mut rows = Vec::new();
+    for batch in batch_sweep(base.batch_size(), max) {
+        let legw = Legw::scale_to(base, batch);
+        let a_legw = apps::run(App::ImageNet, &legw, SolverKind::Lars, seed).final_metric;
+
+        // Goyal-style: linear LR scaling, constant warmup length
+        // (paper: 5 of 90 epochs → the same fraction of our budget).
+        let goyal_warmup = 5.0 / 90.0 * base.total_epochs();
+        let goyal =
+            scale_with(base, batch, ScalingRule::Linear, WarmupRule::FixedEpochs(goyal_warmup));
+        let a_goyal = apps::run(App::ImageNet, &goyal, SolverKind::Lars, seed).final_metric;
+
+        let fixed = scale_with(base, batch, ScalingRule::Identity, WarmupRule::Unchanged);
+        let a_fixed = apps::run(App::ImageNet, &fixed, SolverKind::Lars, seed).final_metric;
+
+        t.row(vec![
+            batch.to_string(),
+            format!("{a_legw:.4}"),
+            format!("{a_goyal:.4}"),
+            format!("{a_fixed:.4}"),
+        ]);
+        rows.push((batch, a_legw, a_goyal, a_fixed));
+    }
+    t.emit("fig1");
+    rows
+}
+
+fn adam_tune_grid() -> Vec<f64> {
+    if quick_mode() {
+        vec![5e-4, 2e-3, 8e-3]
+    } else {
+        vec![2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2]
+    }
+}
+
+/// LEGW vs tuned Adam for one app over its batch sweep.
+///
+/// Adam plays the paper's role of the *adaptive auto-tuning baseline*
+/// (§5.2): its LR is carefully grid-tuned **at the baseline batch size**,
+/// then — since Adam prescribes no batch-size scaling rule — the same LR is
+/// used at every batch size. LEGW never tunes anything beyond the same
+/// baseline. Returns `(batch, legw_metric, adam_metric, adam_lr)`.
+pub fn legw_vs_tuned_adam(app: App, seed: u64) -> Vec<(usize, f64, f64, f64)> {
+    let spec = apps::spec(app);
+    let hib = apps::higher_is_better(app);
+    let max = if quick_mode() { spec.baseline.batch_size() * 4 } else { spec.max_batch };
+
+    let tuned = grid_search(&adam_tune_grid(), hib, |lr| {
+        let s = BaselineSchedule::constant(
+            spec.baseline.batch_size(),
+            lr,
+            0.0,
+            spec.baseline.total_epochs(),
+        );
+        apps::run(app, &s, SolverKind::Adam, seed).final_metric
+    });
+    let adam_lr = tuned.best_value;
+
+    let mut rows = Vec::new();
+    for batch in batch_sweep(spec.baseline.batch_size(), max) {
+        let legw = Legw::scale_to(&spec.baseline, batch);
+        let m_legw = apps::run(app, &legw, spec.solver, seed).final_metric;
+        let s = BaselineSchedule::constant(batch, adam_lr, 0.0, spec.baseline.total_epochs());
+        let m_adam = apps::run(app, &s, SolverKind::Adam, seed).final_metric;
+        rows.push((batch, m_legw, m_adam, adam_lr));
+    }
+    rows
+}
+
+/// Figure 6 — LEGW vs tuned Adam across batch sizes for the four LSTM
+/// applications. Returns `(app_name, rows)` per app.
+pub fn fig6(seed: u64) -> Vec<(&'static str, Vec<(usize, f64, f64, f64)>)> {
+    run_legw_vs_adam(
+        "Figure 6 — LEGW vs carefully tuned Adam (same epoch budgets)",
+        "fig6",
+        &[
+            (App::MnistLstm, "mnist (acc)"),
+            (App::PtbSmall, "ptb-small (ppl)"),
+            (App::PtbLarge, "ptb-large (ppl)"),
+            (App::Gnmt, "gnmt (BLEU)"),
+        ],
+        seed,
+    )
+}
+
+/// Figure 10 (appendix) — the two large applications only.
+pub fn fig10(seed: u64) -> Vec<(&'static str, Vec<(usize, f64, f64, f64)>)> {
+    run_legw_vs_adam(
+        "Figure 10 — LEGW vs tuned Adam: PTB-large and GNMT",
+        "fig10",
+        &[(App::PtbLarge, "ptb-large (ppl)"), (App::Gnmt, "gnmt (BLEU)")],
+        seed,
+    )
+}
+
+fn run_legw_vs_adam(
+    title: &str,
+    id: &str,
+    apps_list: &[(App, &'static str)],
+    seed: u64,
+) -> Vec<(&'static str, Vec<(usize, f64, f64, f64)>)> {
+    let mut t = Table::new(title, &["app", "batch", "LEGW", "Adam (tuned)", "adam lr"]);
+    let mut out = Vec::new();
+    for &(app, name) in apps_list {
+        let rows = legw_vs_tuned_adam(app, seed);
+        for &(batch, legw, adam, lr) in &rows {
+            t.row(vec![
+                name.into(),
+                batch.to_string(),
+                format!("{legw:.4}"),
+                format!("{adam:.4}"),
+                format!("{lr:.4}"),
+            ]);
+        }
+        out.push((name, rows));
+    }
+    t.emit(id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_grid_sane() {
+        let g = adam_tune_grid();
+        assert!(g.len() >= 3);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+}

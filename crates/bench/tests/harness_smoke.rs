@@ -1,0 +1,42 @@
+//! Harness plumbing smoke tests — only the training-free experiments, so
+//! the suite stays fast.
+
+use legw_bench::experiments::{fig_schedule, speedup};
+use legw_bench::{batch_sweep, Table};
+
+#[test]
+fn fig2_runs_and_matches_paper_schedule_columns() {
+    let rows = fig_schedule::fig2();
+    assert_eq!(rows.len(), 6);
+    // √k LR column and k× warmup column across the full 1K→32K range
+    for (i, &(batch, lr, warm)) in rows.iter().enumerate() {
+        let k = (batch / 1024) as f64;
+        assert!((lr - 2f64.powf(2.5) * k.sqrt()).abs() < 1e-9, "row {i}");
+        assert!((warm - 0.3125 * k).abs() < 1e-9, "row {i}");
+    }
+}
+
+#[test]
+fn speedup_section7_runs_and_orders_correctly() {
+    let rows = speedup::speedup_section7();
+    assert_eq!(rows.len(), 4);
+    let get = |k: &str| rows.iter().find(|(n, _)| n == k).unwrap().1;
+    assert!(get("imagenet@32768") < get("imagenet@8192"));
+    assert!(get("gnmt@4096") < get("gnmt@256"));
+}
+
+#[test]
+fn csv_capture_writes_parseable_files() {
+    let mut t = Table::new("smoke", &["a", "b"]);
+    t.row(vec!["1".into(), "x,y".into()]);
+    let path = t.write_csv("smoke_test").unwrap();
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert!(content.starts_with("a,b\n"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn batch_sweep_is_inclusive_doubling() {
+    assert_eq!(batch_sweep(16, 128), vec![16, 32, 64, 128]);
+    assert_eq!(batch_sweep(8, 8), vec![8]);
+}

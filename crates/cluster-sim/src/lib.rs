@@ -1,0 +1,249 @@
+//! # legw-cluster-sim
+//!
+//! An analytic performance model of data-parallel DNN training, standing in
+//! for the TPU-v2/v3 pods and V100s of the paper's §7 speedup results.
+//!
+//! The model captures the two effects the paper's wall-clock numbers hinge
+//! on:
+//!
+//! 1. **Device efficiency grows with per-device batch.** Per-iteration
+//!    compute time is `overhead + (b_local + b_half) / peak_rate`: an affine
+//!    model whose `b_half` term expresses that small batches underutilise
+//!    wide accelerators ("on modern architecture like TPUs, reducing the
+//!    workload often leads to a lower efficiency", §2.2). Time-to-train at
+//!    fixed epochs is therefore *decreasing* in batch size — which is why
+//!    scaling the batch with LEGW (without accuracy loss) buys wall-clock
+//!    speedups.
+//! 2. **Gradient synchronisation.** Multi-device steps add a ring
+//!    all-reduce: `2·(P−1)/P · bytes/bandwidth + 2·(P−1)·latency`.
+//!
+//! Presets are calibrated (see [`presets`]) so that the paper-scale
+//! anecdotes — GNMT 2 h @ 256 → ~33 min @ 4 K on one TPU-v2; ImageNet
+//! 16 min @ 8 K → ~7 min @ 32 K on a pod — fall out of the arithmetic.
+
+pub mod presets;
+pub mod scaling;
+
+use serde::{Deserialize, Serialize};
+
+/// A single accelerator's throughput model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak sustained throughput in samples/second at full utilisation.
+    pub peak_samples_per_sec: f64,
+    /// Per-device batch at which efficiency reaches 50% — the affine
+    /// offset in the compute-time model.
+    pub half_batch: f64,
+    /// Fixed per-iteration overhead in seconds (kernel launch, host step).
+    pub overhead_secs: f64,
+}
+
+impl DeviceSpec {
+    /// Seconds to process one iteration with `b_local` samples on this
+    /// device.
+    pub fn iter_compute_secs(&self, b_local: f64) -> f64 {
+        assert!(b_local > 0.0, "local batch must be positive");
+        self.overhead_secs + (b_local + self.half_batch) / self.peak_samples_per_sec
+    }
+
+    /// Effective samples/second at a given local batch (≤ peak).
+    pub fn throughput(&self, b_local: f64) -> f64 {
+        b_local / self.iter_compute_secs(b_local)
+    }
+}
+
+/// A homogeneous cluster with a ring all-reduce interconnect.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-device model.
+    pub device: DeviceSpec,
+    /// Number of devices.
+    pub devices: usize,
+    /// Interconnect bandwidth per link, bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-hop latency, seconds.
+    pub latency_secs: f64,
+}
+
+impl ClusterSpec {
+    /// A single-device "cluster" (no communication term).
+    pub fn single(device: DeviceSpec) -> Self {
+        Self { device, devices: 1, bandwidth_bytes_per_sec: f64::INFINITY, latency_secs: 0.0 }
+    }
+
+    /// Seconds for one ring all-reduce of `bytes` gradient bytes.
+    pub fn allreduce_secs(&self, bytes: f64) -> f64 {
+        if self.devices <= 1 {
+            return 0.0;
+        }
+        let p = self.devices as f64;
+        2.0 * (p - 1.0) / p * (bytes / self.bandwidth_bytes_per_sec)
+            + 2.0 * (p - 1.0) * self.latency_secs
+    }
+
+    /// Seconds for one synchronous data-parallel iteration at `global_batch`.
+    pub fn iter_secs(&self, global_batch: usize, model_bytes: f64) -> f64 {
+        assert!(global_batch > 0);
+        let b_local = (global_batch as f64 / self.devices as f64).max(1.0);
+        self.device.iter_compute_secs(b_local) + self.allreduce_secs(model_bytes)
+    }
+}
+
+/// A training job: dataset size, gradient payload, and epoch budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingJob {
+    /// Samples per epoch.
+    pub n_samples: usize,
+    /// Gradient bytes exchanged per iteration (4 × parameter count).
+    pub model_bytes: f64,
+    /// Epochs to run (the paper compares methods at equal epochs).
+    pub epochs: f64,
+}
+
+impl TrainingJob {
+    /// Whole iterations for the full budget at a batch size (the number of
+    /// optimizer steps a real run would take).
+    pub fn iterations(&self, global_batch: usize) -> f64 {
+        (self.n_samples as f64 / global_batch as f64).ceil() * self.epochs
+    }
+
+    /// Wall-clock seconds to run the budget on `cluster` at `global_batch`.
+    ///
+    /// Uses the fractional iteration count `samples/batch` so the model is
+    /// strictly monotone in batch size (a trailing partial batch costs its
+    /// fraction, not a full iteration).
+    pub fn time_to_train_secs(&self, cluster: &ClusterSpec, global_batch: usize) -> f64 {
+        let fractional_iters = self.n_samples as f64 / global_batch as f64 * self.epochs;
+        fractional_iters * cluster.iter_secs(global_batch, self.model_bytes)
+    }
+
+    /// Speedup of `big_batch` over `small_batch` on the same cluster at the
+    /// same epoch budget — the quantity Figure 4 reports per application.
+    pub fn speedup_same_hardware(
+        &self,
+        cluster: &ClusterSpec,
+        small_batch: usize,
+        big_batch: usize,
+    ) -> f64 {
+        self.time_to_train_secs(cluster, small_batch)
+            / self.time_to_train_secs(cluster, big_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec {
+            name: "test".into(),
+            peak_samples_per_sec: 1000.0,
+            half_batch: 64.0,
+            overhead_secs: 0.001,
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_batch_and_bounded_by_peak() {
+        let d = dev();
+        let mut prev = 0.0;
+        for b in [1.0, 8.0, 64.0, 512.0, 4096.0] {
+            let t = d.throughput(b);
+            assert!(t > prev, "throughput must grow with batch");
+            assert!(t < d.peak_samples_per_sec);
+            prev = t;
+        }
+        // asymptotically approaches peak
+        assert!(d.throughput(1e7) > 0.99 * d.peak_samples_per_sec);
+    }
+
+    #[test]
+    fn half_batch_names_the_50_percent_point() {
+        let mut d = dev();
+        d.overhead_secs = 0.0;
+        let eff = d.throughput(d.half_batch) / d.peak_samples_per_sec;
+        assert!((eff - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_device_has_no_comm_cost() {
+        let c = ClusterSpec::single(dev());
+        assert_eq!(c.allreduce_secs(1e9), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_with_devices_and_bytes() {
+        let mut c = ClusterSpec::single(dev());
+        c.devices = 8;
+        c.bandwidth_bytes_per_sec = 1e9;
+        c.latency_secs = 1e-5;
+        let t1 = c.allreduce_secs(1e8);
+        c.devices = 64;
+        let t2 = c.allreduce_secs(1e8);
+        assert!(t2 > t1, "more hops, more latency");
+        let t3 = c.allreduce_secs(2e8);
+        assert!(t3 > t2, "more bytes, more time");
+        // bandwidth term approaches 2×bytes/bw for large P
+        let bw_term = 2.0 * (63.0 / 64.0) * 0.1;
+        assert!(t2 > bw_term);
+    }
+
+    #[test]
+    fn time_to_train_decreases_with_batch_at_fixed_epochs() {
+        // the core economics of large-batch training on one device
+        let c = ClusterSpec::single(dev());
+        let job = TrainingJob { n_samples: 60_000, model_bytes: 4e6, epochs: 25.0 };
+        let t_small = job.time_to_train_secs(&c, 128);
+        let t_big = job.time_to_train_secs(&c, 8192);
+        assert!(t_big < t_small, "{t_big} !< {t_small}");
+        let speedup = job.speedup_same_hardware(&c, 128, 8192);
+        assert!(speedup > 1.2 && speedup < 64.0, "speedup {speedup} plausible band");
+    }
+
+    #[test]
+    fn speedup_saturates_not_linear() {
+        let c = ClusterSpec::single(dev());
+        let job = TrainingJob { n_samples: 60_000, model_bytes: 4e6, epochs: 25.0 };
+        let s1 = job.speedup_same_hardware(&c, 128, 1024);
+        let s2 = job.speedup_same_hardware(&c, 128, 8192);
+        assert!(s2 > s1);
+        // diminishing returns: ×64 batch gives far less than ×64 speedup
+        assert!(s2 < 64.0 * 0.8);
+    }
+
+    #[test]
+    fn iterations_accounting() {
+        let job = TrainingJob { n_samples: 1000, model_bytes: 1.0, epochs: 3.0 };
+        assert_eq!(job.iterations(100), 30.0);
+        assert_eq!(job.iterations(128), 24.0); // ceil(7.8125)=8 per epoch
+    }
+
+    proptest! {
+        #[test]
+        fn prop_time_decreasing_in_batch_single_device(
+            b1 in 1usize..4096,
+            factor in 2usize..32,
+        ) {
+            let c = ClusterSpec::single(dev());
+            let job = TrainingJob { n_samples: 1 << 20, model_bytes: 1e6, epochs: 2.0 };
+            let t1 = job.time_to_train_secs(&c, b1);
+            let t2 = job.time_to_train_secs(&c, b1 * factor);
+            prop_assert!(t2 <= t1 * 1.001, "bigger batch cannot be slower: {t1} vs {t2}");
+        }
+
+        #[test]
+        fn prop_allreduce_monotone(p in 2usize..512, bytes in 1.0f64..1e9) {
+            let mut c = ClusterSpec::single(dev());
+            c.devices = p;
+            c.bandwidth_bytes_per_sec = 1e9;
+            c.latency_secs = 1e-6;
+            let t = c.allreduce_secs(bytes);
+            let mut c2 = c.clone();
+            c2.devices = p + 1;
+            prop_assert!(c2.allreduce_secs(bytes) >= t);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Convergence-curve analysis over [`crate::TrainReport`] histories:
+//! time-to-target extraction and curve summaries, the quantities behind
+//! "same accuracy in fewer steps" claims.
+
+use crate::trainer::TrainReport;
+
+/// First epoch position at which the metric history reaches `target`
+/// (`higher_better` selects the comparison), linearly interpolated between
+/// evaluation points. `None` if the run never reaches it.
+pub fn epochs_to_target(report: &TrainReport, target: f64, higher_better: bool) -> Option<f64> {
+    let reached = |m: f64| if higher_better { m >= target } else { m <= target };
+    let mut prev: Option<(f64, f64)> = None;
+    for &(e, m) in &report.history {
+        if reached(m) {
+            if let Some((pe, pm)) = prev {
+                // linear interpolation between the straddling evaluations
+                let denom = m - pm;
+                if denom.abs() > 1e-12 {
+                    let t = (target - pm) / denom;
+                    return Some(pe + t.clamp(0.0, 1.0) * (e - pe));
+                }
+            }
+            return Some(e);
+        }
+        prev = Some((e, m));
+    }
+    None
+}
+
+/// The best metric over the whole history (and the final one), a robust
+/// summary for unstable runs.
+pub fn best_metric(report: &TrainReport, higher_better: bool) -> Option<f64> {
+    report
+        .history
+        .iter()
+        .map(|&(_, m)| m)
+        .reduce(|a, b| if higher_better { a.max(b) } else { a.min(b) })
+}
+
+/// Area under the metric curve per epoch (trapezoidal) — a single-number
+/// progress summary that rewards both speed and level.
+pub fn metric_auc(report: &TrainReport) -> f64 {
+    let h = &report.history;
+    if h.len() < 2 {
+        return h.first().map(|&(_, m)| m).unwrap_or(0.0);
+    }
+    let mut area = 0.0;
+    for w in h.windows(2) {
+        let (e0, m0) = w[0];
+        let (e1, m1) = w[1];
+        area += 0.5 * (m0 + m1) * (e1 - e0);
+    }
+    let span = h.last().unwrap().0 - h[0].0;
+    if span > 0.0 {
+        area / span
+    } else {
+        h.last().unwrap().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(history: Vec<(f64, f64)>) -> TrainReport {
+        TrainReport {
+            final_metric: history.last().map(|&(_, m)| m).unwrap_or(0.0),
+            secondary_metric: None,
+            history,
+            epoch_losses: Vec::new(),
+            diverged: false,
+            iterations: 0,
+        }
+    }
+
+    #[test]
+    fn target_interpolates_between_evaluations() {
+        let r = report(vec![(1.0, 0.2), (2.0, 0.6), (3.0, 0.9)]);
+        // 0.4 is halfway between 0.2@1 and 0.6@2
+        let e = epochs_to_target(&r, 0.4, true).unwrap();
+        assert!((e - 1.5).abs() < 1e-9, "{e}");
+        // already reached at the first point
+        assert_eq!(epochs_to_target(&r, 0.1, true).unwrap(), 1.0);
+        // never reached
+        assert!(epochs_to_target(&r, 0.95, true).is_none());
+    }
+
+    #[test]
+    fn target_for_lower_is_better_metrics() {
+        let r = report(vec![(1.0, 100.0), (2.0, 40.0), (3.0, 20.0)]);
+        let e = epochs_to_target(&r, 30.0, false).unwrap();
+        assert!((2.0..3.0).contains(&e), "{e}");
+    }
+
+    #[test]
+    fn best_metric_directional() {
+        let r = report(vec![(1.0, 0.5), (2.0, 0.9), (3.0, 0.7)]);
+        assert_eq!(best_metric(&r, true), Some(0.9));
+        assert_eq!(best_metric(&r, false), Some(0.5));
+        assert_eq!(best_metric(&report(vec![]), true), None);
+    }
+
+    #[test]
+    fn auc_of_constant_curve_is_the_constant() {
+        let r = report(vec![(0.0, 0.8), (1.0, 0.8), (2.0, 0.8)]);
+        assert!((metric_auc(&r) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_orders_fast_and_slow_learners() {
+        let fast = report(vec![(0.0, 0.0), (1.0, 0.9), (2.0, 0.9)]);
+        let slow = report(vec![(0.0, 0.0), (1.0, 0.1), (2.0, 0.9)]);
+        assert!(metric_auc(&fast) > metric_auc(&slow));
+    }
+
+    #[test]
+    fn degenerate_histories() {
+        assert_eq!(metric_auc(&report(vec![])), 0.0);
+        assert_eq!(metric_auc(&report(vec![(1.0, 0.4)])), 0.4);
+    }
+}

@@ -1,0 +1,38 @@
+//! # legw
+//!
+//! The primary-contribution crate of this reproduction: everything that
+//! turns the substrates (tensors, autograd, layers, optimizers, schedules,
+//! synthetic data, models) into the paper's experiments.
+//!
+//! * [`trainer`] — end-to-end training loops for the four applications of
+//!   Table 1, driven by a [`legw_schedules::BaselineSchedule`] and any
+//!   [`legw_optim::SolverKind`], with divergence detection and per-epoch
+//!   metric histories.
+//! * [`apps`] — the Table 1 registry: per-application synthetic dataset
+//!   parameters, tuned baseline schedules, and a single entry point
+//!   ([`apps::run`]) the figure/table harness calls.
+//! * [`tuning`] — the grid searches behind the paper's "comprehensive
+//!   tuning" baselines (§5.3) and tuned-Adam comparisons (§5.2).
+//! * [`lipschitz`] — the finite-difference Hessian-vector estimator of the
+//!   local Lipschitz constant `L(x,g) = |gᵀHg|/‖g‖²` used to regenerate
+//!   Figure 3 and the paper's §4 explanation of why warmup length should
+//!   grow with batch size.
+//!
+//! ```no_run
+//! use legw::apps::{self, App};
+//! use legw_optim::SolverKind;
+//!
+//! // Train the MNIST-LSTM app at 8× its baseline batch with LEGW scaling:
+//! let spec = apps::spec(App::MnistLstm);
+//! let schedule = legw_schedules::Legw::scale_to(&spec.baseline, spec.baseline.batch_size() * 8);
+//! let report = apps::run(App::MnistLstm, &schedule, SolverKind::Momentum, 42);
+//! println!("accuracy {:.4}", report.final_metric);
+//! ```
+
+pub mod apps;
+pub mod convergence;
+pub mod lipschitz;
+pub mod trainer;
+pub mod tuning;
+
+pub use trainer::TrainReport;

@@ -1,0 +1,391 @@
+//! Training loops for the four applications, schedule-driven and
+//! divergence-aware.
+
+use legw_data::{Classification, SynthImageNet, SynthMnist, SynthPtb, SynthTranslation};
+use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
+use legw_nn::ParamSet;
+use legw_optim::{build, SolverKind};
+use legw_schedules::BaselineSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// The application's final quality metric (accuracy / perplexity / BLEU
+    /// / top-1 — see the producing function).
+    pub final_metric: f64,
+    /// Secondary metric when the application has one (ImageNet top-5).
+    pub secondary_metric: Option<f64>,
+    /// `(epoch, metric)` samples taken during training.
+    pub history: Vec<(f64, f64)>,
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// True if the run produced NaN/Inf and was aborted (the metric is then
+    /// the worst possible value for the application).
+    pub diverged: bool,
+    /// Optimizer steps executed.
+    pub iterations: usize,
+}
+
+/// Gradient-clipping norm used by the recurrent applications (standard LSTM
+/// practice; applied identically to every method under comparison).
+pub const RNN_CLIP: f32 = 5.0;
+
+fn check_divergence(loss: f32, ps: &ParamSet) -> bool {
+    !loss.is_finite() || !ps.any_nonfinite_fast()
+}
+
+trait FastFinite {
+    fn any_nonfinite_fast(&self) -> bool;
+}
+
+impl FastFinite for ParamSet {
+    fn any_nonfinite_fast(&self) -> bool {
+        // cheap proxy: the global value norm is finite iff all entries are
+        self.value_norm().is_finite()
+    }
+}
+
+/// Trains the MNIST-LSTM classifier (§5.1.1). Metric: test accuracy.
+pub fn train_mnist(
+    data: &SynthMnist,
+    proj: usize,
+    hidden: usize,
+    schedule: &BaselineSchedule,
+    solver: SolverKind,
+    seed: u64,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let model = MnistLstm::new(&mut ps, &mut rng, proj, hidden);
+    let mut opt = build(solver, 0.0);
+
+    let batch = schedule.batch_size();
+    let ipe = data.train.iters_per_epoch(batch);
+    let total_iters = (schedule.total_epochs() * ipe as f64).round() as usize;
+    let mut report = TrainReport {
+        final_metric: 0.0,
+        secondary_metric: None,
+        history: Vec::new(),
+        epoch_losses: Vec::new(),
+        diverged: false,
+        iterations: 0,
+    };
+
+    let mut iter = 0usize;
+    'outer: while iter < total_iters {
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_count = 0usize;
+        for (bx, by) in data.train.epoch_batches(batch, &mut rng) {
+            if iter >= total_iters {
+                break;
+            }
+            let lr = schedule.lr_at_iter(iter, ipe) as f32;
+            let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            let lv = g.value(loss).item();
+            epoch_loss += lv as f64;
+            epoch_count += 1;
+            if check_divergence(lv, &ps) {
+                report.diverged = true;
+                break 'outer;
+            }
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            ps.clip_grad_norm(RNN_CLIP);
+            opt.step(&mut ps, lr);
+            ps.zero_grad();
+            iter += 1;
+        }
+        if epoch_count > 0 {
+            report.epoch_losses.push(epoch_loss / epoch_count as f64);
+        }
+        let acc = model.evaluate(&ps, &data.test, 256);
+        report.history.push((iter as f64 / ipe as f64, acc));
+    }
+    report.iterations = iter;
+    report.final_metric = if report.diverged {
+        0.0
+    } else {
+        model.evaluate(&ps, &data.test, 256)
+    };
+    report
+}
+
+/// Trains the PTB language model (§5.1.2). Metric: validation perplexity
+/// (lower is better). Divergence reports perplexity = vocab size.
+pub fn train_ptb(
+    data: &SynthPtb,
+    cfg: PtbLmConfig,
+    seq_len: usize,
+    schedule: &BaselineSchedule,
+    solver: SolverKind,
+    seed: u64,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let model = PtbLm::new(&mut ps, &mut rng, cfg);
+    let mut opt = build(solver, 0.0);
+
+    let batch = schedule.batch_size();
+    let ipe = data.iters_per_epoch(batch, seq_len);
+    let total_iters = (schedule.total_epochs() * ipe as f64).round() as usize;
+    let mut report = TrainReport {
+        final_metric: cfg.vocab as f64,
+        secondary_metric: None,
+        history: Vec::new(),
+        epoch_losses: Vec::new(),
+        diverged: false,
+        iterations: 0,
+    };
+
+    let mut iter = 0usize;
+    'outer: while iter < total_iters {
+        let mut state = LmState::zeros(&cfg, batch);
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_count = 0usize;
+        for window in data.batches(true, batch, seq_len) {
+            if iter >= total_iters {
+                break;
+            }
+            let lr = schedule.lr_at_iter(iter, ipe) as f32;
+            let (mut g, bd, loss, nll, next_state) = model.forward_loss(&ps, &window, &state);
+            epoch_loss += nll;
+            epoch_count += 1;
+            if check_divergence(nll as f32, &ps) {
+                report.diverged = true;
+                break 'outer;
+            }
+            state = next_state;
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            ps.clip_grad_norm(RNN_CLIP);
+            opt.step(&mut ps, lr);
+            ps.zero_grad();
+            iter += 1;
+        }
+        if epoch_count > 0 {
+            report.epoch_losses.push(epoch_loss / epoch_count as f64);
+        }
+        let ppl = model.evaluate_perplexity(&ps, data, batch.min(32), seq_len);
+        report.history.push((iter as f64 / ipe as f64, ppl));
+    }
+    report.iterations = iter;
+    report.final_metric = if report.diverged {
+        cfg.vocab as f64
+    } else {
+        model.evaluate_perplexity(&ps, data, batch.min(32), seq_len)
+    };
+    report
+}
+
+/// Trains the GNMT-style seq2seq model (§5.1.3). Metric: test BLEU.
+pub fn train_seq2seq(
+    data: &SynthTranslation,
+    cfg: Seq2SeqConfig,
+    schedule: &BaselineSchedule,
+    solver: SolverKind,
+    seed: u64,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
+    let mut opt = build(solver, 0.0);
+
+    let batch = schedule.batch_size();
+    let ipe = data.iters_per_epoch(batch);
+    let total_iters = (schedule.total_epochs() * ipe as f64).round() as usize;
+    let mut report = TrainReport {
+        final_metric: 0.0,
+        secondary_metric: None,
+        history: Vec::new(),
+        epoch_losses: Vec::new(),
+        diverged: false,
+        iterations: 0,
+    };
+
+    let mut iter = 0usize;
+    'outer: while iter < total_iters {
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_count = 0usize;
+        for b in data.batches(true, batch) {
+            if iter >= total_iters {
+                break;
+            }
+            let lr = schedule.lr_at_iter(iter, ipe) as f32;
+            let (mut g, bd, loss, nll) = model.forward_loss(&ps, &b);
+            epoch_loss += nll;
+            epoch_count += 1;
+            if check_divergence(nll as f32, &ps) {
+                report.diverged = true;
+                break 'outer;
+            }
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            ps.clip_grad_norm(RNN_CLIP);
+            opt.step(&mut ps, lr);
+            ps.zero_grad();
+            iter += 1;
+        }
+        if epoch_count > 0 {
+            report.epoch_losses.push(epoch_loss / epoch_count as f64);
+        }
+        let bleu = model.evaluate_bleu(&ps, data, 64);
+        report.history.push((iter as f64 / ipe as f64, bleu));
+    }
+    report.iterations = iter;
+    report.final_metric = if report.diverged { 0.0 } else { model.evaluate_bleu(&ps, data, 64) };
+    report
+}
+
+/// Trains the ResNet stand-in (§6). Metric: test top-1; secondary: top-k
+/// (the ImageNet experiments report top-5; with fewer classes we use top-3).
+pub fn train_resnet(
+    data: &SynthImageNet,
+    width: usize,
+    top_k: usize,
+    schedule: &BaselineSchedule,
+    solver: SolverKind,
+    weight_decay: f32,
+    seed: u64,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let mut model = ResNet::new(&mut ps, &mut rng, width, data.n_classes);
+    let mut opt = build(solver, weight_decay);
+
+    let batch = schedule.batch_size();
+    let ipe = data.train.iters_per_epoch(batch);
+    let total_iters = (schedule.total_epochs() * ipe as f64).round() as usize;
+    let mut report = TrainReport {
+        final_metric: 0.0,
+        secondary_metric: None,
+        history: Vec::new(),
+        epoch_losses: Vec::new(),
+        diverged: false,
+        iterations: 0,
+    };
+
+    let mut iter = 0usize;
+    'outer: while iter < total_iters {
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_count = 0usize;
+        for (bx, by) in data.train.epoch_batches(batch, &mut rng) {
+            if iter >= total_iters {
+                break;
+            }
+            let lr = schedule.lr_at_iter(iter, ipe) as f32;
+            let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            let lv = g.value(loss).item();
+            epoch_loss += lv as f64;
+            epoch_count += 1;
+            if check_divergence(lv, &ps) {
+                report.diverged = true;
+                break 'outer;
+            }
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            opt.step(&mut ps, lr);
+            ps.zero_grad();
+            iter += 1;
+        }
+        if epoch_count > 0 {
+            report.epoch_losses.push(epoch_loss / epoch_count as f64);
+        }
+        let (t1, tk) = model.evaluate(&ps, &data.test, 128, top_k);
+        report.history.push((iter as f64 / ipe as f64, t1));
+        report.secondary_metric = Some(tk);
+    }
+    report.iterations = iter;
+    if report.diverged {
+        report.final_metric = 0.0;
+        report.secondary_metric = Some(0.0);
+    } else {
+        let (t1, tk) = model.evaluate(&ps, &data.test, 128, top_k);
+        report.final_metric = t1;
+        report.secondary_metric = Some(tk);
+    }
+    report
+}
+
+/// Helper shared by examples/benches: evaluates a freshly initialised
+/// (untrained) classifier, giving the chance-level floor for a dataset.
+pub fn untrained_accuracy(data: &Classification) -> f64 {
+    1.0 / data.n_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_short_run_learns_above_chance() {
+        let data = SynthMnist::generate(1, 400, 120);
+        let sched = BaselineSchedule::constant(32, 0.4, 0.2, 3.0);
+        let rep = train_mnist(&data, 24, 24, &sched, SolverKind::Momentum, 7);
+        assert!(!rep.diverged);
+        assert!(rep.final_metric > 0.25, "3-epoch accuracy {:.3} should beat chance", rep.final_metric);
+        assert_eq!(rep.history.len(), 3);
+        assert!(rep.iterations > 0);
+    }
+
+    #[test]
+    fn mnist_huge_lr_destroys_training() {
+        // With bounded activations and a clamped CE the run may not reach
+        // literal NaN, but an absurd LR must leave accuracy at chance level.
+        let data = SynthMnist::generate(1, 200, 50);
+        let sched = BaselineSchedule::constant(32, 1e4, 0.0, 1.0);
+        let rep = train_mnist(&data, 16, 16, &sched, SolverKind::Sgd, 7);
+        assert!(rep.diverged || rep.final_metric <= 0.25, "metric {}", rep.final_metric);
+    }
+
+    #[test]
+    fn ptb_short_run_beats_uniform() {
+        let data = SynthPtb::generate(2, 60, 6, 20_000, 4_000);
+        let cfg = PtbLmConfig { vocab: 60, embed: 24, hidden: 24, layers: 2 };
+        let sched = BaselineSchedule::constant(8, 0.8, 0.1, 1.0);
+        let rep = train_ptb(&data, cfg, 10, &sched, SolverKind::Momentum, 3);
+        assert!(!rep.diverged);
+        assert!(
+            rep.final_metric < 60.0 * 0.8,
+            "1-epoch ppl {:.1} should beat uniform 60",
+            rep.final_metric
+        );
+        assert!(rep.final_metric > data.perplexity_floor());
+    }
+
+    #[test]
+    fn seq2seq_short_run_moves_loss() {
+        let data = SynthTranslation::generate(3, 16, 128, 32, 3, 5);
+        let cfg = Seq2SeqConfig { vocab: data.vocab, embed: 16, hidden: 16, attn: 12, max_decode: 7 };
+        let sched = BaselineSchedule::constant(16, 0.5, 0.2, 2.0);
+        let rep = train_seq2seq(&data, cfg, &sched, SolverKind::Momentum, 5);
+        assert!(!rep.diverged);
+        assert!(rep.epoch_losses.len() >= 2);
+        assert!(
+            rep.epoch_losses.last().unwrap() < &rep.epoch_losses[0],
+            "loss should fall: {:?}",
+            rep.epoch_losses
+        );
+    }
+
+    #[test]
+    fn resnet_short_run_learns_above_chance() {
+        let data = SynthImageNet::generate_sized(4, 6, 360, 60, 16);
+        let sched = BaselineSchedule::poly(16, 4.0, 0.125, 5.0, 2.0);
+        let rep = train_resnet(&data, 8, 3, &sched, SolverKind::Lars, 1e-4, 9);
+        assert!(!rep.diverged);
+        assert!(rep.final_metric > 1.0 / 6.0, "top-1 {:.3} above chance", rep.final_metric);
+        let tk = rep.secondary_metric.unwrap();
+        assert!(tk >= rep.final_metric);
+    }
+
+    #[test]
+    fn schedule_epoch_budget_controls_iteration_count() {
+        let data = SynthMnist::generate(5, 128, 32);
+        let sched = BaselineSchedule::constant(32, 0.1, 0.0, 3.0);
+        let rep = train_mnist(&data, 8, 8, &sched, SolverKind::Sgd, 1);
+        assert_eq!(rep.iterations, 3 * (128 / 32));
+    }
+}

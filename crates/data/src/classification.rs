@@ -1,0 +1,168 @@
+//! Generic classification dataset container and mini-batch iteration.
+
+use legw_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An in-memory classification dataset: features `[N, …]` and one integer
+/// label per row of the leading axis.
+#[derive(Clone)]
+pub struct Classification {
+    /// Feature tensor; the leading dimension indexes samples.
+    pub features: Tensor,
+    /// One label per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Classification {
+    /// Builds the container, checking shape consistency.
+    pub fn new(features: Tensor, labels: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(features.dim(0), labels.len(), "one label per sample");
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        Self { features, labels, n_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Width of one sample (product of non-leading dims).
+    pub fn sample_size(&self) -> usize {
+        self.features.numel() / self.len().max(1)
+    }
+
+    /// Gathers the samples at `indices` into a dense batch
+    /// `([B, …], labels)`, keeping the non-leading shape.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let ss = self.sample_size();
+        let src = self.features.as_slice();
+        let mut out = Vec::with_capacity(indices.len() * ss);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of {}", self.len());
+            out.extend_from_slice(&src[i * ss..(i + 1) * ss]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = self.features.shape().to_vec();
+        dims[0] = indices.len();
+        (Tensor::from_vec(out, &dims), labels)
+    }
+
+    /// Iterates one epoch of shuffled mini-batches. The final short batch is
+    /// kept (matters for correctness of epoch accounting).
+    pub fn epoch_batches<R: Rng>(&self, batch: usize, rng: &mut R) -> Batches<'_> {
+        assert!(batch > 0);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        Batches { data: self, order, batch, cursor: 0 }
+    }
+
+    /// Number of iterations per epoch at the given batch size (ceiling).
+    pub fn iters_per_epoch(&self, batch: usize) -> usize {
+        self.len().div_ceil(batch).max(1)
+    }
+}
+
+/// Iterator over the mini-batches of one shuffled epoch.
+pub struct Batches<'a> {
+    data: &'a Classification,
+    order: Vec<usize>,
+    batch: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.data.gather(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn toy() -> Classification {
+        let feats = Tensor::from_vec((0..20).map(|x| x as f32).collect(), &[10, 2]);
+        let labels = (0..10).map(|i| i % 3).collect();
+        Classification::new(feats, labels, 3)
+    }
+
+    #[test]
+    fn gather_preserves_feature_rows() {
+        let d = toy();
+        let (b, l) = d.gather(&[3, 0]);
+        assert_eq!(b.shape(), &[2, 2]);
+        assert_eq!(b.as_slice(), &[6., 7., 0., 1.]);
+        assert_eq!(l, vec![0, 0]);
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = HashSet::new();
+        let mut total = 0;
+        for (b, l) in d.epoch_batches(3, &mut rng) {
+            assert_eq!(b.dim(0), l.len());
+            total += l.len();
+            for r in 0..b.dim(0) {
+                seen.insert(b.at2(r, 0) as usize);
+            }
+        }
+        assert_eq!(total, 10);
+        assert_eq!(seen.len(), 10, "each sample appears exactly once");
+    }
+
+    #[test]
+    fn last_short_batch_kept() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sizes: Vec<usize> = d.epoch_batches(4, &mut rng).map(|(_, l)| l.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(d.iters_per_epoch(4), 3);
+    }
+
+    #[test]
+    fn shuffling_depends_on_rng_seed() {
+        let d = toy();
+        let collect = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            d.epoch_batches(10, &mut rng).next().unwrap().1
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn four_dim_features_gather() {
+        let feats = Tensor::from_vec((0..3 * 2 * 2 * 2).map(|x| x as f32).collect(), &[3, 2, 2, 2]);
+        let d = Classification::new(feats, vec![0, 1, 0], 2);
+        let (b, _) = d.gather(&[2]);
+        assert_eq!(b.shape(), &[1, 2, 2, 2]);
+        assert_eq!(b.as_slice()[0], 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Classification::new(Tensor::zeros(&[2, 2]), vec![0, 5], 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Binary serialization for datasets — lets expensive synthetic corpora be
+//! generated once and cached on disk between harness invocations.
+//!
+//! Format (little-endian): magic `LGWD`, version u16, then the payload.
+
+use crate::classification::Classification;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use legw_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"LGWD";
+const VERSION: u16 = 1;
+
+/// Encodes a classification dataset into a self-describing binary buffer.
+pub fn encode_classification(data: &Classification) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + data.features.numel() * 4 + data.labels.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(data.n_classes as u32);
+    let dims = data.features.shape();
+    buf.put_u8(dims.len() as u8);
+    for &d in dims {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in data.features.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.put_u32_le(data.labels.len() as u32);
+    for &l in &data.labels {
+        buf.put_u32_le(l as u32);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_classification`].
+///
+/// # Errors
+/// Returns a descriptive message on magic/version/shape mismatch or a
+/// truncated buffer.
+pub fn decode_classification(mut buf: &[u8]) -> Result<Classification, String> {
+    if buf.remaining() < 6 || &buf[..4] != MAGIC {
+        return Err("not a LGWD dataset buffer".into());
+    }
+    buf.advance(4);
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(format!("unsupported dataset version {version}"));
+    }
+    if buf.remaining() < 5 {
+        return Err("truncated header".into());
+    }
+    let n_classes = buf.get_u32_le() as usize;
+    let ndim = buf.get_u8() as usize;
+    if ndim == 0 || ndim > 4 || buf.remaining() < 4 * ndim {
+        return Err(format!("bad dimension count {ndim}"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(buf.get_u32_le() as usize);
+    }
+    let numel: usize = dims.iter().product();
+    if buf.remaining() < numel * 4 + 4 {
+        return Err("truncated feature payload".into());
+    }
+    let mut feats = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        feats.push(buf.get_f32_le());
+    }
+    let n_labels = buf.get_u32_le() as usize;
+    if n_labels != dims[0] {
+        return Err(format!("label count {n_labels} ≠ leading dim {}", dims[0]));
+    }
+    if buf.remaining() < n_labels * 4 {
+        return Err("truncated labels".into());
+    }
+    let mut labels = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let l = buf.get_u32_le() as usize;
+        if l >= n_classes {
+            return Err(format!("label {l} out of {n_classes} classes"));
+        }
+        labels.push(l);
+    }
+    Ok(Classification::new(Tensor::from_vec(feats, &dims), labels, n_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthMnist;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = SynthMnist::generate(3, 30, 10);
+        let buf = encode_classification(&d.train);
+        let back = decode_classification(&buf).unwrap();
+        assert_eq!(back.n_classes, 10);
+        assert_eq!(back.labels, d.train.labels);
+        assert_eq!(back.features.shape(), d.train.features.shape());
+        assert_eq!(back.features.as_slice(), d.train.features.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_4d_features() {
+        let d = crate::SynthImageNet::generate_sized(4, 4, 12, 4, 8);
+        let buf = encode_classification(&d.train);
+        let back = decode_classification(&buf).unwrap();
+        assert_eq!(back.features.shape(), &[12, 3, 8, 8]);
+        assert_eq!(back.features.as_slice(), d.train.features.as_slice());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(decode_classification(b"nope").is_err());
+        let d = SynthMnist::generate(5, 10, 5);
+        let buf = encode_classification(&d.train);
+        assert!(decode_classification(&buf[..buf.len() / 2]).is_err());
+        let mut wrong_version = buf.to_vec();
+        wrong_version[4] = 99;
+        assert!(decode_classification(&wrong_version).is_err());
+    }
+}

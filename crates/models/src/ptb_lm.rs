@@ -1,0 +1,213 @@
+//! The PTB language model of §5.1.2: embedding → 2-layer LSTM → softmax,
+//! trained with stateful truncated BPTT.
+
+use legw_autograd::{Graph, Var};
+use legw_data::{LmBatch, SynthPtb};
+use legw_nn::{Binding, Embedding, Linear, Lstm, LstmState, ParamSet};
+use legw_tensor::Tensor;
+use rand::Rng;
+
+/// Model dimensions; mirrors the paper's PTB-small/PTB-large split at
+/// reduced scale.
+#[derive(Clone, Copy, Debug)]
+pub struct PtbLmConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width (paper: 200 small / 1500 large).
+    pub embed: usize,
+    /// LSTM hidden width per layer (paper: 200 small / 1500 large).
+    pub hidden: usize,
+    /// Number of LSTM layers (paper: 2).
+    pub layers: usize,
+}
+
+impl PtbLmConfig {
+    /// A scaled-down PTB-small analogue.
+    pub fn small(vocab: usize) -> Self {
+        Self { vocab, embed: 48, hidden: 48, layers: 2 }
+    }
+
+    /// A scaled-down PTB-large analogue.
+    pub fn large(vocab: usize) -> Self {
+        Self { vocab, embed: 96, hidden: 96, layers: 2 }
+    }
+}
+
+/// Detached recurrent state carried across BPTT windows: `(h, c)` values
+/// per layer.
+#[derive(Clone)]
+pub struct LmState(Vec<(Tensor, Tensor)>);
+
+impl LmState {
+    /// Zero state for `batch` tracks.
+    pub fn zeros(cfg: &PtbLmConfig, batch: usize) -> Self {
+        Self(
+            (0..cfg.layers)
+                .map(|_| {
+                    (
+                        Tensor::zeros(&[batch, cfg.hidden]),
+                        Tensor::zeros(&[batch, cfg.hidden]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The language model.
+pub struct PtbLm {
+    cfg: PtbLmConfig,
+    embedding: Embedding,
+    lstm: Lstm,
+    head: Linear,
+}
+
+impl PtbLm {
+    /// Builds the model into `ps`.
+    pub fn new<R: Rng>(ps: &mut ParamSet, rng: &mut R, cfg: PtbLmConfig) -> Self {
+        Self {
+            cfg,
+            embedding: Embedding::new(ps, rng, "lm.embed", cfg.vocab, cfg.embed),
+            lstm: Lstm::new(ps, rng, "lm.lstm", cfg.embed, cfg.hidden, cfg.layers),
+            head: Linear::new(ps, rng, "lm.head", cfg.hidden, cfg.vocab, true),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PtbLmConfig {
+        &self.cfg
+    }
+
+    /// Builds the tape for one BPTT window. Returns graph/binding, the mean
+    /// per-token loss variable, the mean NLL (nats/token) as f64, and the
+    /// detached state to carry into the next window.
+    pub fn forward_loss(
+        &self,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+    ) -> (Graph, Binding, Var, f64, LmState) {
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let states: Vec<LstmState> = state
+            .0
+            .iter()
+            .map(|(h, c)| LstmState { h: g.input(h.clone()), c: g.input(c.clone()) })
+            .collect();
+
+        let xs: Vec<Var> = batch
+            .inputs
+            .iter()
+            .map(|ids| self.embedding.forward(&mut g, &mut bd, ps, ids))
+            .collect();
+        let (outputs, final_states) = self.lstm.forward_seq(&mut g, &mut bd, ps, &xs, states);
+
+        let t_len = outputs.len();
+        let mut total: Option<Var> = None;
+        for (out, tgt) in outputs.iter().zip(&batch.targets) {
+            let logits = self.head.forward(&mut g, &mut bd, ps, *out);
+            let step_loss = g.softmax_cross_entropy(logits, tgt);
+            total = Some(match total {
+                Some(acc) => g.add(acc, step_loss),
+                None => step_loss,
+            });
+        }
+        let loss = g.scale(total.expect("window has at least one step"), 1.0 / t_len as f32);
+        let nll = g.value(loss).item() as f64;
+        let carried = LmState(
+            final_states
+                .iter()
+                .map(|s| (g.value(s.h).clone(), g.value(s.c).clone()))
+                .collect(),
+        );
+        (g, bd, loss, nll, carried)
+    }
+
+    /// Mean NLL (nats/token) over a full split; exp of this is perplexity.
+    pub fn evaluate_nll(&self, ps: &ParamSet, data: &SynthPtb, train_split: bool, batch: usize, seq_len: usize) -> f64 {
+        let mut state = LmState::zeros(&self.cfg, batch);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for window in data.batches(train_split, batch, seq_len) {
+            let (_, _, _, nll, next) = self.forward_loss(ps, &window, &state);
+            total += nll;
+            count += 1;
+            state = next;
+        }
+        total / count.max(1) as f64
+    }
+
+    /// Perplexity over the validation stream.
+    pub fn evaluate_perplexity(&self, ps: &ParamSet, data: &SynthPtb, batch: usize, seq_len: usize) -> f64 {
+        self.evaluate_nll(ps, data, false, batch, seq_len).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny() -> (ParamSet, PtbLm, SynthPtb) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = PtbLmConfig { vocab: 30, embed: 12, hidden: 12, layers: 2 };
+        let m = PtbLm::new(&mut ps, &mut rng, cfg);
+        let d = SynthPtb::generate(4, 30, 4, 4000, 800);
+        (ps, m, d)
+    }
+
+    #[test]
+    fn untrained_nll_near_uniform() {
+        let (ps, m, d) = tiny();
+        let nll = m.evaluate_nll(&ps, &d, false, 4, 8);
+        assert!((nll - (30f64).ln()).abs() < 0.6, "nll {nll} vs ln30 {}", 30f64.ln());
+    }
+
+    #[test]
+    fn state_carries_between_windows() {
+        let (ps, m, d) = tiny();
+        let windows = d.batches(true, 4, 6);
+        let s0 = LmState::zeros(m.config(), 4);
+        let (_, _, _, _, s1) = m.forward_loss(&ps, &windows[0], &s0);
+        // state moved away from zero
+        assert!(s1.0[0].0.l2_norm() > 0.0);
+        assert!(s1.0[1].1.l2_norm() > 0.0);
+        // feeding it into the next window must change the loss vs zero state
+        let (_, _, _, nll_carried, _) = m.forward_loss(&ps, &windows[1], &s1);
+        let (_, _, _, nll_fresh, _) = m.forward_loss(&ps, &windows[1], &s0);
+        assert!((nll_carried - nll_fresh).abs() > 1e-7);
+    }
+
+    #[test]
+    fn training_on_fixed_window_reduces_loss() {
+        let (mut ps, m, d) = tiny();
+        let windows = d.batches(true, 8, 6);
+        let s0 = LmState::zeros(m.config(), 8);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..10 {
+            let (mut g, bd, loss, nll, _) = m.forward_loss(&ps, &windows[0], &s0);
+            if i == 0 {
+                first = nll;
+            }
+            last = nll;
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            for (_, p) in ps.iter_mut() {
+                let gr = p.grad.clone();
+                p.value.axpy(-1.0, &gr);
+                p.grad.fill_(0.0);
+            }
+        }
+        assert!(last < first * 0.98, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn perplexity_bounded_by_vocab_for_sane_models() {
+        let (ps, m, d) = tiny();
+        let ppl = m.evaluate_perplexity(&ps, &d, 4, 8);
+        assert!(ppl > d.perplexity_floor());
+        assert!(ppl < 30.0 * 3.0, "untrained ppl should be near vocab size, got {ppl}");
+    }
+}

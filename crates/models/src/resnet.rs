@@ -1,0 +1,257 @@
+//! A compact residual CNN (ResNet-8) standing in for ResNet-50 in the
+//! LARS/LEGW experiments (§6, Table 3, Figure 1).
+//!
+//! Stem conv → three residual stages (16, 32, 64 channels; stages 2–3
+//! downsample by stride 2 with a 1×1 projection skip) → global average
+//! pool → linear classifier. BatchNorm uses batch statistics in training
+//! and running statistics in evaluation, as usual.
+
+use legw_autograd::{Graph, Var};
+use legw_data::{metrics, Classification};
+use legw_nn::{BatchNorm2d, Binding, Conv2d, Linear, ParamSet};
+use legw_tensor::Tensor;
+use rand::Rng;
+
+struct Block {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    /// 1×1 stride-matching projection when the shape changes.
+    proj: Option<(Conv2d, BatchNorm2d)>,
+}
+
+impl Block {
+    fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+    ) -> Self {
+        let proj = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(ps, rng, &format!("{name}.proj"), in_ch, out_ch, 1, stride, 0),
+                BatchNorm2d::new(ps, &format!("{name}.proj_bn"), out_ch),
+            )
+        });
+        Self {
+            conv1: Conv2d::new(ps, rng, &format!("{name}.conv1"), in_ch, out_ch, 3, stride, 1),
+            bn1: BatchNorm2d::new(ps, &format!("{name}.bn1"), out_ch),
+            conv2: Conv2d::new(ps, rng, &format!("{name}.conv2"), out_ch, out_ch, 3, 1, 1),
+            bn2: BatchNorm2d::new(ps, &format!("{name}.bn2"), out_ch),
+            proj,
+        }
+    }
+
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        x: Var,
+        train: bool,
+    ) -> Var {
+        let y = self.conv1.forward(g, bd, ps, x);
+        let y = if train {
+            self.bn1.forward_train(g, bd, ps, y)
+        } else {
+            self.bn1.forward_eval(g, ps, y)
+        };
+        let y = g.relu(y);
+        let y = self.conv2.forward(g, bd, ps, y);
+        let y = if train {
+            self.bn2.forward_train(g, bd, ps, y)
+        } else {
+            self.bn2.forward_eval(g, ps, y)
+        };
+        let skip = match &mut self.proj {
+            Some((conv, bn)) => {
+                let s = conv.forward(g, bd, ps, x);
+                if train {
+                    bn.forward_train(g, bd, ps, s)
+                } else {
+                    bn.forward_eval(g, ps, s)
+                }
+            }
+            None => x,
+        };
+        let sum = g.add(y, skip);
+        g.relu(sum)
+    }
+}
+
+/// The ResNet-8 stand-in.
+pub struct ResNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<Block>,
+    head: Linear,
+    n_classes: usize,
+}
+
+impl ResNet {
+    /// Builds the network for `[N, 3, 32, 32]` inputs and `n_classes`
+    /// outputs. `width` is the stem channel count (default experiments
+    /// use 8; channels double per stage).
+    pub fn new<R: Rng>(ps: &mut ParamSet, rng: &mut R, width: usize, n_classes: usize) -> Self {
+        let w = width;
+        Self {
+            stem: Conv2d::new(ps, rng, "resnet.stem", 3, w, 3, 1, 1),
+            stem_bn: BatchNorm2d::new(ps, "resnet.stem_bn", w),
+            blocks: vec![
+                Block::new(ps, rng, "resnet.b1", w, w, 1),
+                Block::new(ps, rng, "resnet.b2", w, 2 * w, 2),
+                Block::new(ps, rng, "resnet.b3", 2 * w, 4 * w, 2),
+            ],
+            head: Linear::new(ps, rng, "resnet.head", 4 * w, n_classes, true),
+            n_classes,
+        }
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Forward pass producing logits. `train` selects batch-statistics vs
+    /// running-statistics normalisation.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        images: &Tensor,
+        train: bool,
+    ) -> Var {
+        let x = g.input(images.clone());
+        let y = self.stem.forward(g, bd, ps, x);
+        let y = if train {
+            self.stem_bn.forward_train(g, bd, ps, y)
+        } else {
+            self.stem_bn.forward_eval(g, ps, y)
+        };
+        let mut y = g.relu(y);
+        for b in &mut self.blocks {
+            y = b.forward(g, bd, ps, y, train);
+        }
+        let pooled = g.global_avg_pool(y);
+        self.head.forward(g, bd, ps, pooled)
+    }
+
+    /// Builds the tape for one training step.
+    pub fn forward_loss(
+        &mut self,
+        ps: &ParamSet,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> (Graph, Binding, Var, Tensor) {
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let logits = self.forward(&mut g, &mut bd, ps, images, true);
+        let loss = g.softmax_cross_entropy(logits, labels);
+        let lv = g.value(logits).clone();
+        (g, bd, loss, lv)
+    }
+
+    /// `(top-1, top-k)` accuracy over a dataset in evaluation mode.
+    pub fn evaluate(
+        &mut self,
+        ps: &ParamSet,
+        data: &Classification,
+        chunk: usize,
+        k: usize,
+    ) -> (f64, f64) {
+        let mut top1 = 0.0;
+        let mut topk = 0.0;
+        let mut total = 0usize;
+        let n = data.len();
+        let mut i = 0;
+        while i < n {
+            let idx: Vec<usize> = (i..(i + chunk).min(n)).collect();
+            let (batch, labels) = data.gather(&idx);
+            let mut g = Graph::new();
+            let mut bd = Binding::new();
+            let logits = self.forward(&mut g, &mut bd, ps, &batch, false);
+            top1 += metrics::accuracy(g.value(logits), &labels) * labels.len() as f64;
+            topk += metrics::top_k_accuracy(g.value(logits), &labels, k) * labels.len() as f64;
+            total += labels.len();
+            i += chunk;
+        }
+        (top1 / total.max(1) as f64, topk / total.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legw_data::SynthImageNet;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny() -> (ParamSet, ResNet, SynthImageNet) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = ResNet::new(&mut ps, &mut rng, 4, 6);
+        let d = SynthImageNet::generate(8, 6, 36, 12);
+        (ps, m, d)
+    }
+
+    #[test]
+    fn forward_shapes_and_untrained_loss() {
+        let (ps, mut m, d) = tiny();
+        let (batch, labels) = d.train.gather(&[0, 1, 2, 3]);
+        let (g, _, loss, logits) = m.forward_loss(&ps, &batch, &labels);
+        assert_eq!(logits.shape(), &[4, 6]);
+        assert!((g.value(loss).item() - 6f32.ln()).abs() < 1.2);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let (mut ps, mut m, d) = tiny();
+        let (batch, labels) = d.train.gather(&[0, 1, 2, 3]);
+        let (mut g, bd, loss, _) = m.forward_loss(&ps, &batch, &labels);
+        g.backward(loss);
+        bd.write_grads(&g, &mut ps);
+        for (_, p) in ps.iter() {
+            assert!(p.grad.l2_norm() > 0.0, "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        let (mut ps, mut m, d) = tiny();
+        let (batch, labels) = d.train.gather(&(0..12).collect::<Vec<_>>());
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..6 {
+            let (mut g, bd, loss, _) = m.forward_loss(&ps, &batch, &labels);
+            if i == 0 {
+                first = g.value(loss).item();
+            }
+            last = g.value(loss).item();
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            for (_, p) in ps.iter_mut() {
+                let gr = p.grad.clone();
+                p.value.axpy(-0.1, &gr);
+                p.grad.fill_(0.0);
+            }
+        }
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats_consistently() {
+        let (mut ps, mut m, d) = tiny();
+        // prime running stats with a couple of training passes
+        let (batch, labels) = d.train.gather(&(0..12).collect::<Vec<_>>());
+        for _ in 0..3 {
+            let _ = m.forward_loss(&ps, &batch, &labels);
+        }
+        ps.zero_grad();
+        let (t1, tk) = m.evaluate(&ps, &d.test, 6, 3);
+        assert!((0.0..=1.0).contains(&t1));
+        assert!(tk >= t1, "top-k must dominate top-1");
+    }
+}

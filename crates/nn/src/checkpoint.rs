@@ -1,0 +1,171 @@
+//! Model checkpointing: binary serialization of a [`ParamSet`]'s values.
+//!
+//! Format (little-endian): magic `LGWP`, version u16, parameter count u32,
+//! then per parameter: name (u16 length + UTF-8), ndim u8, dims u32…,
+//! f32 payload. Gradients are not persisted (they are transient state).
+
+use crate::param::{ParamSet};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use legw_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"LGWP";
+const VERSION: u16 = 1;
+
+/// Serializes all parameter values (not gradients).
+pub fn save(ps: &ParamSet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + ps.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(ps.len() as u32);
+    for (_, p) in ps.iter() {
+        let name = p.name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "parameter name too long");
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        let dims = p.value.shape();
+        buf.put_u8(dims.len() as u8);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values into an existing, structurally identical
+/// [`ParamSet`] (names and shapes must match in order — the normal flow is
+/// to rebuild the model from its constructor, then load).
+///
+/// # Errors
+/// Returns a message on any mismatch or truncation; on error the store may
+/// be partially updated.
+pub fn load(ps: &mut ParamSet, mut buf: &[u8]) -> Result<(), String> {
+    if buf.remaining() < 10 || &buf[..4] != MAGIC {
+        return Err("not a LGWP checkpoint".into());
+    }
+    buf.advance(4);
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(format!("unsupported checkpoint version {version}"));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count != ps.len() {
+        return Err(format!("checkpoint has {count} params, store has {}", ps.len()));
+    }
+    for i in 0..count {
+        if buf.remaining() < 2 {
+            return Err("truncated name length".into());
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len + 1 {
+            return Err("truncated name".into());
+        }
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|_| "non-UTF8 parameter name".to_string())?
+            .to_string();
+        buf.advance(name_len);
+        let ndim = buf.get_u8() as usize;
+        if ndim == 0 || ndim > 4 || buf.remaining() < 4 * ndim {
+            return Err(format!("bad ndim {ndim} for {name}"));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(buf.get_u32_le() as usize);
+        }
+        let numel: usize = dims.iter().product();
+        if buf.remaining() < numel * 4 {
+            return Err(format!("truncated payload for {name}"));
+        }
+        let mut vals = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            vals.push(buf.get_f32_le());
+        }
+        // match against the store
+        let (_, p) = ps.iter_mut().nth(i).expect("index in range");
+        if p.name != name {
+            return Err(format!("parameter {i} name mismatch: {} vs {name}", p.name));
+        }
+        if p.value.shape() != dims.as_slice() {
+            return Err(format!(
+                "parameter {name} shape mismatch: {:?} vs {:?}",
+                p.value.shape(),
+                dims
+            ));
+        }
+        p.value = Tensor::from_vec(vals, &dims);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamSet {
+        let mut ps = ParamSet::new();
+        ps.add("layer.w", Tensor::from_vec((0..6).map(|x| x as f32 * 0.5).collect(), &[2, 3]));
+        ps.add("layer.b", Tensor::from_vec(vec![1.0, -1.0, 0.25], &[3]));
+        ps
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ps = store();
+        let blob = save(&ps);
+        let mut fresh = store();
+        // scramble then restore
+        for (_, p) in fresh.iter_mut() {
+            p.value.fill_(9.0);
+        }
+        load(&mut fresh, &blob).unwrap();
+        for ((_, a), (_, b)) in ps.iter().zip(fresh.iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice());
+            assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_structure() {
+        let ps = store();
+        let blob = save(&ps);
+        let mut other = ParamSet::new();
+        other.add("layer.w", Tensor::zeros(&[2, 3]));
+        assert!(load(&mut other, &blob).is_err(), "param count mismatch");
+
+        let mut renamed = ParamSet::new();
+        renamed.add("x.w", Tensor::zeros(&[2, 3]));
+        renamed.add("layer.b", Tensor::zeros(&[3]));
+        assert!(load(&mut renamed, &blob).unwrap_err().contains("name mismatch"));
+
+        let mut reshaped = ParamSet::new();
+        reshaped.add("layer.w", Tensor::zeros(&[3, 2]));
+        reshaped.add("layer.b", Tensor::zeros(&[3]));
+        assert!(load(&mut reshaped, &blob).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let mut ps = store();
+        assert!(load(&mut ps, b"junk").is_err());
+        let blob = save(&ps);
+        assert!(load(&mut ps, &blob[..blob.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_through_a_real_model() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new();
+        let _ = crate::Linear::new(&mut ps, &mut rng, "fc", 4, 2, true);
+        let blob = save(&ps);
+
+        let mut rng2 = StdRng::seed_from_u64(99); // different init
+        let mut ps2 = ParamSet::new();
+        let _ = crate::Linear::new(&mut ps2, &mut rng2, "fc", 4, 2, true);
+        assert_ne!(ps.iter().next().unwrap().1.value.as_slice(), ps2.iter().next().unwrap().1.value.as_slice());
+        load(&mut ps2, &blob).unwrap();
+        assert_eq!(ps.iter().next().unwrap().1.value.as_slice(), ps2.iter().next().unwrap().1.value.as_slice());
+    }
+}

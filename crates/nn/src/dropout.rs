@@ -1,0 +1,149 @@
+//! Inverted-dropout layer: samples its masks from an owned seeded RNG so
+//! training remains deterministic per seed.
+
+use crate::param::Binding;
+use legw_autograd::{Graph, Var};
+use legw_tensor::Tensor;
+use mask_rng::CellRng;
+
+/// A tiny deterministic mask generator (xorshift64*), kept inside the layer
+/// so dropout does not thread the model RNG through every forward call.
+mod mask_rng {
+    /// Interior-mutable seeded generator for mask sampling.
+    pub struct CellRng(std::cell::Cell<u64>);
+
+    impl CellRng {
+        pub fn new(seed: u64) -> Self {
+            Self(std::cell::Cell::new(seed.max(1)))
+        }
+
+        pub fn next_f32(&self) -> f32 {
+            let mut x = self.0.get();
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0.set(x);
+            ((x.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32) / (1u64 << 24) as f32
+        }
+    }
+}
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `1 − keep` and survivors are scaled by `1/keep`, so the
+/// expected activation is unchanged and evaluation needs no rescaling.
+pub struct Dropout {
+    keep: f32,
+    rng: CellRng,
+}
+
+impl Dropout {
+    /// Creates the layer with keep probability `keep ∈ (0, 1]`.
+    pub fn new(keep: f32, seed: u64) -> Self {
+        assert!(keep > 0.0 && keep <= 1.0, "keep probability must be in (0,1], got {keep}");
+        Self { keep, rng: CellRng::new(seed) }
+    }
+
+    /// Keep probability.
+    pub fn keep(&self) -> f32 {
+        self.keep
+    }
+
+    /// Training-mode forward: applies a fresh mask.
+    pub fn forward_train(&self, g: &mut Graph, _b: &mut Binding, x: Var) -> Var {
+        if self.keep >= 1.0 {
+            return x;
+        }
+        let shape = g.value(x).shape().to_vec();
+        let n = g.value(x).numel();
+        let inv = 1.0 / self.keep;
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if self.rng.next_f32() < self.keep { inv } else { 0.0 })
+            .collect();
+        g.dropout(x, Tensor::from_vec(mask, &shape))
+    }
+
+    /// Evaluation-mode forward: identity (inverted dropout needs no scale).
+    pub fn forward_eval(&self, _g: &mut Graph, x: Var) -> Var {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSet;
+
+    #[test]
+    fn keep_one_is_identity() {
+        let d = Dropout::new(1.0, 7);
+        let mut g = Graph::new();
+        let mut b = Binding::new();
+        let x = g.input(Tensor::ones(&[4, 4]));
+        let y = d.forward_train(&mut g, &mut b, x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn training_mask_zeroes_and_rescales() {
+        let d = Dropout::new(0.5, 11);
+        let mut g = Graph::new();
+        let mut b = Binding::new();
+        let x = g.input(Tensor::ones(&[32, 32]));
+        let y = d.forward_train(&mut g, &mut b, x);
+        let vals = g.value(y).as_slice();
+        let zeros = vals.iter().filter(|&&v| v == 0.0).count();
+        let twos = vals.iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, vals.len(), "only 0 or 1/keep survive");
+        // roughly half dropped (loose 3-sigma band for 1024 Bernoulli(0.5))
+        assert!(zeros > 390 && zeros < 634, "zeros {zeros}");
+        // expectation preserved
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.3, 5);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::full(&[3, 3], 0.7));
+        let y = d.forward_eval(&mut g, x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gradient_flows_through_surviving_units_only() {
+        let d = Dropout::new(0.5, 13);
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::ones(&[8, 8]));
+        let mut g = Graph::new();
+        let mut b = Binding::new();
+        let w = b.bind(&mut g, &ps, id);
+        let y = d.forward_train(&mut g, &mut b, w);
+        let s = g.sum_all(y);
+        g.backward(s);
+        b.write_grads(&g, &mut ps);
+        let grad = &ps.get(id).grad;
+        let forward = g.value(y);
+        for (gv, fv) in grad.as_slice().iter().zip(forward.as_slice()) {
+            if *fv == 0.0 {
+                assert_eq!(*gv, 0.0, "dropped unit must get zero grad");
+            } else {
+                assert!((gv - 2.0).abs() < 1e-6, "survivor grad is 1/keep");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            let d = Dropout::new(0.5, seed);
+            let mut g = Graph::new();
+            let mut b = Binding::new();
+            let x = g.input(Tensor::ones(&[4, 4]));
+            let y = d.forward_train(&mut g, &mut b, x);
+            g.value(y).as_slice().to_vec()
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+    }
+}

@@ -1,0 +1,48 @@
+//! # legw-nn
+//!
+//! Neural-network layers over [`legw_autograd`] — everything the four model
+//! families of the LEGW paper are assembled from:
+//!
+//! * [`ParamSet`]/[`ParamId`] — a central parameter store. Layers hold ids,
+//!   optimizers mutate the store, and a per-step [`Binding`] maps parameters
+//!   onto tape variables (deduplicated, so weights reused across timesteps
+//!   accumulate gradients correctly).
+//! * [`Linear`], [`Embedding`] — affine map and table lookup.
+//! * [`LstmCell`] / [`Lstm`] — the paper's workhorse. Gates are composed
+//!   from tape ops (concat → matmul → slice → σ/tanh), so the backward pass
+//!   is derived, not hand-fused, and is validated by gradient checks.
+//! * [`Conv2d`], [`BatchNorm2d`] — CNN blocks for the ResNet experiments.
+//! * [`BahdanauAttention`] — the GNMT-style additive attention.
+//!
+//! ```
+//! use legw_autograd::Graph;
+//! use legw_nn::{Binding, Linear, ParamSet};
+//! use legw_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut ps = ParamSet::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let layer = Linear::new(&mut ps, &mut rng, "fc", 4, 2, true);
+//! let mut g = Graph::new();
+//! let mut b = Binding::new();
+//! let x = g.input(Tensor::ones(&[3, 4]));
+//! let y = layer.forward(&mut g, &mut b, &ps, x);
+//! assert_eq!(g.value(y).shape(), &[3, 2]);
+//! ```
+
+mod attention;
+pub mod checkpoint;
+mod conv;
+mod dropout;
+mod embedding;
+mod linear;
+mod lstm;
+mod param;
+
+pub use attention::BahdanauAttention;
+pub use conv::{BatchNorm2d, Conv2d};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use linear::Linear;
+pub use lstm::{Lstm, LstmCell, LstmState};
+pub use param::{Binding, Param, ParamId, ParamSet};

@@ -1,0 +1,354 @@
+//! LSTM cell and multi-layer sequence runner — the paper's central
+//! architecture (§5.1).
+//!
+//! The cell follows the classic formulation (Hochreiter & Schmidhuber):
+//!
+//! ```text
+//! [i f ĝ o] = [x, h] · W + b          W: [(in+hid), 4·hid]
+//! c' = σ(f) ∘ c + σ(i) ∘ tanh(ĝ)
+//! h' = σ(o) ∘ tanh(c')
+//! ```
+//!
+//! The `256×512` MNIST cell kernel the paper describes is exactly
+//! `W: [(128+128), 4·128]` here. Gates are built from tape ops so the
+//! backward pass is derived by the autograd crate and covered by gradient
+//! checks.
+
+use crate::param::{Binding, ParamId, ParamSet};
+use legw_autograd::{Graph, Var};
+use legw_tensor::Tensor;
+use rand::Rng;
+
+/// Recurrent state `(h, c)` of one LSTM layer for one batch.
+#[derive(Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state variable `[B, hidden]`.
+    pub h: Var,
+    /// Cell state variable `[B, hidden]`.
+    pub c: Var,
+}
+
+/// A single LSTM cell (one layer's recurrence).
+pub struct LstmCell {
+    /// Fused gate kernel `[(in+hid), 4·hid]`, gate order `i, f, g, o`.
+    pub w: ParamId,
+    /// Gate bias `[4·hid]`; forget-gate slice initialised to 1.
+    pub b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates the cell. The forget-gate bias is initialised to 1.0 (the
+    /// standard trick to ease gradient flow early in training).
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let w = ps.add(
+            format!("{name}.w"),
+            Tensor::xavier_uniform(rng, in_dim + hidden, 4 * hidden),
+        );
+        let mut bias = vec![0.0f32; 4 * hidden];
+        bias[hidden..2 * hidden].iter_mut().for_each(|v| *v = 1.0);
+        let b = ps.add(format!("{name}.b"), Tensor::from_vec(bias, &[4 * hidden]));
+        Self { w, b, in_dim, hidden }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero initial state for a batch of `batch` sequences.
+    pub fn zero_state(&self, g: &mut Graph, batch: usize) -> LstmState {
+        LstmState {
+            h: g.input(Tensor::zeros(&[batch, self.hidden])),
+            c: g.input(Tensor::zeros(&[batch, self.hidden])),
+        }
+    }
+
+    /// One recurrence step: consumes `x [B, in]` and the previous state,
+    /// returns the next state.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        x: Var,
+        state: LstmState,
+    ) -> LstmState {
+        let h = self.hidden;
+        let w = bd.bind(g, ps, self.w);
+        let b = bd.bind(g, ps, self.b);
+        let xh = g.concat_cols(&[x, state.h]);
+        let gates_lin = g.matmul(xh, w);
+        let gates = g.add_bias(gates_lin, b);
+        let i_lin = g.slice_cols(gates, 0, h);
+        let f_lin = g.slice_cols(gates, h, 2 * h);
+        let g_lin = g.slice_cols(gates, 2 * h, 3 * h);
+        let o_lin = g.slice_cols(gates, 3 * h, 4 * h);
+        let i = g.sigmoid(i_lin);
+        let f = g.sigmoid(f_lin);
+        let gg = g.tanh(g_lin);
+        let o = g.sigmoid(o_lin);
+        let fc = g.mul(f, state.c);
+        let ig = g.mul(i, gg);
+        let c = g.add(fc, ig);
+        let tc = g.tanh(c);
+        let hh = g.mul(o, tc);
+        LstmState { h: hh, c }
+    }
+}
+
+/// A stack of LSTM layers run over a sequence, with optional residual
+/// connections starting at a configurable layer (GNMT uses layer 3).
+pub struct Lstm {
+    /// Per-layer cells, bottom first.
+    pub cells: Vec<LstmCell>,
+    /// Residual connections are added for layer indices `>= residual_from`
+    /// (0-based; `usize::MAX` disables them).
+    pub residual_from: usize,
+}
+
+impl Lstm {
+    /// Builds `layers` stacked cells: layer 0 maps `in_dim → hidden`, the
+    /// rest `hidden → hidden`. No residuals.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        layers: usize,
+    ) -> Self {
+        Self::with_residuals(ps, rng, name, in_dim, hidden, layers, usize::MAX)
+    }
+
+    /// As [`Lstm::new`] but adding residual connections from layer index
+    /// `residual_from` upward (inputs and outputs must both be `hidden`
+    /// wide there, which holds for all layers ≥ 1).
+    pub fn with_residuals<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        layers: usize,
+        residual_from: usize,
+    ) -> Self {
+        assert!(layers >= 1, "LSTM needs at least one layer");
+        assert!(residual_from >= 1, "residuals cannot start at layer 0 (width change)");
+        let mut cells = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let d = if l == 0 { in_dim } else { hidden };
+            cells.push(LstmCell::new(ps, rng, &format!("{name}.l{l}"), d, hidden));
+        }
+        Self { cells, residual_from }
+    }
+
+    /// Hidden width of the stack.
+    pub fn hidden(&self) -> usize {
+        self.cells[0].hidden()
+    }
+
+    /// Zero state for every layer.
+    pub fn zero_state(&self, g: &mut Graph, batch: usize) -> Vec<LstmState> {
+        self.cells.iter().map(|c| c.zero_state(g, batch)).collect()
+    }
+
+    /// Runs the stack over a sequence of inputs `xs[t] = [B, in]`,
+    /// returning the top-layer output at each step and the final states.
+    ///
+    /// `state` is threaded through (truncated-BPTT callers pass the
+    /// detached final state of the previous window).
+    pub fn forward_seq(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        xs: &[Var],
+        mut state: Vec<LstmState>,
+    ) -> (Vec<Var>, Vec<LstmState>) {
+        assert_eq!(state.len(), self.cells.len(), "one state per layer");
+        let mut outputs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let mut inp = x;
+            for (l, cell) in self.cells.iter().enumerate() {
+                let next = cell.step(g, bd, ps, inp, state[l]);
+                let out = if l >= self.residual_from {
+                    g.add(next.h, inp)
+                } else {
+                    next.h
+                };
+                state[l] = next;
+                inp = out;
+            }
+            outputs.push(inp);
+        }
+        (outputs, state)
+    }
+
+    /// Detaches states from the tape: re-enters the current values as fresh
+    /// inputs of a (possibly different) graph — the truncated-BPTT boundary.
+    pub fn detach_state(old_graph: &Graph, new_graph: &mut Graph, state: &[LstmState]) -> Vec<LstmState> {
+        state
+            .iter()
+            .map(|s| LstmState {
+                h: new_graph.input(old_graph.value(s.h).clone()),
+                c: new_graph.input(old_graph.value(s.c).clone()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup(in_dim: usize, hidden: usize) -> (ParamSet, LstmCell) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = LstmCell::new(&mut ps, &mut rng, "lstm", in_dim, hidden);
+        (ps, cell)
+    }
+
+    #[test]
+    fn kernel_shape_matches_paper_convention() {
+        // the paper's MNIST cell: input 128, hidden 128 → kernel 256×512
+        let (ps, cell) = setup(128, 128);
+        assert_eq!(ps.value(cell.w).shape(), &[256, 512]);
+        assert_eq!(ps.value(cell.b).shape(), &[512]);
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let (ps, cell) = setup(4, 3);
+        let b = ps.value(cell.b);
+        assert_eq!(&b.as_slice()[0..3], &[0.0, 0.0, 0.0]); // i
+        assert_eq!(&b.as_slice()[3..6], &[1.0, 1.0, 1.0]); // f
+        assert_eq!(&b.as_slice()[6..9], &[0.0, 0.0, 0.0]); // g
+    }
+
+    #[test]
+    fn step_shapes_and_state_evolution() {
+        let (ps, cell) = setup(5, 4);
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let s0 = cell.zero_state(&mut g, 3);
+        let x = g.input(Tensor::ones(&[3, 5]));
+        let s1 = cell.step(&mut g, &mut bd, &ps, x, s0);
+        assert_eq!(g.value(s1.h).shape(), &[3, 4]);
+        assert_eq!(g.value(s1.c).shape(), &[3, 4]);
+        // state must actually move away from zero
+        assert!(g.value(s1.h).l2_norm() > 0.0);
+        // bounded by construction
+        assert!(g.value(s1.h).max() <= 1.0 && g.value(s1.h).min() >= -1.0);
+    }
+
+    #[test]
+    fn lstm_cell_grad_check() {
+        // gradient-check the whole cell wrt its kernel and bias
+        let in_dim = 3;
+        let hidden = 2;
+        let x = Tensor::from_vec(vec![0.5, -0.2, 0.8, -0.4, 0.1, 0.9], &[2, 3]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let w0 = Tensor::xavier_uniform(&mut rng, in_dim + hidden, 4 * hidden);
+        let b0 = Tensor::rand_uniform(&mut rng, &[4 * hidden], -0.5, 0.5);
+
+        legw_autograd::check::grad_check(&[w0, b0], |g, vs| {
+            let h = 2usize;
+            let x = g.input(x.clone());
+            let h0 = g.input(Tensor::zeros(&[2, h]));
+            let c0 = g.input(Tensor::zeros(&[2, h]));
+            let xh = g.concat_cols(&[x, h0]);
+            let lin = g.matmul(xh, vs[0]);
+            let gates = g.add_bias(lin, vs[1]);
+            let i_l = g.slice_cols(gates, 0, h);
+            let f_l = g.slice_cols(gates, h, 2 * h);
+            let g_l = g.slice_cols(gates, 2 * h, 3 * h);
+            let o_l = g.slice_cols(gates, 3 * h, 4 * h);
+            let i = g.sigmoid(i_l);
+            let f = g.sigmoid(f_l);
+            let gg = g.tanh(g_l);
+            let o = g.sigmoid(o_l);
+            let fc = g.mul(f, c0);
+            let ig = g.mul(i, gg);
+            let c = g.add(fc, ig);
+            let tc = g.tanh(c);
+            let hh = g.mul(o, tc);
+            let sq = g.mul(hh, hh);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn stacked_sequence_runs_and_leart_state_flows() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let lstm = Lstm::new(&mut ps, &mut rng, "stack", 4, 6, 2);
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let s0 = lstm.zero_state(&mut g, 2);
+        let xs: Vec<_> = (0..5)
+            .map(|t| g.input(Tensor::full(&[2, 4], 0.1 * t as f32)))
+            .collect();
+        let (outs, s_final) = lstm.forward_seq(&mut g, &mut bd, &ps, &xs, s0);
+        assert_eq!(outs.len(), 5);
+        assert_eq!(g.value(outs[4]).shape(), &[2, 6]);
+        assert_eq!(s_final.len(), 2);
+        // gradient flows back through all steps to the layer-0 kernel
+        let last = outs[4];
+        let sq = g.mul(last, last);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        bd.write_grads(&g, &mut ps);
+        assert!(ps.get(lstm.cells[0].w).grad.l2_norm() > 0.0);
+        assert!(ps.get(lstm.cells[1].w).grad.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn residual_stack_adds_inputs() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let lstm = Lstm::with_residuals(&mut ps, &mut rng, "res", 6, 6, 3, 1);
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let s0 = lstm.zero_state(&mut g, 1);
+        let x = g.input(Tensor::full(&[1, 6], 0.5));
+        let (outs, _) = lstm.forward_seq(&mut g, &mut bd, &ps, &[x], s0);
+        // residual output magnitude exceeds what tanh-bounded h alone allows
+        // when inputs accumulate: |out| can exceed 1 only via the skip path.
+        let norm = g.value(outs[0]).l2_norm();
+        assert!(norm > 0.0);
+    }
+
+    #[test]
+    fn detach_state_moves_values_not_tape() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let lstm = Lstm::new(&mut ps, &mut rng, "d", 2, 3, 1);
+        let mut g1 = Graph::new();
+        let mut bd1 = Binding::new();
+        let s0 = lstm.zero_state(&mut g1, 1);
+        let x = g1.input(Tensor::ones(&[1, 2]));
+        let (_, s1) = lstm.forward_seq(&mut g1, &mut bd1, &ps, &[x], s0);
+
+        let mut g2 = Graph::new();
+        let s2 = Lstm::detach_state(&g1, &mut g2, &s1);
+        assert_eq!(g2.value(s2[0].h).as_slice(), g1.value(s1[0].h).as_slice());
+        // detached states are inputs: they require no grad
+        let sum = g2.sum_all(s2[0].h);
+        g2.backward(sum); // must be a no-op, not a panic
+        assert!(g2.grad(s2[0].h).is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! LARS — Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg 2017),
+//! the solver the paper pairs with LEGW for ImageNet/ResNet-50 (§6) and for
+//! PTB-large (§5.1.2).
+
+use crate::Optimizer;
+use legw_nn::ParamSet;
+use legw_tensor::Tensor;
+
+/// LARS with momentum:
+///
+/// ```text
+/// local_lr = η · ‖w‖ / (‖g‖ + wd·‖w‖)       (per parameter tensor)
+/// v ← m·v + local_lr · (g + wd·w)
+/// w ← w − lr · v
+/// ```
+///
+/// `η` is the trust coefficient (paper value 0.001). The layer-wise ratio
+/// makes the update magnitude proportional to the weight magnitude, which is
+/// what lets the batch size scale to 32K.
+pub struct Lars {
+    momentum: f32,
+    weight_decay: f32,
+    trust: f32,
+    buf: Vec<Option<Tensor>>,
+}
+
+impl Lars {
+    /// Creates the solver with trust coefficient `trust` (η).
+    pub fn new(momentum: f32, weight_decay: f32, trust: f32) -> Self {
+        Self { momentum, weight_decay, trust, buf: Vec::new() }
+    }
+
+    /// The trust ratio LARS would apply for a weight/gradient pair — exposed
+    /// for tests and diagnostics.
+    pub fn trust_ratio(&self, w_norm: f32, g_norm: f32) -> f32 {
+        if w_norm == 0.0 || g_norm == 0.0 {
+            1.0
+        } else {
+            self.trust * w_norm / (g_norm + self.weight_decay * w_norm)
+        }
+    }
+}
+
+impl Optimizer for Lars {
+    fn step(&mut self, ps: &mut ParamSet, lr: f32) {
+        let n = ps.len();
+        self.buf.resize(n, None);
+        for i in 0..n {
+            let (g, local_lr) = {
+                let (_, p) = ps.iter().nth(i).unwrap();
+                let w_norm = p.value.l2_norm();
+                let g_norm = p.grad.l2_norm();
+                let mut g = p.grad.clone();
+                if self.weight_decay != 0.0 {
+                    g.axpy(self.weight_decay, &p.value);
+                }
+                (g, self.trust_ratio(w_norm, g_norm))
+            };
+            let v = self.buf[i].get_or_insert_with(|| g.zeros_like());
+            v.scale_inplace(self.momentum);
+            v.axpy(local_lr, &g);
+            let update = v.clone();
+            let (_, p) = ps.iter_mut().nth(i).unwrap();
+            p.value.axpy(-lr, &update);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lars"
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trust_ratio_formula() {
+        let lars = Lars::new(0.9, 0.0005, 0.001);
+        let r = lars.trust_ratio(10.0, 1.0);
+        let expect = 0.001 * 10.0 / (1.0 + 0.0005 * 10.0);
+        assert!((r - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trust_ratio_degenerate_cases() {
+        let lars = Lars::new(0.9, 0.0, 0.001);
+        assert_eq!(lars.trust_ratio(0.0, 1.0), 1.0);
+        assert_eq!(lars.trust_ratio(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn update_magnitude_scales_with_weight_norm() {
+        // two tensors with identical gradient direction but different weight
+        // norms must receive updates proportional to their weight norms —
+        // the defining LARS property.
+        let mut ps = ParamSet::new();
+        let small = ps.add("small", Tensor::from_vec(vec![0.1, 0.0], &[2]));
+        let large = ps.add("large", Tensor::from_vec(vec![10.0, 0.0], &[2]));
+        for id in [small, large] {
+            ps.get_mut(id).grad = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        }
+        let before_s = ps.value(small).clone();
+        let before_l = ps.value(large).clone();
+        Lars::new(0.0, 0.0, 0.001).step(&mut ps, 1.0);
+        let ds = ps.value(small).sub(&before_s).l2_norm();
+        let dl = ps.value(large).sub(&before_l).l2_norm();
+        let ratio = dl / ds;
+        assert!((ratio - 100.0).abs() < 1.0, "update ratio {ratio} should track 10.0/0.1");
+    }
+
+    #[test]
+    fn gradient_rescale_invariance() {
+        // scaling all gradients by c leaves the LARS update unchanged
+        // (wd = 0): the trust ratio absorbs the scale.
+        let build = |gscale: f32| {
+            let mut ps = ParamSet::new();
+            let id = ps.add("w", Tensor::from_vec(vec![3.0, -4.0], &[2]));
+            ps.get_mut(id).grad = Tensor::from_vec(vec![1.0 * gscale, 2.0 * gscale], &[2]);
+            let mut opt = Lars::new(0.0, 0.0, 0.01);
+            opt.step(&mut ps, 0.5);
+            ps.value(id).as_slice().to_vec()
+        };
+        let a = build(1.0);
+        let b = build(1000.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic_with_momentum() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::from_vec(vec![2.0, -1.0, 0.5], &[3]));
+        let mut opt = Lars::new(0.9, 0.0001, 0.01);
+        let start = ps.value(id).l2_norm();
+        for _ in 0..300 {
+            let g = ps.value(id).clone();
+            ps.get_mut(id).grad = g;
+            opt.step(&mut ps, 1.0);
+            ps.zero_grad();
+        }
+        assert!(ps.value(id).l2_norm() < start * 0.5);
+        assert!(ps.value(id).all_finite());
+    }
+}

@@ -1,0 +1,189 @@
+//! Non-adaptive solvers: SGD, heavy-ball Momentum, Nesterov.
+
+use crate::Optimizer;
+use legw_nn::ParamSet;
+use legw_tensor::Tensor;
+
+fn grad_with_decay(ps: &ParamSet, idx: usize, weight_decay: f32) -> Tensor {
+    let (_, p) = ps.iter().nth(idx).expect("param index in range");
+    if weight_decay == 0.0 {
+        p.grad.clone()
+    } else {
+        let mut g = p.grad.clone();
+        g.axpy(weight_decay, &p.value);
+        g
+    }
+}
+
+/// Plain stochastic gradient descent: `w ← w − lr·(g + wd·w)`.
+pub struct Sgd {
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates the solver with L2 weight decay `weight_decay`.
+    pub fn new(weight_decay: f32) -> Self {
+        Self { weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, ps: &mut ParamSet, lr: f32) {
+        let n = ps.len();
+        for i in 0..n {
+            let g = grad_with_decay(ps, i, self.weight_decay);
+            let (_, p) = ps.iter_mut().nth(i).unwrap();
+            p.value.axpy(-lr, &g);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Heavy-ball momentum: `v ← m·v + g; w ← w − lr·v`
+/// (the paper's LSTM baseline solver with m = 0.9).
+pub struct Momentum {
+    momentum: f32,
+    weight_decay: f32,
+    buf: Vec<Option<Tensor>>,
+}
+
+impl Momentum {
+    /// Creates the solver.
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        Self { momentum, weight_decay, buf: Vec::new() }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, ps: &mut ParamSet, lr: f32) {
+        let n = ps.len();
+        self.buf.resize(n, None);
+        for i in 0..n {
+            let g = grad_with_decay(ps, i, self.weight_decay);
+            let v = self.buf[i].get_or_insert_with(|| g.zeros_like());
+            v.scale_inplace(self.momentum);
+            v.axpy(1.0, &g);
+            let update = v.clone();
+            let (_, p) = ps.iter_mut().nth(i).unwrap();
+            p.value.axpy(-lr, &update);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// Nesterov accelerated gradient:
+/// `v ← m·v + g; w ← w − lr·(g + m·v)`.
+pub struct Nesterov {
+    momentum: f32,
+    weight_decay: f32,
+    buf: Vec<Option<Tensor>>,
+}
+
+impl Nesterov {
+    /// Creates the solver.
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        Self { momentum, weight_decay, buf: Vec::new() }
+    }
+}
+
+impl Optimizer for Nesterov {
+    fn step(&mut self, ps: &mut ParamSet, lr: f32) {
+        let n = ps.len();
+        self.buf.resize(n, None);
+        for i in 0..n {
+            let g = grad_with_decay(ps, i, self.weight_decay);
+            let v = self.buf[i].get_or_insert_with(|| g.zeros_like());
+            v.scale_inplace(self.momentum);
+            v.axpy(1.0, &g);
+            let mut update = g;
+            update.axpy(self.momentum, v);
+            let (_, p) = ps.iter_mut().nth(i).unwrap();
+            p.value.axpy(-lr, &update);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "nesterov"
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_param(v: f32, g: f32) -> (ParamSet, legw_nn::ParamId) {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::from_vec(vec![v], &[1]));
+        ps.get_mut(id).grad = Tensor::from_vec(vec![g], &[1]);
+        (ps, id)
+    }
+
+    #[test]
+    fn sgd_single_step_algebra() {
+        let (mut ps, id) = one_param(1.0, 2.0);
+        Sgd::new(0.0).step(&mut ps, 0.1);
+        assert!((ps.value(id).as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let (mut ps, id) = one_param(1.0, 0.0);
+        Sgd::new(0.5).step(&mut ps, 0.1);
+        // w ← 1 − 0.1·(0 + 0.5·1) = 0.95
+        assert!((ps.value(id).as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let (mut ps, id) = one_param(0.0, 1.0);
+        let mut opt = Momentum::new(0.9, 0.0);
+        opt.step(&mut ps, 1.0); // v=1, w=-1
+        ps.get_mut(id).grad = Tensor::from_vec(vec![1.0], &[1]);
+        opt.step(&mut ps, 1.0); // v=1.9, w=-2.9
+        assert!((ps.value(id).as_slice()[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nesterov_first_step_larger_than_momentum() {
+        let (mut ps_m, idm) = one_param(0.0, 1.0);
+        let (mut ps_n, idn) = one_param(0.0, 1.0);
+        Momentum::new(0.9, 0.0).step(&mut ps_m, 1.0);
+        Nesterov::new(0.9, 0.0).step(&mut ps_n, 1.0);
+        // momentum: -1; nesterov: -(1 + 0.9·1) = -1.9
+        assert!((ps_m.value(idm).as_slice()[0] + 1.0).abs() < 1e-6);
+        assert!((ps_n.value(idn).as_slice()[0] + 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_matches_unrolled_recurrence() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::from_vec(vec![0.0], &[1]));
+        let mut opt = Momentum::new(0.5, 0.0);
+        let grads = [1.0f32, -0.5, 2.0, 0.0];
+        let mut v = 0.0f32;
+        let mut w = 0.0f32;
+        for &g in &grads {
+            ps.get_mut(id).grad = Tensor::from_vec(vec![g], &[1]);
+            opt.step(&mut ps, 0.1);
+            v = 0.5 * v + g;
+            w -= 0.1 * v;
+            assert!((ps.value(id).as_slice()[0] - w).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Data-parallel helpers built on [`ThreadPool::run`].
+
+use crate::pool::ThreadPool;
+use parking_lot::Mutex;
+use std::ops::Range;
+
+/// Splits `0..len` into at most `max_parts` near-equal contiguous ranges.
+///
+/// Every element is covered exactly once and ranges are returned in order.
+/// Used by the kernels to decide a work decomposition up front.
+pub fn split_evenly(len: usize, max_parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || max_parts == 0 {
+        return Vec::new();
+    }
+    let parts = max_parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let sz = base + usize::from(p < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Runs `body` over contiguous sub-ranges of `0..len` in parallel.
+///
+/// `min_chunk` bounds the smallest range a task will receive; work smaller
+/// than one chunk runs inline on the caller with no synchronisation cost.
+pub fn parallel_for<F>(pool: &ThreadPool, len: usize, min_chunk: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let min_chunk = min_chunk.max(1);
+    if len == 0 {
+        return;
+    }
+    if len <= min_chunk || pool.threads() == 1 {
+        body(0..len);
+        return;
+    }
+    let max_parts = (len / min_chunk).max(1).min(pool.threads() * 4);
+    let ranges = split_evenly(len, max_parts);
+    pool.run(ranges.len(), |i| body(ranges[i].clone()));
+}
+
+/// Mutably processes disjoint chunks of `data` in parallel.
+///
+/// `body(start, chunk)` receives the chunk's offset into `data` and the chunk
+/// itself. Chunks are `chunk_len` long except possibly the last.
+pub fn par_chunks_mut<T, F>(pool: &ThreadPool, data: &mut [T], chunk_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_len);
+    if n_chunks == 1 || pool.threads() == 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            body(ci * chunk_len, chunk);
+        }
+        return;
+    }
+    // SAFETY: each task touches the disjoint half-open range
+    // [i*chunk_len, min((i+1)*chunk_len, len)), so no two tasks alias.
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    impl<T> SendPtr<T> {
+        // Method access keeps the closure capturing the whole wrapper (which
+        // is Sync) rather than the raw-pointer field (which is not).
+        fn get(&self) -> *mut T {
+            self.0
+        }
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    pool.run(n_chunks, |i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        body(start, chunk);
+    });
+}
+
+/// Parallel map-reduce over `0..len`.
+///
+/// `map(range) -> A` produces a partial result per contiguous range;
+/// partials are folded with `reduce` starting from `identity`. The fold
+/// order is the range order, so `reduce` need not be commutative — only
+/// associative with respect to the chosen chunking (floating-point sums over
+/// different chunkings may of course differ in the last ulps).
+pub fn par_map_reduce<A, M, R>(
+    pool: &ThreadPool,
+    len: usize,
+    min_chunk: usize,
+    identity: A,
+    map: M,
+    reduce: R,
+) -> A
+where
+    A: Send,
+    M: Fn(Range<usize>) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    let min_chunk = min_chunk.max(1);
+    if len == 0 {
+        return identity;
+    }
+    if len <= min_chunk || pool.threads() == 1 {
+        return reduce(identity, map(0..len));
+    }
+    let max_parts = (len / min_chunk).max(1).min(pool.threads() * 4);
+    let ranges = split_evenly(len, max_parts);
+    let slots: Vec<Mutex<Option<A>>> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+    pool.run(ranges.len(), |i| {
+        *slots[i].lock() = Some(map(ranges[i].clone()));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let part = slot.into_inner().expect("partial result missing");
+        acc = reduce(acc, part);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn split_evenly_covers_all() {
+        let parts = split_evenly(10, 3);
+        assert_eq!(parts, vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn split_evenly_more_parts_than_items() {
+        let parts = split_evenly(2, 8);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], 0..1);
+        assert_eq!(parts[1], 1..2);
+    }
+
+    #[test]
+    fn split_evenly_empty() {
+        assert!(split_evenly(0, 4).is_empty());
+        assert!(split_evenly(4, 0).is_empty());
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        let p = pool();
+        let hits: Vec<AtomicUsize> = (0..513).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(&p, hits.len(), 8, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_small_runs_inline() {
+        let p = pool();
+        let count = AtomicUsize::new(0);
+        parallel_for(&p, 3, 64, |r| {
+            assert_eq!(r, 0..3);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let p = pool();
+        let mut v = vec![0usize; 1003];
+        par_chunks_mut(&p, &mut v, 100, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_sums() {
+        let p = pool();
+        let total = par_map_reduce(&p, 10_000, 128, 0u64, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_map_reduce_empty_returns_identity() {
+        let p = pool();
+        let total = par_map_reduce(&p, 0, 8, 42u64, |_| panic!("no work"), |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn par_map_reduce_is_ordered() {
+        // Concatenation is associative but not commutative; the result must
+        // respect range order.
+        let p = pool();
+        let s = par_map_reduce(
+            &p,
+            26,
+            2,
+            String::new(),
+            |r| r.map(|i| (b'a' + i as u8) as char).collect::<String>(),
+            |a, b| a + &b,
+        );
+        assert_eq!(s, "abcdefghijklmnopqrstuvwxyz");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_evenly_partition(len in 0usize..500, parts in 0usize..32) {
+            let rs = split_evenly(len, parts);
+            // ranges are contiguous, ordered, and cover 0..len exactly
+            let mut cursor = 0usize;
+            for r in &rs {
+                prop_assert_eq!(r.start, cursor);
+                prop_assert!(r.end > r.start);
+                cursor = r.end;
+            }
+            prop_assert_eq!(cursor, if parts == 0 { 0 } else { len });
+            if len > 0 && parts > 0 {
+                let max = rs.iter().map(|r| r.len()).max().unwrap();
+                let min = rs.iter().map(|r| r.len()).min().unwrap();
+                prop_assert!(max - min <= 1, "near-equal split");
+            }
+        }
+
+        #[test]
+        fn prop_par_sum_matches_serial(v in proptest::collection::vec(-1000i64..1000, 0..2000), chunk in 1usize..64) {
+            let p = ThreadPool::new(3);
+            let par = par_map_reduce(&p, v.len(), chunk, 0i64, |r| v[r].iter().sum(), |a, b| a + b);
+            let ser: i64 = v.iter().sum();
+            prop_assert_eq!(par, ser);
+        }
+
+        #[test]
+        fn prop_par_chunks_mut_equiv_serial(len in 0usize..800, chunk in 1usize..97) {
+            let p = ThreadPool::new(4);
+            let mut a = vec![0usize; len];
+            let mut b = vec![0usize; len];
+            par_chunks_mut(&p, &mut a, chunk, |start, c| {
+                for (i, x) in c.iter_mut().enumerate() { *x = (start + i) * 3 + 1; }
+            });
+            for (i, x) in b.iter_mut().enumerate() { *x = i * 3 + 1; }
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Parallel map over a slice, preserving order.
+///
+/// Each element is processed independently on the pool; results land in a
+/// pre-sized output vector, so ordering is deterministic regardless of
+/// scheduling.
+pub fn par_map<T, R, F>(pool: &ThreadPool, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    if n <= min_chunk || pool.threads() == 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    parallel_for(pool, n, min_chunk, |r| {
+        for i in r {
+            *slots[i].lock() = Some(f(&items[i]));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("par_map slot unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod par_map_tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&pool, &items, 16, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(3);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&pool, &empty, 8, |&x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(par_map(&pool, &one, 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn non_copy_results() {
+        let pool = ThreadPool::new(2);
+        let items = ["a", "bb", "ccc"];
+        let out = par_map(&pool, &items, 1, |s| s.to_uppercase());
+        assert_eq!(out, vec!["A".to_string(), "BB".into(), "CCC".into()]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Completion latch used by the fork/join primitives.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counting latch: set to `n`, decremented once per finished task, and
+/// waited on by the submitting thread.
+///
+/// The fast path is a single `fetch_sub(Release)`; the mutex/condvar pair is
+/// only touched when the last task completes or when the waiter has to sleep.
+/// This is the pattern recommended in *Rust Atomics and Locks* for building
+/// one-shot synchronisation on top of a condition variable.
+pub struct CountLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Creates a latch expecting `count` completions.
+    pub fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Records one task completion. The final completion wakes all waiters.
+    pub fn count_down(&self) {
+        // Release pairs with the Acquire in `wait`, so everything the task
+        // wrote happens-before the waiter resumes.
+        let prev = self.remaining.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "CountLatch decremented below zero");
+        if prev == 1 {
+            // Take the lock so a waiter can't check `remaining` and sleep
+            // between our load and our notify (missed-wakeup race).
+            let _g = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Number of completions still outstanding.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn wait(&self) {
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut g = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cond.wait(&mut g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_count_is_immediately_open() {
+        let l = CountLatch::new(0);
+        l.wait(); // must not block
+        assert_eq!(l.remaining(), 0);
+    }
+
+    #[test]
+    fn wait_blocks_until_all_count_down() {
+        let latch = Arc::new(CountLatch::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&latch);
+            handles.push(std::thread::spawn(move || l.count_down()));
+        }
+        latch.wait();
+        assert_eq!(latch.remaining(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn many_waiters_all_released() {
+        let latch = Arc::new(CountLatch::new(1));
+        let mut waiters = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&latch);
+            waiters.push(std::thread::spawn(move || l.wait()));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        latch.count_down();
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+}

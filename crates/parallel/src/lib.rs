@@ -1,0 +1,92 @@
+//! # legw-parallel
+//!
+//! A small, dependency-light data-parallelism substrate used by the rest of
+//! the LEGW reproduction stack. It provides:
+//!
+//! * [`ThreadPool`] — a persistent pool of worker threads fed through a
+//!   crossbeam channel. Workers stay alive for the lifetime of the pool, so
+//!   hot training loops pay no thread-spawn cost per kernel launch.
+//! * [`ThreadPool::run`] — a blocking fork/join primitive: run a closure for
+//!   every task index `0..n` across the pool and return once all tasks have
+//!   finished. Because the call blocks until completion, the closure may
+//!   borrow from the caller's stack (the same soundness argument as rayon's
+//!   `scope`).
+//! * [`parallel_for`], [`par_chunks_mut`], [`par_map_reduce`] — the
+//!   data-parallel helpers the tensor kernels are built on.
+//! * [`global`] — a process-wide lazily initialised pool (size taken from
+//!   `LEGW_THREADS` or the machine's available parallelism).
+//!
+//! The design follows the classic channel + latch structure: jobs are
+//! `Box<dyn FnOnce() + Send>` values pushed into an unbounded channel;
+//! completion is tracked with a [`CountLatch`] built from an atomic counter
+//! and a `parking_lot` mutex/condvar pair. Panics inside tasks are caught and
+//! re-raised on the submitting thread so a failed kernel cannot deadlock the
+//! latch.
+//!
+//! ```
+//! let pool = legw_parallel::ThreadPool::new(4);
+//! let mut out = vec![0usize; 1000];
+//! legw_parallel::par_chunks_mut(&pool, &mut out, 64, |start, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (start + i) * 2;
+//!     }
+//! });
+//! assert_eq!(out[123], 246);
+//! ```
+
+mod latch;
+mod pool;
+mod iter;
+
+pub use latch::CountLatch;
+pub use pool::ThreadPool;
+pub use iter::{par_chunks_mut, par_map, par_map_reduce, parallel_for, split_evenly};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Returns the process-wide thread pool, creating it on first use.
+///
+/// The pool size is `LEGW_THREADS` if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`], otherwise 4.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// The thread count [`global`] will use (before the pool is created).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LEGW_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pool_is_usable() {
+        let pool = global();
+        assert!(pool.threads() >= 1);
+        let mut v = vec![0u64; 257];
+        par_chunks_mut(pool, &mut v, 16, |start, c| {
+            for (i, x) in c.iter_mut().enumerate() {
+                *x = (start + i) as u64;
+            }
+        });
+        assert_eq!(v[256], 256);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! The persistent worker pool.
+
+use crate::latch::CountLatch;
+use crossbeam::channel::{unbounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads.
+///
+/// Jobs are dispatched through an unbounded crossbeam channel; dropping the
+/// pool closes the channel and joins every worker. The pool is `Sync`, so a
+/// single `&'static ThreadPool` (see [`crate::global`]) can be shared by all
+/// tensor kernels.
+pub struct ThreadPool {
+    sender: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(threads);
+        for idx in 0..threads {
+            let rx = receiver.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("legw-worker-{idx}"))
+                    .spawn(move || {
+                        // Channel disconnect (pool drop) terminates the loop.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        Self { sender, workers, threads }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits a detached job. Prefer [`ThreadPool::run`] for fork/join work.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.sender.send(Box::new(f)).expect("thread pool has shut down");
+    }
+
+    /// Runs `body(task_index)` for every index in `0..tasks`, distributing
+    /// indices dynamically over the pool, and blocks until all have finished.
+    ///
+    /// The closure may borrow from the caller's stack: the borrow cannot
+    /// outlive the call because `run` does not return until every worker has
+    /// finished with it (enforced by a [`CountLatch`]). A panic in any task is
+    /// captured and re-raised here after the remaining tasks drain.
+    ///
+    /// The calling thread participates in the work, so `run` makes progress
+    /// even on a single-threaded pool (and nested `run` calls from inside a
+    /// task cannot deadlock: the inner call's caller-participation drains its
+    /// own tasks).
+    pub fn run<F>(&self, tasks: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || self.threads == 1 {
+            for i in 0..tasks {
+                body(i);
+            }
+            return;
+        }
+
+        struct Shared<F> {
+            body: *const F,
+            next: AtomicUsize,
+            tasks: usize,
+            panicked: AtomicBool,
+        }
+
+        /// Drains task indices from the shared counter until exhausted.
+        ///
+        /// # Safety
+        /// `addr` must point at a live `Shared<F>` whose `body` pointer is
+        /// valid for the whole call. `run` guarantees this by blocking on the
+        /// completion latch before either value leaves scope.
+        unsafe fn drain<F: Fn(usize) + Sync>(addr: usize) {
+            let shared = &*(addr as *const Shared<F>);
+            let body = &*shared.body;
+            loop {
+                let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                if i >= shared.tasks {
+                    return;
+                }
+                if catch_unwind(AssertUnwindSafe(|| body(i))).is_err() {
+                    shared.panicked.store(true, Ordering::Release);
+                }
+            }
+        }
+
+        let shared = Shared {
+            body: &body as *const F,
+            next: AtomicUsize::new(0),
+            tasks,
+            panicked: AtomicBool::new(false),
+        };
+        // Erase the generic type and stack lifetime by shipping a plain
+        // address plus a monomorphised trampoline; both are Send + 'static.
+        let addr = &shared as *const Shared<F> as usize;
+        let trampoline: unsafe fn(usize) = drain::<F>;
+
+        let helpers = (self.threads - 1).min(tasks - 1);
+        let latch = Arc::new(CountLatch::new(helpers));
+        for _ in 0..helpers {
+            let latch = Arc::clone(&latch);
+            self.spawn(move || {
+                // SAFETY: `run` waits on the latch below before `shared` or
+                // `body` can be dropped, so `addr` is valid for this call.
+                unsafe { trampoline(addr) };
+                latch.count_down();
+            });
+        }
+        // The caller drains alongside the helpers.
+        unsafe { trampoline(addr) };
+        latch.wait();
+
+        if shared.panicked.load(Ordering::Acquire) {
+            panic!("a task panicked inside ThreadPool::run");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Replace the sender with a dummy so the channel disconnects and the
+        // workers' recv() loops end.
+        let (dummy, _) = unbounded::<Job>();
+        self.sender = dummy;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_on_single_thread_pool() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        pool.run(100, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn run_zero_tasks_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn panic_in_task_propagates_without_deadlock() {
+        let pool = ThreadPool::new(4);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // Pool must still be usable afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.run(16, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn nested_run_does_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            pool.run(4, |j| {
+                total.fetch_add(j, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 6);
+    }
+
+    #[test]
+    fn borrows_from_stack_are_visible_after_run() {
+        let pool = ThreadPool::new(4);
+        let data = vec![1u32; 512];
+        let sum = AtomicUsize::new(0);
+        pool.run(8, |i| {
+            let chunk = &data[i * 64..(i + 1) * 64];
+            sum.fetch_add(chunk.iter().map(|&x| x as usize).sum(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 512);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(3);
+        pool.run(10, |_| {});
+        drop(pool); // must not hang
+    }
+}

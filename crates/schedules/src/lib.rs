@@ -1,0 +1,39 @@
+//! # legw-schedules
+//!
+//! Learning-rate schedules, batch-size scaling rules, and the paper's
+//! contribution: **LEGW — Linear-Epoch Gradual Warmup** (§3).
+//!
+//! A [`BaselineSchedule`] bundles everything that defines an LR policy for a
+//! given batch size: the peak LR, the warmup length *in epochs*, the total
+//! epoch budget, and the post-warmup [`Decay`]. [`Legw::scale_to`] then maps
+//! a tuned baseline to any other batch size with **zero extra tuning**:
+//!
+//! * peak LR scales with `√k` (the Sqrt Scaling rule of Krizhevsky 2014,
+//!   which keeps the gradient-estimator variance constant), and
+//! * warmup length scales with `k` **epochs** (linear-epoch warmup),
+//!
+//! where `k = new_batch / base_batch`. Both directions work — §3.3's
+//! tune-the-large-batch-then-scale-down included.
+//!
+//! The comparison baselines of Figure 5 (fixed LR, linear scaling, poly
+//! decay, constant 5-epoch warmup) are expressible with [`ScalingRule`] and
+//! [`WarmupRule`] via [`scale_with`].
+//!
+//! ```
+//! use legw_schedules::{BaselineSchedule, Legw};
+//! // the paper's GNMT baseline: batch 256, LR 2^-0.5/10^3, warmup 0.0145 ep
+//! let base = BaselineSchedule::constant(256, 2f64.powf(-0.5) / 1e3, 0.0145, 2.0);
+//! let b4k = Legw::scale_to(&base, 4096);
+//! assert!((b4k.peak_lr() - 2f64.powf(1.5) / 1e3).abs() < 1e-12); // Table 2
+//! assert!((b4k.warmup_epochs() - 0.232).abs() < 1e-9);           // Table 2
+//! ```
+
+mod batch_growth;
+mod decay;
+mod legw;
+mod schedule;
+
+pub use batch_growth::BatchGrowth;
+pub use decay::Decay;
+pub use legw::{scale_with, Legw, ScalingRule, WarmupRule};
+pub use schedule::{BaselineSchedule, WarmupShape};

@@ -1,0 +1,105 @@
+//! Seeded random initialisers. Distributions (uniform range, Gaussian via
+//! Box–Muller) are implemented here on top of `rand`'s generator so the
+//! repo has no dependency on `rand_distr`.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+impl Tensor {
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        assert!(hi >= lo, "empty uniform range [{lo}, {hi})");
+        let shape: usize = dims.iter().product();
+        let data = (0..shape).map(|_| lo + (hi - lo) * rng.gen::<f32>()).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Gaussian samples `N(mean, std²)` via the Box–Muller transform.
+    pub fn rand_normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // u1 in (0,1] to avoid ln(0)
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` weight.
+    pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(rng, &[fan_in, fan_out], -limit, limit)
+    }
+
+    /// He/Kaiming normal initialisation (for ReLU fan-in).
+    pub fn he_normal<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+        let std = (2.0 / fan_in as f32).sqrt();
+        Tensor::rand_normal(rng, dims, 0.0, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_range_and_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&mut r1, &[100], -0.5, 0.5);
+        let b = Tensor::rand_uniform(&mut r2, &[100], -0.5, 0.5);
+        assert_eq!(a.as_slice(), b.as_slice(), "same seed → same tensor");
+        assert!(a.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Tensor::rand_normal(&mut rng, &[20_000], 1.0, 2.0);
+        let mean = a.mean();
+        let var = a.sub_scalar_mean_var();
+        assert!((mean - 1.0).abs() < 0.06, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.06, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_odd_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::rand_normal(&mut rng, &[7], 0.0, 1.0);
+        assert_eq!(a.numel(), 7);
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn xavier_limits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = Tensor::xavier_uniform(&mut rng, 30, 70);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(w.shape(), &[30, 70]);
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = Tensor::he_normal(&mut rng, &[200, 50], 200);
+        let std = w.sub_scalar_mean_var().sqrt();
+        assert!((std - (2.0f32 / 200.0).sqrt()).abs() < 0.02, "std {std}");
+    }
+
+    impl Tensor {
+        /// test helper: population variance
+        fn sub_scalar_mean_var(&self) -> f32 {
+            let m = self.mean();
+            self.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.numel() as f32
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # legw-tensor
+//!
+//! Dense, row-major `f32` tensors — the numeric substrate for the LEGW
+//! reproduction stack. Everything the training experiments need is here:
+//!
+//! * [`Tensor`] — contiguous storage behind `Arc<Vec<f32>>` with
+//!   copy-on-write semantics: cloning a tensor is O(1), the first in-place
+//!   mutation of a shared buffer copies it. The autograd tape exploits this
+//!   to record values without deep copies.
+//! * NumPy-style [broadcasting](crate::broadcast_shapes) for elementwise
+//!   binary ops, with fast paths for the shapes that dominate training
+//!   (same-shape, `[m,n] ∘ [n]` bias rows, `[m,n] ∘ [m,1]` column factors).
+//! * Blocked, thread-parallel [matrix multiplication](Tensor::matmul) with
+//!   the transpose variants backward passes need (`aᵀb`, `abᵀ`).
+//! * Axis [reductions](Tensor::sum_axis), softmax/log-softmax rows, argmax.
+//! * [`im2col`]/[`col2im`] for convolution lowered onto matmul.
+//! * Seeded random initialisers (uniform, Gaussian via Box–Muller) — the
+//!   `rand` crate supplies the generator, distributions are implemented here.
+//!
+//! Parallelism comes from [`legw_parallel::global`]; kernels fall back to
+//! serial loops below a size threshold so small tensors (like LSTM gate
+//! slices) pay no synchronisation cost.
+//!
+//! ```
+//! use legw_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+//! let b = Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], &[3, 2]);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.as_slice(), &[4., 5., 10., 11.]);
+//! ```
+
+mod conv;
+mod init;
+mod matmul;
+mod ops;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeom};
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+/// Work below this many elements runs serially; above it, kernels use the
+/// global thread pool. Chosen so LSTM-cell-sized ops stay on one core.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn readme_example_holds() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[4., 5., 10., 11.]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Blocked, thread-parallel matrix multiplication and the transpose variants
+//! used by backward passes.
+//!
+//! The kernel is a classic i-k-j loop order with register-friendly inner
+//! loops over contiguous rows (good auto-vectorisation), parallelised over
+//! row blocks of the output. No unsafe code: each task owns a disjoint slice
+//! of the output via [`legw_parallel::par_chunks_mut`].
+
+use crate::tensor::Tensor;
+use legw_parallel::{global, par_chunks_mut};
+
+/// Minimum number of multiply-adds before the pool is engaged.
+const PAR_FLOPS: usize = 64 * 64 * 64;
+
+fn mm_rows(out_rows: &mut [f32], a_rows: &[f32], b: &[f32], k: usize, n: usize) {
+    // out_rows: r×n, a_rows: r×k, b: k×n; all row-major.
+    let r = out_rows.len() / n;
+    for i in 0..r {
+        let arow = &a_rows[i * k..(i + 1) * k];
+        let orow = &mut out_rows[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+fn matmul_impl(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m * n * k < PAR_FLOPS || m == 1 {
+        mm_rows(&mut out, a, b, k, n);
+        return out;
+    }
+    let rows_per_chunk = m.div_ceil(global().threads() * 2).max(1);
+    par_chunks_mut(global(), &mut out, rows_per_chunk * n, |start, chunk| {
+        let row0 = start / n;
+        let rows = chunk.len() / n;
+        mm_rows(chunk, &a[row0 * k..(row0 + rows) * k], b, k, n);
+    });
+    out
+}
+
+impl Tensor {
+    /// Matrix product `self @ rhs` of a `[m,k]` by a `[k,n]` tensor.
+    ///
+    /// # Panics
+    /// If either operand is not 2-D or the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 2, "matmul rhs must be 2-D, got {:?}", rhs.shape());
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul inner dims: {:?} @ {:?}", self.shape(), rhs.shape());
+        Tensor::from_vec(matmul_impl(self.as_slice(), rhs.as_slice(), m, k, n), &[m, n])
+    }
+
+    /// `selfᵀ @ rhs` for `[k,m]ᵀ @ [k,n] = [m,n]` without materialising the
+    /// transpose (used for weight gradients `xᵀ · δ`).
+    pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(rhs.ndim(), 2);
+        let (k, m) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "t_matmul inner dims: {:?}ᵀ @ {:?}", self.shape(), rhs.shape());
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // out[i,j] = Σ_k a[k,i] b[k,j]: accumulate rank-1 updates row by row;
+        // each k contributes a[k,·]ᵀ ⊗ b[k,·]. Parallelise over output rows.
+        let run = |start: usize, chunk: &mut [f32]| {
+            let i0 = start / n;
+            let rows = chunk.len() / n;
+            for kk in 0..k {
+                let arow = &a[kk * m..(kk + 1) * m];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for i in 0..rows {
+                    let aki = arow[i0 + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += aki * bv;
+                    }
+                }
+            }
+        };
+        if m * n * k < PAR_FLOPS || m == 1 {
+            run(0, &mut out);
+        } else {
+            let rows_per_chunk = m.div_ceil(global().threads() * 2).max(1);
+            par_chunks_mut(global(), &mut out, rows_per_chunk * n, run);
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self @ rhsᵀ` for `[m,k] @ [n,k]ᵀ = [m,n]` without materialising the
+    /// transpose (used for input gradients `δ · wᵀ`).
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(rhs.ndim(), 2);
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_t inner dims: {:?} @ {:?}ᵀ", self.shape(), rhs.shape());
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        let run = |start: usize, chunk: &mut [f32]| {
+            let i0 = start / n;
+            let rows = chunk.len() / n;
+            for i in 0..rows {
+                let arow = &a[(i0 + i) * k..(i0 + i + 1) * k];
+                let orow = &mut chunk[i * n..(i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in arow.iter().zip(brow.iter()) {
+                        acc += x * y;
+                    }
+                    *o += acc;
+                }
+            }
+        };
+        if m * n * k < PAR_FLOPS || m == 1 {
+            run(0, &mut out);
+        } else {
+            let rows_per_chunk = m.div_ceil(global().threads() * 2).max(1);
+            par_chunks_mut(global(), &mut out, rows_per_chunk * n, run);
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product `[m,k] @ [k] = [m]`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(v.ndim(), 1);
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(k, v.dim(0), "matvec dims: {:?} @ {:?}", self.shape(), v.shape());
+        self.matmul(&v.reshape(&[k, 1])).reshape(&[m])
+    }
+
+    /// Outer product of two vectors: `[m] ⊗ [n] = [m,n]`.
+    pub fn outer(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 1);
+        assert_eq!(v.ndim(), 1);
+        let (m, n) = (self.dim(0), v.dim(0));
+        self.reshape(&[m, 1]).matmul(&v.reshape(&[1, n]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at2(i, kk) * b.at2(kk, j);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    fn rng_tensor(seed: u64, dims: &[usize]) -> Tensor {
+        // tiny deterministic LCG; avoids pulling `rand` into this module
+        let n: usize = dims.iter().product();
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            v.push(((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0);
+        }
+        Tensor::from_vec(v, dims)
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rng_tensor(1, &[5, 5]);
+        let i = Tensor::eye(5);
+        assert_close(&a.matmul(&i), &a, 1e-6);
+        assert_close(&i.matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = rng_tensor(2, &[7, 11]);
+        let b = rng_tensor(3, &[11, 5]);
+        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_sizes() {
+        let a = rng_tensor(4, &[97, 83]);
+        let b = rng_tensor(5, &[83, 101]);
+        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = rng_tensor(6, &[13, 7]);
+        let b = rng_tensor(7, &[13, 9]);
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-5);
+        // and on a parallel-sized problem
+        let a2 = rng_tensor(8, &[90, 70]);
+        let b2 = rng_tensor(9, &[90, 80]);
+        assert_close(&a2.t_matmul(&b2), &a2.transpose().matmul(&b2), 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = rng_tensor(10, &[13, 7]);
+        let b = rng_tensor(11, &[9, 7]);
+        assert_close(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-5);
+        let a2 = rng_tensor(12, &[90, 70]);
+        let b2 = rng_tensor(13, &[80, 70]);
+        assert_close(&a2.matmul_t(&b2), &a2.matmul(&b2.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matvec_and_outer() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let v = Tensor::from_vec(vec![1., 1.], &[2]);
+        assert_eq!(a.matvec(&v).as_slice(), &[3., 7.]);
+        let u = Tensor::from_vec(vec![1., 2.], &[2]);
+        let w = Tensor::from_vec(vec![3., 4., 5.], &[3]);
+        assert_eq!(u.outer(&w).as_slice(), &[3., 4., 5., 6., 8., 10.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_inner_dim_panics() {
+        rng_tensor(1, &[2, 3]).matmul(&rng_tensor(2, &[4, 2]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_matmul_associates_with_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+            let a = rng_tensor(seed, &[m, k]);
+            let b = rng_tensor(seed + 1, &[k, n]);
+            assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+        }
+
+        #[test]
+        fn prop_distributes_over_add(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+            let a = rng_tensor(seed, &[m, k]);
+            let b = rng_tensor(seed + 1, &[k, n]);
+            let c = rng_tensor(seed + 2, &[k, n]);
+            let lhs = a.matmul(&b.add(&c));
+            let rhs = a.matmul(&b).add(&a.matmul(&c));
+            assert_close(&lhs, &rhs, 1e-4);
+        }
+    }
+}

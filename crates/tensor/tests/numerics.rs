@@ -1,0 +1,88 @@
+//! Numerical edge-case tests: the places where f32 training stacks
+//! classically go wrong.
+
+use legw_tensor::Tensor;
+
+#[test]
+fn softmax_survives_uniform_and_one_hot_extremes() {
+    // all-equal logits → exactly uniform
+    let t = Tensor::full(&[1, 5], 3.25).softmax_rows();
+    for &v in t.as_slice() {
+        assert!((v - 0.2).abs() < 1e-7);
+    }
+    // one dominant logit → ~one-hot without NaN
+    let t = Tensor::from_vec(vec![0.0, 0.0, 80.0], &[1, 3]).softmax_rows();
+    assert!(t.all_finite());
+    assert!(t.as_slice()[2] > 0.999);
+}
+
+#[test]
+fn log_softmax_never_minus_infinity_for_finite_logits() {
+    let t = Tensor::from_vec(vec![-60.0, 0.0, 60.0], &[1, 3]).log_softmax_rows();
+    assert!(t.all_finite(), "{:?}", t.as_slice());
+    // log-probs are ≤ 0
+    assert!(t.as_slice().iter().all(|&v| v <= 0.0));
+}
+
+#[test]
+fn sigmoid_saturation_produces_exact_bounds_not_nan() {
+    let t = Tensor::from_vec(vec![-1e4, 1e4], &[2]).sigmoid();
+    assert_eq!(t.as_slice()[0], 0.0);
+    assert_eq!(t.as_slice()[1], 1.0);
+}
+
+#[test]
+fn l2_norm_accumulates_in_f64() {
+    // 1e6 entries of 1e-3: f32 accumulation of squares (1e-6 each) loses
+    // precision; the f64 path must give √(1e6·1e-6) = 1 almost exactly
+    let t = Tensor::full(&[1_000_000], 1e-3);
+    assert!((t.l2_norm() - 1.0).abs() < 1e-4, "{}", t.l2_norm());
+}
+
+#[test]
+fn sum_of_alternating_large_values_cancels() {
+    let mut v = vec![0.0f32; 20_000];
+    for (i, x) in v.iter_mut().enumerate() {
+        *x = if i % 2 == 0 { 1e7 } else { -1e7 };
+    }
+    let t = Tensor::from_vec(v, &[20_000]);
+    assert!(t.sum().abs() < 1.0, "pairwise-cancelling sum must stay near 0: {}", t.sum());
+}
+
+#[test]
+fn matmul_with_large_magnitudes_stays_finite() {
+    let a = Tensor::full(&[16, 16], 1e18);
+    let b = Tensor::full(&[16, 16], 1e-18);
+    let c = a.matmul(&b);
+    assert!(c.all_finite());
+    for &v in c.as_slice() {
+        assert!((v - 16.0).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn clamp_handles_nan_poisoning_detection() {
+    let t = Tensor::from_vec(vec![1.0, f32::NAN], &[2]);
+    assert!(!t.all_finite());
+    // clamp does not "fix" NaN — divergence detection must still fire
+    let c = t.clamp(-1.0, 1.0);
+    assert!(!c.all_finite());
+}
+
+#[test]
+fn argmax_ignores_nan_after_first_finite() {
+    // total_cmp-free path: argmax uses simple > comparisons, so NaN never
+    // wins once a finite value has been seen
+    let t = Tensor::from_vec(vec![0.5, f32::NAN, 0.7], &[3]);
+    assert_eq!(t.argmax(), 2);
+}
+
+#[test]
+fn xavier_he_do_not_produce_degenerate_spreads() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(9);
+    let w = Tensor::xavier_uniform(&mut rng, 64, 64);
+    assert!(w.max() > 0.0 && w.min() < 0.0, "two-sided support");
+    let h = Tensor::he_normal(&mut rng, &[64, 64], 64);
+    assert!(h.l2_norm() > 0.0 && h.all_finite());
+}

@@ -1,0 +1,27 @@
+//! # legw-repro
+//!
+//! Meta-crate for the Rust reproduction of *Large-Batch Training for LSTM and
+//! Beyond* (You et al., SC 2019). It re-exports every crate in the workspace
+//! so examples and integration tests can use a single dependency:
+//!
+//! ```
+//! use legw_repro::schedules::{BaselineSchedule, Legw};
+//! let base = BaselineSchedule::constant(128, 0.1, 0.5, 25.0);
+//! let scaled = Legw::scale_to(&base, 1024);
+//! assert!((scaled.peak_lr() / 0.1 - 8f64.sqrt()).abs() < 1e-12);
+//! ```
+//!
+//! See the individual crates for the full APIs:
+//! [`parallel`], [`tensor`], [`autograd`], [`nn`], [`optim`], [`schedules`],
+//! [`data`], [`models`], [`core`] (re-exported as [`legw`]), [`cluster_sim`].
+
+pub use legw as core;
+pub use legw_autograd as autograd;
+pub use legw_cluster_sim as cluster_sim;
+pub use legw_data as data;
+pub use legw_models as models;
+pub use legw_nn as nn;
+pub use legw_optim as optim;
+pub use legw_parallel as parallel;
+pub use legw_schedules as schedules;
+pub use legw_tensor as tensor;

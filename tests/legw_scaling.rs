@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: the paper's central claims at test scale.
+//!
+//! These train real (tiny) models through the full stack — synthetic data →
+//! autograd tape → optimizer → schedule — so they are the end-to-end
+//! evidence that LEGW behaves as published.
+
+use legw_repro::core::trainer::{train_mnist, train_ptb};
+use legw_repro::data::{SynthMnist, SynthPtb};
+use legw_repro::models::PtbLmConfig;
+use legw_repro::optim::SolverKind;
+use legw_repro::schedules::{scale_with, BaselineSchedule, Legw, ScalingRule, WarmupRule};
+
+/// LEGW holds MNIST accuracy within a small tolerance when the batch is
+/// scaled 4× — with zero re-tuning (the core of Figures 1/6, Tables 2/3).
+#[test]
+fn legw_preserves_mnist_accuracy_at_4x_batch() {
+    let data = SynthMnist::generate(21, 1536, 384);
+    let baseline = BaselineSchedule::constant(32, 0.2, 0.0625, 4.0);
+    let base_acc =
+        train_mnist(&data, 24, 24, &baseline, SolverKind::Momentum, 5).final_metric;
+    let scaled = Legw::scale_to(&baseline, 128);
+    let legw_acc = train_mnist(&data, 24, 24, &scaled, SolverKind::Momentum, 5).final_metric;
+    assert!(base_acc > 0.85, "baseline must train well, got {base_acc}");
+    assert!(
+        legw_acc > base_acc - 0.08,
+        "LEGW at 4x batch should hold accuracy: base {base_acc:.3}, legw {legw_acc:.3}"
+    );
+}
+
+/// The naive alternative — keeping the baseline LR at a large batch —
+/// underperforms LEGW under the same epoch budget (Figure 5.1's failure).
+#[test]
+fn fixed_lr_at_large_batch_underperforms_legw() {
+    // enough samples that the 8x batch still gets ~80 optimizer steps
+    let data = SynthMnist::generate(22, 4096, 512);
+    let baseline = BaselineSchedule::constant(32, 0.2, 0.0625, 3.0);
+    let batch = 256; // 8x
+    let legw = Legw::scale_to(&baseline, batch);
+    let fixed = scale_with(&baseline, batch, ScalingRule::Identity, WarmupRule::None);
+    let legw_acc = train_mnist(&data, 24, 24, &legw, SolverKind::Momentum, 5).final_metric;
+    let fixed_acc = train_mnist(&data, 24, 24, &fixed, SolverKind::Momentum, 5).final_metric;
+    assert!(
+        legw_acc > fixed_acc + 0.03,
+        "LEGW ({legw_acc:.3}) should clearly beat untuned fixed LR ({fixed_acc:.3}) at 8x batch"
+    );
+}
+
+/// Sqrt scaling *with* linear-epoch warmup survives a batch scale where
+/// linear scaling *without* warmup destabilises the LM (the §3 motivation).
+#[test]
+fn linear_scaling_without_warmup_destabilises_lm() {
+    let data = SynthPtb::generate(23, 64, 8, 60_000, 6_000);
+    let cfg = PtbLmConfig { vocab: 64, embed: 24, hidden: 24, layers: 2 };
+    let baseline = BaselineSchedule::constant(8, 1.0, 0.1, 3.0);
+    let batch = 64; // 8x: linear rule asks for lr 8.0
+    let legw = Legw::scale_to(&baseline, batch);
+    let linear = scale_with(&baseline, batch, ScalingRule::Linear, WarmupRule::None);
+    let legw_ppl = train_ptb(&data, cfg, 16, &legw, SolverKind::Momentum, 5).final_metric;
+    let lin_rep = train_ptb(&data, cfg, 16, &linear, SolverKind::Momentum, 5);
+    assert!(
+        lin_rep.diverged || lin_rep.final_metric > legw_ppl,
+        "linear-no-warmup (ppl {:.1}, diverged {}) should lose to LEGW (ppl {legw_ppl:.1})",
+        lin_rep.final_metric,
+        lin_rep.diverged
+    );
+    assert!(legw_ppl < 64.0 * 0.6, "LEGW itself must train: ppl {legw_ppl:.1}");
+}
+
+/// Warmup *iterations* are invariant under LEGW (the paper's Table 2
+/// remark), tied to an actual dataset's epoch arithmetic.
+#[test]
+fn legw_warmup_iterations_invariant_on_real_dataset() {
+    let data = SynthMnist::generate(24, 2048, 128);
+    let baseline = BaselineSchedule::constant(32, 0.2, 0.5, 5.0);
+    let base_iters =
+        baseline.warmup_epochs() * data.train.iters_per_epoch(baseline.batch_size()) as f64;
+    for k in [2usize, 4, 8, 16] {
+        let s = Legw::scale_to(&baseline, 32 * k);
+        let iters = s.warmup_epochs() * data.train.iters_per_epoch(s.batch_size()) as f64;
+        assert!(
+            (iters - base_iters).abs() < 1.0,
+            "warmup iterations drifted at k={k}: {iters} vs {base_iters}"
+        );
+    }
+}
+
+/// Tune-large-scale-down (§3.3): deriving the baseline schedule from the
+/// large-batch one reproduces it exactly, and the derived schedule trains
+/// as well as the hand-written baseline.
+#[test]
+fn scale_down_roundtrip_trains_identically() {
+    let data = SynthMnist::generate(25, 1024, 256);
+    let baseline = BaselineSchedule::constant(32, 0.2, 0.0625, 3.0);
+    let big = Legw::scale_to(&baseline, 256);
+    let back = Legw::scale_to(&big, 32);
+    assert!((back.peak_lr() - baseline.peak_lr()).abs() < 1e-12);
+    assert!((back.warmup_epochs() - baseline.warmup_epochs()).abs() < 1e-12);
+    let a = train_mnist(&data, 16, 16, &baseline, SolverKind::Momentum, 9).final_metric;
+    let b = train_mnist(&data, 16, 16, &back, SolverKind::Momentum, 9).final_metric;
+    assert!((a - b).abs() < 1e-9, "identical schedules must train identically: {a} vs {b}");
+}
