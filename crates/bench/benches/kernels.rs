@@ -40,6 +40,39 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+/// The two GEMM shapes that dominate training wall-clock, across the batch
+/// sizes the paper sweeps: the fused LSTM gate projection `[B,256] @ [256,512]`
+/// and the im2col patch matrix times the conv kernel `[B*64,72] @ [16,72]^T`
+/// (16x16 output grid, 8 channels, 3x3 kernel). Results are tracked in
+/// BENCH_gemm.json at the repo root.
+fn bench_gemm_shapes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut g = c.benchmark_group("gemm_shapes");
+    let wg = rnd(&mut rng, &[256, 512]);
+    let wc = rnd(&mut rng, &[16, 72]);
+    for &b in &[32usize, 256, 2048] {
+        let x = rnd(&mut rng, &[b, 256]);
+        g.bench_with_input(BenchmarkId::new("lstm_gate", b), &b, |bch, _| {
+            bch.iter(|| black_box(x.matmul(&wg)));
+        });
+        let cols = rnd(&mut rng, &[b * 64, 72]);
+        g.bench_with_input(BenchmarkId::new("im2col_conv", b), &b, |bch, _| {
+            bch.iter(|| black_box(cols.matmul_t(&wc)));
+        });
+    }
+    // Gradient-side layouts of the gate GEMM, batch 256: dW = x^T @ dy and
+    // dx = dy @ W^T hit the other two packing paths.
+    let x = rnd(&mut rng, &[256, 256]);
+    let dy = rnd(&mut rng, &[256, 512]);
+    g.bench_function("lstm_gate_grad_w_256", |bch| {
+        bch.iter(|| black_box(x.t_matmul(&dy)));
+    });
+    g.bench_function("lstm_gate_grad_x_256", |bch| {
+        bch.iter(|| black_box(dy.matmul_t(&wg)));
+    });
+    g.finish();
+}
+
 /// Ablation: the pool-backed parallel reduction vs a plain serial loop, at
 /// a size where both paths are exercised.
 fn bench_pool_ablation(c: &mut Criterion) {
@@ -135,6 +168,7 @@ fn bench_optimizers(c: &mut Criterion) {
 
 fn all(c: &mut Criterion) {
     bench_matmul(c);
+    bench_gemm_shapes(c);
     bench_pool_ablation(c);
     bench_lstm_cell(c);
     bench_conv(c);

@@ -1,0 +1,106 @@
+//! Standalone GEMM timing harness used to track the perf trajectory of the
+//! matmul engine in `BENCH_gemm.json` at the repo root.
+//!
+//! Unlike the Criterion benches this prints a single machine-readable JSON
+//! object, so before/after numbers can be recorded in-tree without parsing
+//! Criterion's output directory. Run with `LEGW_THREADS=1` for single-thread
+//! numbers:
+//!
+//! ```text
+//! cargo run --release -p legw-bench --bin gemm_bench
+//! LEGW_THREADS=1 cargo run --release -p legw-bench --bin gemm_bench
+//! ```
+
+use legw_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+fn rnd(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    Tensor::rand_uniform(rng, dims, -1.0, 1.0)
+}
+
+/// Median wall-clock seconds of `iters` runs of `f` (after 2 warmup runs).
+fn time_median<F: FnMut() -> f32>(iters: usize, mut f: F) -> f64 {
+    let mut sink = 0.0f32;
+    for _ in 0..2 {
+        sink += f();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            sink += f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // keep the sink observable so the loop cannot be optimised away
+    if sink == f32::INFINITY {
+        eprintln!("unreachable {sink}");
+    }
+    samples[samples.len() / 2]
+}
+
+struct Case {
+    name: &'static str,
+    flops: f64,
+    secs: f64,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let threads = legw_parallel::global().threads();
+    let mut cases: Vec<Case> = Vec::new();
+
+    // Square GEMM — the headline single-thread speedup target.
+    {
+        let a = rnd(&mut rng, &[512, 512]);
+        let b = rnd(&mut rng, &[512, 512]);
+        let secs = time_median(9, || a.matmul(&b).as_slice()[0]);
+        cases.push(Case { name: "square_512", flops: 2.0 * 512f64.powi(3), secs });
+    }
+    // LSTM-gate shape: [B, in+hid] @ [in+hid, 4*hid] at the paper's 128/128 cell.
+    {
+        let a = rnd(&mut rng, &[256, 256]);
+        let b = rnd(&mut rng, &[256, 512]);
+        let secs = time_median(9, || a.matmul(&b).as_slice()[0]);
+        cases.push(Case { name: "gate_256x256x512", flops: 2.0 * 256.0 * 256.0 * 512.0, secs });
+    }
+    // Backward variants on the gate shape (xᵀ·δ and δ·wᵀ).
+    {
+        let x = rnd(&mut rng, &[256, 256]);
+        let d = rnd(&mut rng, &[256, 512]);
+        let secs = time_median(9, || x.t_matmul(&d).as_slice()[0]);
+        cases.push(Case { name: "gate_t_matmul", flops: 2.0 * 256.0 * 256.0 * 512.0, secs });
+        let w = rnd(&mut rng, &[256, 512]);
+        let secs = time_median(9, || d.matmul_t(&w).as_slice()[0]);
+        cases.push(Case { name: "gate_matmul_t", flops: 2.0 * 256.0 * 512.0 * 256.0, secs });
+    }
+    // im2col-shaped conv GEMM: [N·OH·OW, C·KH·KW] @ [OC, C·KH·KW]ᵀ.
+    {
+        let cols = rnd(&mut rng, &[8192, 72]);
+        let w = rnd(&mut rng, &[16, 72]);
+        let secs = time_median(9, || cols.matmul_t(&w).as_slice()[0]);
+        cases.push(Case { name: "im2col_8192x72x16", flops: 2.0 * 8192.0 * 72.0 * 16.0, secs });
+    }
+    // Matrix–vector product (inference / attention-score path).
+    {
+        let a = rnd(&mut rng, &[1024, 1024]);
+        let v = rnd(&mut rng, &[1024]);
+        let secs = time_median(17, || a.matvec(&v).as_slice()[0]);
+        cases.push(Case { name: "matvec_1024", flops: 2.0 * 1024.0 * 1024.0, secs });
+    }
+
+    println!("{{");
+    println!("  \"threads\": {threads},");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        println!(
+            "  \"{}\": {{ \"seconds\": {:.6}, \"gflops\": {:.3} }}{}",
+            c.name,
+            c.secs,
+            c.flops / c.secs / 1e9,
+            comma
+        );
+    }
+    println!("}}");
+}

@@ -88,6 +88,26 @@ where
     });
 }
 
+/// Runs `body(ti, tj)` for every tile of a `tiles_m × tiles_n` grid in
+/// parallel.
+///
+/// This is the launch shape of 2-D blocked kernels (GEMM): the output is cut
+/// into an (M-block × N-block) grid and every grid cell is an independent
+/// task, so tall-skinny and short-wide problems still fan out over all
+/// threads — a row-only decomposition would leave most of the pool idle when
+/// `tiles_m < threads`. Tiles are dispatched through [`ThreadPool::run`]'s
+/// dynamic counter, so uneven tile costs load-balance automatically.
+pub fn par_tiles_2d<F>(pool: &ThreadPool, tiles_m: usize, tiles_n: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let total = tiles_m.checked_mul(tiles_n).expect("tile grid overflows usize");
+    if total == 0 {
+        return;
+    }
+    pool.run(total, |idx| body(idx / tiles_n, idx % tiles_n));
+}
+
 /// Parallel map-reduce over `0..len`.
 ///
 /// `map(range) -> A` produces a partial result per contiguous range;
@@ -194,6 +214,23 @@ mod tests {
         for (i, x) in v.iter().enumerate() {
             assert_eq!(*x, i);
         }
+    }
+
+    #[test]
+    fn par_tiles_2d_covers_grid_once() {
+        let p = pool();
+        let tiles: Vec<AtomicUsize> = (0..7 * 5).map(|_| AtomicUsize::new(0)).collect();
+        par_tiles_2d(&p, 7, 5, |ti, tj| {
+            tiles[ti * 5 + tj].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(tiles.iter().all(|t| t.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_tiles_2d_empty_grid_is_noop() {
+        let p = pool();
+        par_tiles_2d(&p, 0, 5, |_, _| panic!("no tiles"));
+        par_tiles_2d(&p, 3, 0, |_, _| panic!("no tiles"));
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   finished. Because the call blocks until completion, the closure may
 //!   borrow from the caller's stack (the same soundness argument as rayon's
 //!   `scope`).
-//! * [`parallel_for`], [`par_chunks_mut`], [`par_map_reduce`] — the
-//!   data-parallel helpers the tensor kernels are built on.
+//! * [`parallel_for`], [`par_chunks_mut`], [`par_map_reduce`],
+//!   [`par_tiles_2d`] — the data-parallel helpers the tensor kernels are
+//!   built on (the last one is the 2-D grid launch used by blocked GEMM).
 //! * [`global`] — a process-wide lazily initialised pool (size taken from
 //!   `LEGW_THREADS` or the machine's available parallelism).
 //!
@@ -40,7 +41,7 @@ mod iter;
 
 pub use latch::CountLatch;
 pub use pool::ThreadPool;
-pub use iter::{par_chunks_mut, par_map, par_map_reduce, parallel_for, split_evenly};
+pub use iter::{par_chunks_mut, par_map, par_map_reduce, par_tiles_2d, parallel_for, split_evenly};
 
 use std::sync::OnceLock;
 

@@ -5,7 +5,9 @@
 //! is `[N·OH·OW, C·KH·KW]` so that `cols @ weight[CKK, OC]` yields the output
 //! `[N·OH·OW, OC]`.
 
+use crate::pool::Buffer;
 use crate::tensor::Tensor;
+use legw_parallel::{global, par_chunks_mut};
 
 /// Geometry of a 2-D convolution: input/kernel/stride/padding extents and
 /// the derived output size.
@@ -53,6 +55,11 @@ impl Conv2dGeom {
 }
 
 /// Unfolds `input [N, C, H, W]` into a column matrix `[N·OH·OW, C·KH·KW]`.
+///
+/// Output rows are independent, so the fill is parallelised over row chunks
+/// of the column matrix; within a row, each `(channel, ky)` pair copies its
+/// in-bounds `kx` span with a single contiguous `copy_from_slice` (the
+/// out-of-bounds padding stays zero from the pooled buffer).
 pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     g.validate();
     assert_eq!(input.ndim(), 4, "im2col expects [N,C,H,W], got {:?}", input.shape());
@@ -61,29 +68,47 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     let (oh, ow) = (g.oh(), g.ow());
     let ckk = c * g.kh * g.kw;
     let src = input.as_slice();
-    let mut out = vec![0.0f32; n * oh * ow * ckk];
+    let rows = n * oh * ow;
+    let mut out = Buffer::zeroed(rows * ckk);
 
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * ckk;
-                for ci in 0..c {
-                    for ky in 0..g.kh {
-                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                        for kx in 0..g.kw {
-                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                            let col = (ci * g.kh + ky) * g.kw + kx;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out[row + col] = src
-                                    [((ni * c + ci) * h + iy as usize) * w + ix as usize];
-                            }
-                        }
-                    }
+    let fill_row = |row: usize, dst: &mut [f32]| {
+        let ox = row % ow;
+        let oy = (row / ow) % oh;
+        let ni = row / (oh * ow);
+        for ci in 0..c {
+            for ky in 0..g.kh {
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                if iy < 0 || iy as usize >= h {
+                    continue;
                 }
+                // in-bounds kx range: 0 ≤ ox·stride + kx − pad < w
+                let x0 = (ox * g.stride) as isize - g.pad as isize;
+                let kx_lo = (-x0).max(0) as usize;
+                let kx_hi = (w as isize - x0).clamp(0, g.kw as isize) as usize;
+                if kx_lo >= kx_hi {
+                    continue;
+                }
+                let col = (ci * g.kh + ky) * g.kw;
+                let sbase = ((ni * c + ci) * h + iy as usize) * w + (x0 + kx_lo as isize) as usize;
+                dst[col + kx_lo..col + kx_hi]
+                    .copy_from_slice(&src[sbase..sbase + kx_hi - kx_lo]);
             }
         }
-    }
-    Tensor::from_vec(out, &[n * oh * ow, ckk])
+    };
+
+    let pool = global();
+    let rows_per_chunk = if rows * ckk < crate::PAR_THRESHOLD || pool.threads() == 1 {
+        rows.max(1)
+    } else {
+        rows.div_ceil(pool.threads() * 2).max(1)
+    };
+    par_chunks_mut(pool, &mut out, rows_per_chunk * ckk, |start, chunk| {
+        let row0 = start / ckk;
+        for (r, dst) in chunk.chunks_mut(ckk).enumerate() {
+            fill_row(row0 + r, dst);
+        }
+    });
+    Tensor::from_buffer(out, &[rows, ckk])
 }
 
 /// Folds a column-matrix gradient `[N·OH·OW, C·KH·KW]` back into an image
@@ -95,7 +120,9 @@ pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeom) -> Tensor {
     let ckk = g.c * g.kh * g.kw;
     assert_eq!(cols.shape(), &[n * oh * ow, ckk], "col2im shape mismatch");
     let src = cols.as_slice();
-    let mut out = vec![0.0f32; n * g.c * g.h * g.w];
+    // Overlapping windows write to shared pixels, so col2im stays serial;
+    // the buffer still comes from (and returns to) the recycling pool.
+    let mut out = Buffer::zeroed(n * g.c * g.h * g.w);
 
     for ni in 0..n {
         for oy in 0..oh {
@@ -117,7 +144,7 @@ pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeom) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[n, g.c, g.h, g.w])
+    Tensor::from_buffer(out, &[n, g.c, g.h, g.w])
 }
 
 #[cfg(test)]

@@ -1,0 +1,511 @@
+//! Packed, register-tiled GEMM engine.
+//!
+//! One kernel serves all four matmul entry points (`matmul`, `t_matmul`,
+//! `matmul_t`, `matvec`) and the im2col conv path. The structure is the
+//! classic three-level blocking of high-performance BLAS (GotoBLAS/BLIS),
+//! scaled to this crate's needs:
+//!
+//! * **Register tiling** — the innermost unit is an [`MR`]×[`NR`] tile of
+//!   `f32` accumulators held in local arrays. The fixed-extent inner loops
+//!   contain no branches (in particular no `a == 0.0` skips), so LLVM keeps
+//!   the accumulators in vector registers and auto-vectorises the
+//!   rank-1-update loop.
+//! * **Panel packing** — before the microkernel runs, the A and B operands
+//!   of the current cache block are repacked into contiguous buffers laid
+//!   out exactly in microkernel access order (`MR`- and `NR`-wide
+//!   micro-panels, k-major). Packing is where operand layout is absorbed:
+//!   a transposed A (`t_matmul`) or transposed B (`matmul_t`) only changes
+//!   the gather pattern of the pack loop, so there is a single compute
+//!   kernel instead of three divergent hand-written loops. Edge tiles are
+//!   zero-padded at pack time, which keeps the microkernel free of bounds
+//!   logic.
+//! * **Cache blocking + 2-D parallelism** — the output is cut into an
+//!   ([`MC`] × [`NC`]) block grid; each grid cell is an independent task
+//!   dispatched via [`legw_parallel::par_tiles_2d`], and loops over shared
+//!   [`KC`]-deep slices of the k dimension internally. Block sizes shrink
+//!   adaptively (see [`plan_blocks`]) so tall-skinny/short-wide shapes —
+//!   the LSTM-gate and im2col shapes large-batch training produces — still
+//!   fan out over every worker instead of leaving threads idle the way the
+//!   old row-chunk decomposition did.
+//! * **Scratch reuse** — packing buffers are thread-local and persist
+//!   across calls, and outputs come from the [`crate::pool`] recycler, so
+//!   the steady-state training loop performs no per-call heap allocation
+//!   here.
+
+use crate::pool::Buffer;
+use legw_parallel::{global, par_chunks_mut, par_tiles_2d, ThreadPool};
+use std::cell::RefCell;
+
+/// Microkernel rows: the M-extent of the register tile.
+pub(crate) const MR: usize = 8;
+/// Microkernel columns: the N-extent of the register tile.
+pub(crate) const NR: usize = 8;
+/// M-dimension cache block (A block of `MC×KC` targets L2).
+pub(crate) const MC: usize = 128;
+/// K-dimension cache block (packed panels of `MR×KC`/`KC×NR` live in L1).
+pub(crate) const KC: usize = 256;
+/// N-dimension cache block (B block of `KC×NC` targets L2/L3).
+pub(crate) const NC: usize = 256;
+
+/// Minimum multiply-adds before the thread pool is engaged.
+const PAR_FLOPS: usize = 64 * 64 * 64;
+
+thread_local! {
+    /// Reused (packed-A, packed-B) scratch; grows to `MC·KC` / `KC·NC` once
+    /// and is then reused by every GEMM call on this thread.
+    static SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Computes `C = A·B` into a pooled buffer.
+///
+/// `trans_a` means A is stored `[k, m]` (so `A[i,l] = a[l·m + i]`);
+/// `trans_b` means B is stored `[n, k]` (so `B[l,j] = b[j·k + l]`). The
+/// result is always row-major `[m, n]`.
+pub(crate) fn gemm(
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Buffer {
+    let mut out = Buffer::zeroed(m * n);
+    gemm_into(global(), trans_a, trans_b, a, b, m, k, n, &mut out);
+    out
+}
+
+/// Thin wrapper over a raw output pointer: tasks write disjoint row/column
+/// tiles, so sharing the base pointer across the pool is sound.
+struct OutPtr(*mut f32);
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+impl OutPtr {
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// [`gemm`] with an explicit pool and output slice (test and bench hook —
+/// lets single- vs multi-threaded execution be compared without touching
+/// the global pool).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_into(
+    pool: &ThreadPool,
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm A size");
+    assert_eq!(b.len(), k * n, "gemm B size");
+    assert_eq!(out.len(), m * n, "gemm C size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let lda = if trans_a { m } else { k };
+    let ldb = if trans_b { k } else { n };
+
+    let parallel = m * n * k >= PAR_FLOPS && pool.threads() > 1;
+    let (mc, nc) = if parallel { plan_blocks(m, n, pool.threads()) } else { (MC, NC) };
+
+    let base = OutPtr(out.as_mut_ptr());
+    let tile = |ti: usize, tj: usize| {
+        let i0 = ti * mc;
+        let mb = mc.min(m - i0);
+        let j0 = tj * nc;
+        let nb = nc.min(n - j0);
+        SCRATCH.with(|s| {
+            let (apack, bpack) = &mut *s.borrow_mut();
+            for k0 in (0..k).step_by(KC) {
+                let kb = KC.min(k - k0);
+                pack_a(apack, a, trans_a, lda, i0, mb, k0, kb);
+                pack_b(bpack, b, trans_b, ldb, k0, kb, j0, nb);
+                // SAFETY: this (ti, tj) task exclusively owns output rows
+                // i0..i0+mb × columns j0..j0+nb; tiles are disjoint.
+                unsafe { macro_kernel(apack, bpack, mb, nb, kb, base.get(), n, i0, j0) };
+            }
+        });
+    };
+
+    let (tiles_m, tiles_n) = (m.div_ceil(mc), n.div_ceil(nc));
+    if parallel {
+        par_tiles_2d(pool, tiles_m, tiles_n, tile);
+    } else {
+        for ti in 0..tiles_m {
+            for tj in 0..tiles_n {
+                tile(ti, tj);
+            }
+        }
+    }
+}
+
+/// Chooses (MC, NC) for this problem: start from the cache-friendly
+/// defaults and halve the proportionally larger block until the tile grid
+/// has at least `2·threads` cells (or blocks reach two micro-tiles), so
+/// skinny shapes still occupy the whole pool.
+fn plan_blocks(m: usize, n: usize, threads: usize) -> (usize, usize) {
+    let mut mc = MC.min(m.next_multiple_of(MR));
+    let mut nc = NC.min(n.next_multiple_of(NR));
+    while m.div_ceil(mc) * n.div_ceil(nc) < 2 * threads {
+        let can_m = mc > 2 * MR;
+        let can_n = nc > 2 * NR;
+        if !can_m && !can_n {
+            break;
+        }
+        if can_m && (!can_n || mc / MR >= nc / NR) {
+            mc = (mc / 2).next_multiple_of(MR);
+        } else {
+            nc = (nc / 2).next_multiple_of(NR);
+        }
+    }
+    (mc, nc)
+}
+
+/// Packs the `mb×kb` block of A starting at `(i0, k0)` into `MR`-row
+/// micro-panels, k-major within each panel. Rows past `mb` in the last
+/// panel are zero-filled so the microkernel needs no M-edge handling.
+fn pack_a(
+    buf: &mut Vec<f32>,
+    a: &[f32],
+    trans: bool,
+    lda: usize,
+    i0: usize,
+    mb: usize,
+    k0: usize,
+    kb: usize,
+) {
+    let panels = mb.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kb * MR, 0.0);
+    for p in 0..panels {
+        let r0 = i0 + p * MR;
+        let rows = MR.min(i0 + mb - r0);
+        let dst = &mut buf[p * kb * MR..(p + 1) * kb * MR];
+        if trans {
+            // A stored [k, m]: row kk of the source is already contiguous
+            // in i, so each k-step is a straight memcpy.
+            for kk in 0..kb {
+                let src = &a[(k0 + kk) * lda + r0..(k0 + kk) * lda + r0 + rows];
+                dst[kk * MR..kk * MR + rows].copy_from_slice(src);
+            }
+        } else {
+            // A stored [m, k]: gather each row's k-slice with stride MR.
+            for r in 0..rows {
+                let src = &a[(r0 + r) * lda + k0..][..kb];
+                for (kk, &v) in src.iter().enumerate() {
+                    dst[kk * MR + r] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kb×nb` block of B starting at `(k0, j0)` into `NR`-column
+/// micro-panels, k-major within each panel, zero-padding the N edge.
+fn pack_b(
+    buf: &mut Vec<f32>,
+    b: &[f32],
+    trans: bool,
+    ldb: usize,
+    k0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+) {
+    let panels = nb.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kb * NR, 0.0);
+    for p in 0..panels {
+        let c0 = j0 + p * NR;
+        let cols = NR.min(j0 + nb - c0);
+        let dst = &mut buf[p * kb * NR..(p + 1) * kb * NR];
+        if trans {
+            // B stored [n, k]: gather each column's k-slice with stride NR.
+            for c in 0..cols {
+                let src = &b[(c0 + c) * ldb + k0..][..kb];
+                for (kk, &v) in src.iter().enumerate() {
+                    dst[kk * NR + c] = v;
+                }
+            }
+        } else {
+            // B stored [k, n]: each k-step is a contiguous copy.
+            for kk in 0..kb {
+                let src = &b[(k0 + kk) * ldb + c0..][..cols];
+                dst[kk * NR..kk * NR + cols].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Rank-1-update microkernel: `acc[r][c] += ap[kk·MR+r] · bp[kk·NR+c]`.
+///
+/// `acc` is an `MR×NR` array of locals; the fixed-extent loops (no early
+/// exits, no zero-skip branches) let LLVM hold it in vector registers.
+#[inline(always)]
+fn microkernel(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for kk in 0..kb {
+        let a8: &[f32; MR] = ap[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b8: &[f32; NR] = bp[kk * NR..kk * NR + NR].try_into().unwrap();
+        for r in 0..MR {
+            let ar = a8[r];
+            for c in 0..NR {
+                acc[r][c] += ar * b8[c];
+            }
+        }
+    }
+}
+
+/// Runs the microkernel over every micro-tile of one packed (mb×nb) block
+/// and accumulates into `out` (row stride `ldc`, block origin `(i0, j0)`).
+///
+/// # Safety
+/// The caller must own output rows `i0..i0+mb` × columns `j0..j0+nb` of the
+/// `ldc`-stride matrix at `out` exclusively.
+#[allow(clippy::too_many_arguments)]
+unsafe fn macro_kernel(
+    apack: &[f32],
+    bpack: &[f32],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    out: *mut f32,
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+) {
+    for jp in 0..nb.div_ceil(NR) {
+        let bp = &bpack[jp * kb * NR..(jp + 1) * kb * NR];
+        let cols = NR.min(nb - jp * NR);
+        for ip in 0..mb.div_ceil(MR) {
+            let ap = &apack[ip * kb * MR..(ip + 1) * kb * MR];
+            let rows = MR.min(mb - ip * MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kb, ap, bp, &mut acc);
+            for r in 0..rows {
+                let dst = std::slice::from_raw_parts_mut(
+                    out.add((i0 + ip * MR + r) * ldc + j0 + jp * NR),
+                    cols,
+                );
+                for (d, &v) in dst.iter_mut().zip(acc[r][..cols].iter()) {
+                    *d += v;
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- mat × vec
+
+/// Dedicated matrix–vector kernel: `out[i] = a[i,·] · v`.
+///
+/// A GEMM with n = 1 wastes the whole blocking machinery (each packed B
+/// "panel" is one column), so `matvec` gets a straight multi-accumulator
+/// dot product over contiguous rows instead, parallelised over row chunks.
+pub(crate) fn gemv(pool: &ThreadPool, a: &[f32], v: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemv A size");
+    assert_eq!(v.len(), k, "gemv x size");
+    assert_eq!(out.len(), m, "gemv y size");
+    let rows_per_chunk = if m * k < PAR_FLOPS || pool.threads() == 1 {
+        m.max(1)
+    } else {
+        m.div_ceil(pool.threads() * 2).max(1)
+    };
+    par_chunks_mut(pool, out, rows_per_chunk, |row0, chunk| {
+        for (r, o) in chunk.iter_mut().enumerate() {
+            *o = dot(&a[(row0 + r) * k..(row0 + r + 1) * k], v);
+        }
+    });
+}
+
+/// Branch-free dot product with eight independent accumulator lanes so the
+/// reduction vectorises despite f32 non-associativity.
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    const L: usize = 8;
+    let mut acc = [0.0f32; L];
+    let chunks = x.len() / L;
+    for i in 0..chunks {
+        let xa: &[f32; L] = x[i * L..i * L + L].try_into().unwrap();
+        let ya: &[f32; L] = y[i * L..i * L + L].try_into().unwrap();
+        for l in 0..L {
+            acc[l] += xa[l] * ya[l];
+        }
+    }
+    let mut s = acc.iter().sum::<f32>();
+    for i in chunks * L..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Scalar reference: C[i,j] = Σ_l A[i,l]·B[l,j] with explicit layouts.
+    fn naive(
+        trans_a: bool,
+        trans_b: bool,
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for l in 0..k {
+                    let av = if trans_a { a[l * m + i] } else { a[i * k + l] };
+                    let bv = if trans_b { b[j * k + l] } else { b[l * n + j] };
+                    acc += (av * bv) as f64;
+                }
+                out[i * n + j] = acc as f32;
+            }
+        }
+        out
+    }
+
+    fn lcg(seed: u64, n: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn check_case(pool: &ThreadPool, trans_a: bool, trans_b: bool, m: usize, k: usize, n: usize) {
+        let a = lcg(m as u64 * 31 + k as u64, m * k);
+        let b = lcg(n as u64 * 17 + k as u64 + 1, k * n);
+        let want = naive(trans_a, trans_b, &a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_into(pool, trans_a, trans_b, &a, &b, m, k, n, &mut got);
+        for (i, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-3 * (1.0 + w.abs()),
+                "({trans_a},{trans_b}) m={m} k={k} n={n} idx={i}: {g} vs {w}"
+            );
+        }
+    }
+
+    /// Block-boundary extents: 1, MR±1, MR, MC−1, MC, MC+1, and a couple of
+    /// non-aligned in-between values.
+    fn boundary_dims() -> Vec<usize> {
+        vec![1, MR - 1, MR, MR + 1, 3 * MR + 5, MC - 1, MC, MC + 1]
+    }
+
+    #[test]
+    fn boundary_sweep_all_variants_single_thread() {
+        let pool = ThreadPool::new(1);
+        for &m in &boundary_dims() {
+            for &(k, n) in &[(KC - 1, MR + 1), (MR, MC + 1), (KC + 1, NR - 1)] {
+                check_case(&pool, false, false, m, k, n);
+                check_case(&pool, true, false, m, k, n);
+                check_case(&pool, false, true, m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_sweep_all_variants_multi_thread() {
+        let pool = ThreadPool::new(4);
+        for &n in &boundary_dims() {
+            for &(m, k) in &[(MC + 1, KC + 1), (2 * MC, MR - 1), (MR + 1, KC)] {
+                check_case(&pool, false, false, m, k, n);
+                check_case(&pool, true, false, m, k, n);
+                check_case(&pool, false, true, m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn k_block_boundaries() {
+        let pool = ThreadPool::new(2);
+        for &k in &[1, MR, KC - 1, KC, KC + 1, 2 * KC + 3] {
+            check_case(&pool, false, false, MR + 3, k, NR + 5);
+            check_case(&pool, true, true, MR + 3, k, NR + 5);
+        }
+    }
+
+    #[test]
+    fn gemv_matches_naive() {
+        let pool = ThreadPool::new(3);
+        for &(m, k) in &[(1, 1), (MR, KC), (MC + 7, 93), (257, 1025)] {
+            let a = lcg(9 + m as u64, m * k);
+            let v = lcg(11 + k as u64, k);
+            let mut got = vec![0.0f32; m];
+            gemv(&pool, &a, &v, m, k, &mut got);
+            for i in 0..m {
+                let want: f64 =
+                    (0..k).map(|l| (a[i * k + l] * v[l]) as f64).sum();
+                assert!(
+                    (got[i] - want as f32).abs() <= 1e-3 * (1.0 + want.abs() as f32),
+                    "m={m} k={k} row {i}: {} vs {want}",
+                    got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_blocks_fans_out_skinny_shapes() {
+        // The LSTM-gate shape [256, 256] @ [256, 512] must produce enough
+        // tiles to occupy an 8-thread pool.
+        let (mc, nc) = plan_blocks(256, 512, 8);
+        assert!(256usize.div_ceil(mc) * 512usize.div_ceil(nc) >= 16);
+        // Tiny problems can't be split below two micro-tiles per block.
+        let (mc, nc) = plan_blocks(8, 8, 8);
+        assert!(mc >= MR && nc >= NR);
+    }
+
+    #[test]
+    fn single_and_multi_thread_agree() {
+        // One thread runs the serial tile loop with default blocks, four
+        // threads run the 2-D grid with adaptively shrunk blocks; both must
+        // match the reference on a parallel-sized problem.
+        let (m, k, n) = (2 * MC + 5, KC + 9, NC + 3);
+        let a = lcg(5, m * k);
+        let b = lcg(6, k * n);
+        let p1 = ThreadPool::new(1);
+        let p4 = ThreadPool::new(4);
+        let mut o1 = vec![0.0f32; m * n];
+        let mut o4 = vec![0.0f32; m * n];
+        gemm_into(&p1, false, false, &a, &b, m, k, n, &mut o1);
+        gemm_into(&p4, false, false, &a, &b, m, k, n, &mut o4);
+        let want = naive(false, false, &a, &b, m, k, n);
+        for (got, w) in o1.iter().chain(o4.iter()).zip(want.iter().chain(want.iter())) {
+            assert!((got - w).abs() <= 1e-3 * (1.0 + w.abs()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_packed_matches_naive(
+            mi in 0usize..8, ki in 0usize..8, ni in 0usize..8,
+            trans_a in proptest::bool::ANY, trans_b in proptest::bool::ANY,
+            threads in 1usize..5,
+        ) {
+            // sample each extent from the block-boundary set
+            let dims = [1usize, MR - 1, MR, MR + 1, 2 * MR + 3, MC - 1, MC, MC + 1];
+            let (m, k, n) = (dims[mi], dims[ki], dims[ni]);
+            let pool = ThreadPool::new(threads);
+            let a = lcg(1 + m as u64 + 7 * k as u64, m * k);
+            let b = lcg(2 + n as u64 + 13 * k as u64, k * n);
+            let want = naive(trans_a, trans_b, &a, &b, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_into(&pool, trans_a, trans_b, &a, &b, m, k, n, &mut got);
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+            }
+        }
+    }
+}

@@ -10,8 +10,13 @@
 //! * NumPy-style [broadcasting](crate::broadcast_shapes) for elementwise
 //!   binary ops, with fast paths for the shapes that dominate training
 //!   (same-shape, `[m,n] ∘ [n]` bias rows, `[m,n] ∘ [m,1]` column factors).
-//! * Blocked, thread-parallel [matrix multiplication](Tensor::matmul) with
-//!   the transpose variants backward passes need (`aᵀb`, `abᵀ`).
+//! * A packed, register-tiled GEMM engine (the `gemm` module) behind
+//!   [`Tensor::matmul`] and the transpose variants backward passes need
+//!   (`aᵀb`, `abᵀ`): MR×NR register tiles, pack-time transpose absorption,
+//!   MC/KC/NC cache blocking with a 2-D parallel tile grid, and thread-local
+//!   packing scratch reused across calls. Kernel outputs come from a
+//!   recycling buffer pool, so steady-state training loops stop paying the
+//!   allocator per call.
 //! * Axis [reductions](Tensor::sum_axis), softmax/log-softmax rows, argmax.
 //! * [`im2col`]/[`col2im`] for convolution lowered onto matmul.
 //! * Seeded random initialisers (uniform, Gaussian via Box–Muller) — the
@@ -31,9 +36,11 @@
 //! ```
 
 mod conv;
+mod gemm;
 mod init;
 mod matmul;
 mod ops;
+mod pool;
 mod reduce;
 mod shape;
 mod tensor;

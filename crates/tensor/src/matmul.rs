@@ -1,49 +1,16 @@
-//! Blocked, thread-parallel matrix multiplication and the transpose variants
-//! used by backward passes.
+//! Matrix-product entry points: `matmul`, the transpose variants used by
+//! backward passes, and `matvec`.
 //!
-//! The kernel is a classic i-k-j loop order with register-friendly inner
-//! loops over contiguous rows (good auto-vectorisation), parallelised over
-//! row blocks of the output. No unsafe code: each task owns a disjoint slice
-//! of the output via [`legw_parallel::par_chunks_mut`].
+//! All of them route through the packed, register-tiled engine in
+//! [`crate::gemm`] — operand transposition is absorbed at pack time, so
+//! there is one compute kernel instead of per-variant loops. `matvec` uses
+//! the engine's dedicated dot-product kernel (a GEMM with n = 1 would waste
+//! the blocking machinery on a single output column).
 
+use crate::gemm;
+use crate::pool::Buffer;
 use crate::tensor::Tensor;
-use legw_parallel::{global, par_chunks_mut};
-
-/// Minimum number of multiply-adds before the pool is engaged.
-const PAR_FLOPS: usize = 64 * 64 * 64;
-
-fn mm_rows(out_rows: &mut [f32], a_rows: &[f32], b: &[f32], k: usize, n: usize) {
-    // out_rows: r×n, a_rows: r×k, b: k×n; all row-major.
-    let r = out_rows.len() / n;
-    for i in 0..r {
-        let arow = &a_rows[i * k..(i + 1) * k];
-        let orow = &mut out_rows[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += aik * bv;
-            }
-        }
-    }
-}
-
-fn matmul_impl(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    if m * n * k < PAR_FLOPS || m == 1 {
-        mm_rows(&mut out, a, b, k, n);
-        return out;
-    }
-    let rows_per_chunk = m.div_ceil(global().threads() * 2).max(1);
-    par_chunks_mut(global(), &mut out, rows_per_chunk * n, |start, chunk| {
-        let row0 = start / n;
-        let rows = chunk.len() / n;
-        mm_rows(chunk, &a[row0 * k..(row0 + rows) * k], b, k, n);
-    });
-    out
-}
+use legw_parallel::global;
 
 impl Tensor {
     /// Matrix product `self @ rhs` of a `[m,k]` by a `[k,n]` tensor.
@@ -56,7 +23,10 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul inner dims: {:?} @ {:?}", self.shape(), rhs.shape());
-        Tensor::from_vec(matmul_impl(self.as_slice(), rhs.as_slice(), m, k, n), &[m, n])
+        Tensor::from_buffer(
+            gemm::gemm(false, false, self.as_slice(), rhs.as_slice(), m, k, n),
+            &[m, n],
+        )
     }
 
     /// `selfᵀ @ rhs` for `[k,m]ᵀ @ [k,n] = [m,n]` without materialising the
@@ -67,36 +37,10 @@ impl Tensor {
         let (k, m) = (self.dim(0), self.dim(1));
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "t_matmul inner dims: {:?}ᵀ @ {:?}", self.shape(), rhs.shape());
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        // out[i,j] = Σ_k a[k,i] b[k,j]: accumulate rank-1 updates row by row;
-        // each k contributes a[k,·]ᵀ ⊗ b[k,·]. Parallelise over output rows.
-        let run = |start: usize, chunk: &mut [f32]| {
-            let i0 = start / n;
-            let rows = chunk.len() / n;
-            for kk in 0..k {
-                let arow = &a[kk * m..(kk + 1) * m];
-                let brow = &b[kk * n..(kk + 1) * n];
-                for i in 0..rows {
-                    let aki = arow[i0 + i];
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut chunk[i * n..(i + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += aki * bv;
-                    }
-                }
-            }
-        };
-        if m * n * k < PAR_FLOPS || m == 1 {
-            run(0, &mut out);
-        } else {
-            let rows_per_chunk = m.div_ceil(global().threads() * 2).max(1);
-            par_chunks_mut(global(), &mut out, rows_per_chunk * n, run);
-        }
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_buffer(
+            gemm::gemm(true, false, self.as_slice(), rhs.as_slice(), m, k, n),
+            &[m, n],
+        )
     }
 
     /// `self @ rhsᵀ` for `[m,k] @ [n,k]ᵀ = [m,n]` without materialising the
@@ -107,41 +51,22 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (n, k2) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul_t inner dims: {:?} @ {:?}ᵀ", self.shape(), rhs.shape());
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        let run = |start: usize, chunk: &mut [f32]| {
-            let i0 = start / n;
-            let rows = chunk.len() / n;
-            for i in 0..rows {
-                let arow = &a[(i0 + i) * k..(i0 + i + 1) * k];
-                let orow = &mut chunk[i * n..(i + 1) * n];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (x, y) in arow.iter().zip(brow.iter()) {
-                        acc += x * y;
-                    }
-                    *o += acc;
-                }
-            }
-        };
-        if m * n * k < PAR_FLOPS || m == 1 {
-            run(0, &mut out);
-        } else {
-            let rows_per_chunk = m.div_ceil(global().threads() * 2).max(1);
-            par_chunks_mut(global(), &mut out, rows_per_chunk * n, run);
-        }
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_buffer(
+            gemm::gemm(false, true, self.as_slice(), rhs.as_slice(), m, k, n),
+            &[m, n],
+        )
     }
 
-    /// Matrix–vector product `[m,k] @ [k] = [m]`.
+    /// Matrix–vector product `[m,k] @ [k] = [m]` via a dedicated
+    /// dot-product kernel.
     pub fn matvec(&self, v: &Tensor) -> Tensor {
         assert_eq!(self.ndim(), 2);
         assert_eq!(v.ndim(), 1);
         let (m, k) = (self.dim(0), self.dim(1));
         assert_eq!(k, v.dim(0), "matvec dims: {:?} @ {:?}", self.shape(), v.shape());
-        self.matmul(&v.reshape(&[k, 1])).reshape(&[m])
+        let mut out = Buffer::zeroed(m);
+        gemm::gemv(global(), self.as_slice(), v.as_slice(), m, k, &mut out);
+        Tensor::from_buffer(out, &[m])
     }
 
     /// Outer product of two vectors: `[m] ⊗ [n] = [m,n]`.
@@ -244,6 +169,33 @@ mod tests {
         let u = Tensor::from_vec(vec![1., 2.], &[2]);
         let w = Tensor::from_vec(vec![3., 4., 5.], &[3]);
         assert_eq!(u.outer(&w).as_slice(), &[3., 4., 5., 6., 8., 10.]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_reshape() {
+        let a = rng_tensor(20, &[37, 61]);
+        let v = rng_tensor(21, &[61]);
+        let via_mm = a.matmul(&v.reshape(&[61, 1])).reshape(&[37]);
+        assert_close(&a.matvec(&v), &via_mm, 1e-4);
+    }
+
+    #[test]
+    fn steady_state_matmul_reuses_output_buffers() {
+        let a = rng_tensor(30, &[64, 64]);
+        let b = rng_tensor(31, &[64, 64]);
+        // Warm the pool: the first output buffer is a fresh allocation that
+        // joins the pool when dropped.
+        drop(a.matmul(&b));
+        let (hits0, _) = crate::pool::stats();
+        for _ in 0..10 {
+            drop(a.matmul(&b));
+        }
+        let (hits1, _) = crate::pool::stats();
+        assert!(
+            hits1 >= hits0 + 10,
+            "expected every steady-state output to come from the pool, got {} hits",
+            hits1 - hits0
+        );
     }
 
     #[test]

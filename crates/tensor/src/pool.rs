@@ -1,0 +1,225 @@
+//! Recycling allocator for kernel output buffers.
+//!
+//! Training loops produce the same tensor shapes step after step: every
+//! matmul, im2col, and gradient accumulation allocates an output buffer,
+//! uses it briefly, and drops it when the autograd tape is discarded. Paying
+//! the allocator (and page-faulting fresh zero pages) for each of those is
+//! measurable churn at large batch sizes, so [`Buffer`] — the storage behind
+//! every [`crate::Tensor`] — returns its `Vec<f32>` to a thread-local free
+//! list on drop, and new kernel outputs are carved from that list when a
+//! fitting buffer is available.
+//!
+//! The pool is deliberately simple and bounded:
+//!
+//! * **Thread-local** — no locks; a buffer freed on a worker thread is
+//!   reused by that worker. Training loops allocate and free on the main
+//!   thread, which is where the hits land.
+//! * **First fit with a waste cap** — a pooled buffer is reused when its
+//!   capacity is at least the request and at most [`WASTE_FACTOR`]× the
+//!   request, so a giant buffer is never pinned under a tiny tensor.
+//! * **Bounded** — at most [`MAX_POOLED`] buffers / [`MAX_POOL_FLOATS`]
+//!   floats per thread; tiny buffers (< [`MIN_POOL_ELEMS`] elements) skip
+//!   the pool entirely since the allocator already handles them well.
+
+use std::cell::RefCell;
+
+/// Buffers below this many elements are never pooled.
+const MIN_POOL_ELEMS: usize = 1024;
+/// Maximum number of buffers retained per thread.
+const MAX_POOLED: usize = 48;
+/// Maximum total floats retained per thread (64 MiB).
+const MAX_POOL_FLOATS: usize = 16 * 1024 * 1024;
+/// A pooled buffer is only reused if its capacity is ≤ this multiple of the
+/// requested length.
+const WASTE_FACTOR: usize = 2;
+
+#[derive(Default)]
+struct FreeList {
+    bufs: Vec<Vec<f32>>,
+    total: usize,
+    hits: usize,
+    misses: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<FreeList> = RefCell::new(FreeList::default());
+}
+
+/// Takes a zeroed, `len`-long vector — recycled if the pool has a fit.
+fn take_zeroed(len: usize) -> Vec<f32> {
+    let reused = POOL
+        .try_with(|p| {
+            let mut p = p.borrow_mut();
+            let pos = p
+                .bufs
+                .iter()
+                .position(|b| b.capacity() >= len && b.capacity() <= WASTE_FACTOR * len.max(MIN_POOL_ELEMS));
+            match pos {
+                Some(i) => {
+                    let b = p.bufs.swap_remove(i);
+                    p.total -= b.capacity();
+                    p.hits += 1;
+                    Some(b)
+                }
+                None => {
+                    p.misses += 1;
+                    None
+                }
+            }
+        })
+        .ok()
+        .flatten();
+    match reused {
+        Some(mut b) => {
+            b.clear();
+            b.resize(len, 0.0);
+            b
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Offers a vector back to the pool (dropped if over budget or too small).
+fn give(v: Vec<f32>) {
+    if v.capacity() < MIN_POOL_ELEMS {
+        return;
+    }
+    let _ = POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.bufs.len() < MAX_POOLED && p.total + v.capacity() <= MAX_POOL_FLOATS {
+            p.total += v.capacity();
+            p.bufs.push(v);
+        }
+    });
+}
+
+/// `(hits, misses)` of this thread's pool — test/diagnostic hook.
+#[allow(dead_code)]
+pub(crate) fn stats() -> (usize, usize) {
+    POOL.with(|p| {
+        let p = p.borrow();
+        (p.hits, p.misses)
+    })
+}
+
+/// The storage behind [`crate::Tensor`]: a `Vec<f32>` that rejoins the
+/// thread-local pool when dropped.
+pub(crate) struct Buffer {
+    data: Vec<f32>,
+}
+
+impl Buffer {
+    /// Wraps an existing vector (it will be pooled on drop).
+    pub(crate) fn from_vec(data: Vec<f32>) -> Self {
+        Buffer { data }
+    }
+
+    /// A zeroed buffer of `len` elements, recycled from the pool if possible.
+    pub(crate) fn zeroed(len: usize) -> Self {
+        Buffer { data: take_zeroed(len) }
+    }
+
+    /// A buffer of `len` copies of `value`.
+    pub(crate) fn filled(len: usize, value: f32) -> Self {
+        let mut data = take_zeroed(len);
+        if value != 0.0 {
+            data.iter_mut().for_each(|x| *x = value);
+        }
+        Buffer { data }
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        give(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Buffer {
+    fn clone(&self) -> Self {
+        // Copy-on-write path: pull a pooled buffer and overwrite it.
+        let mut data = take_zeroed(self.data.len());
+        data.copy_from_slice(&self.data);
+        Buffer { data }
+    }
+}
+
+impl std::ops::Deref for Buffer {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for Buffer {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl PartialEq for Buffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_buffers_bypass_pool() {
+        let before = stats();
+        drop(Buffer::from_vec(vec![1.0; 8]));
+        let b = Buffer::zeroed(8);
+        assert_eq!(&*b, &[0.0; 8]);
+        let after = stats();
+        // an 8-element request never produces a pool hit
+        assert_eq!(after.0, before.0);
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers() {
+        let len = 64 * 1024;
+        // Warm the pool with one buffer of the steady-state size.
+        drop(Buffer::zeroed(len));
+        let (h0, _) = stats();
+        for _ in 0..10 {
+            let b = Buffer::zeroed(len);
+            assert!(b.iter().all(|&x| x == 0.0), "recycled buffer must be zeroed");
+            drop(b);
+        }
+        let (h1, _) = stats();
+        assert!(h1 >= h0 + 10, "expected ≥10 pool hits, got {}", h1 - h0);
+    }
+
+    #[test]
+    fn recycled_buffer_is_rezeroed_after_writes() {
+        let len = 8192;
+        {
+            let mut b = Buffer::zeroed(len);
+            b.iter_mut().for_each(|x| *x = 3.5);
+        }
+        let b = Buffer::zeroed(len);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Buffer::filled(4096, 2.0);
+        let b = a.clone();
+        a[0] = -1.0;
+        assert_eq!(b[0], 2.0);
+        assert_eq!(b[4095], 2.0);
+    }
+
+    #[test]
+    fn oversized_buffer_not_pinned_under_small_request() {
+        // A huge buffer must not be handed out for a much smaller request.
+        drop(Buffer::zeroed(1 << 20));
+        let small = Buffer::zeroed(2048);
+        assert!(small.len() == 2048);
+        // capacity of the vec backing `small` must be bounded by the waste cap
+        assert!(small.data.capacity() <= WASTE_FACTOR * 2048.max(MIN_POOL_ELEMS));
+    }
+}

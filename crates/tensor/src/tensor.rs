@@ -1,6 +1,7 @@
 //! The core tensor type: contiguous row-major `f32` storage with
 //! copy-on-write sharing.
 
+use crate::pool::Buffer;
 use crate::shape::Shape;
 use std::sync::Arc;
 
@@ -10,9 +11,14 @@ use std::sync::Arc;
 /// shared tensor is mutated ([`Tensor::as_mut_slice`] uses `Arc::make_mut`).
 /// This makes it cheap for the autograd tape to retain every intermediate
 /// value of a forward pass.
+///
+/// Storage is a [`Buffer`] rather than a bare `Vec<f32>`: when the last
+/// reference drops, the allocation rejoins a thread-local recycling pool
+/// (see [`crate::pool`]), so steady-state training loops stop paying the
+/// allocator for every kernel output.
 #[derive(Clone)]
 pub struct Tensor {
-    data: Arc<Vec<f32>>,
+    data: Arc<Buffer>,
     shape: Shape,
 }
 
@@ -32,13 +38,27 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { data: Arc::new(data), shape }
+        Self { data: Arc::new(Buffer::from_vec(data)), shape }
+    }
+
+    /// Builds a tensor directly from a pooled [`Buffer`] (kernel outputs).
+    pub(crate) fn from_buffer(buf: Buffer, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            buf.len(),
+            shape.numel(),
+            "buffer of {} elements does not fill shape {:?}",
+            buf.len(),
+            shape
+        );
+        Self { data: Arc::new(buf), shape }
     }
 
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Self { data: Arc::new(vec![value; shape.numel()]), shape }
+        let buf = Buffer::filled(shape.numel(), value);
+        Self { data: Arc::new(buf), shape }
     }
 
     /// All zeros.
@@ -53,7 +73,7 @@ impl Tensor {
 
     /// A zero tensor with the same shape as `self`.
     pub fn zeros_like(&self) -> Self {
-        Self { data: Arc::new(vec![0.0; self.numel()]), shape: self.shape.clone() }
+        Self { data: Arc::new(Buffer::zeroed(self.numel())), shape: self.shape.clone() }
     }
 
     /// A 1-element tensor holding `value`.
@@ -105,7 +125,8 @@ impl Tensor {
     /// Mutable view of the flat buffer, copying first if the buffer is
     /// shared (copy-on-write).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        let buf: &mut Buffer = Arc::make_mut(&mut self.data);
+        buf
     }
 
     /// True if this tensor currently shares its buffer with another.
@@ -188,7 +209,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose expects 2-D, got {:?}", self.shape);
         let (m, n) = (self.dim(0), self.dim(1));
         let src = self.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = Buffer::zeroed(m * n);
         // Simple blocked transpose for cache friendliness.
         const B: usize = 32;
         for ib in (0..m).step_by(B) {
@@ -200,7 +221,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, &[n, m])
+        Tensor::from_buffer(out, &[n, m])
     }
 
     /// Concatenates 2-D tensors with equal row counts along the column axis.

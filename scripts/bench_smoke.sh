@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Quick performance smoke: run the criterion kernel benches in quick mode.
+#
+# Usage:
+#   scripts/bench_smoke.sh                 # all kernel benches
+#   scripts/bench_smoke.sh gemm_shapes     # just the GEMM shape sweep
+#   LEGW_THREADS=1 scripts/bench_smoke.sh  # pin the worker pool
+#
+# The benches already use short measurement windows (see the `quick` config
+# in crates/bench/benches/kernels.rs); --quick shortens criterion's analysis
+# further so the whole sweep finishes in a couple of minutes. Compare GEMM
+# results against the tracked numbers in BENCH_gemm.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+exec cargo bench --package legw-bench --bench kernels -- --quick ${FILTER:+"$FILTER"}
