@@ -6,6 +6,7 @@
 //! forward alone, quantifying what the derived (non-fused) backward costs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legw::Executor;
 use legw_data::{SynthMnist, SynthPtb, SynthTranslation};
 use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
 use legw_nn::ParamSet;
@@ -113,11 +114,65 @@ fn bench_resnet_step(c: &mut Criterion) {
     });
 }
 
+/// The data-parallel executor at large batch: one full step (forward,
+/// backward, deterministic all-reduce, solver update) at batch 256,
+/// sharded over 1/2/4 workers. Tracked in BENCH_train_step.json; on a
+/// single visible core the parallel entries measure sharding overhead
+/// rather than speedup.
+fn bench_sharded_step(c: &mut Criterion) {
+    let shard_counts = [1usize, 2, 4];
+
+    // MNIST-LSTM, batch 256.
+    let data = SynthMnist::generate(5, 256, 8);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ps = ParamSet::new();
+    let model = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+    let (bx, by) = data.train.gather(&(0..256).collect::<Vec<_>>());
+    let mut opt = build(SolverKind::Momentum, 0.0);
+    let mut g = c.benchmark_group("mnist_lstm_b256_sharded");
+    for shards in shard_counts {
+        let exec = Executor::new(shards);
+        g.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+                opt.step(&mut ps, 0.1);
+                ps.zero_grad();
+                black_box(out.loss)
+            });
+        });
+    }
+    g.finish();
+
+    // Seq2seq with attention, batch 256.
+    let data = SynthTranslation::generate_with(6, 16, 256, 16, 3, 5, false);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut ps = ParamSet::new();
+    let cfg_m =
+        Seq2SeqConfig { vocab: data.vocab, embed: 32, hidden: 32, attn: 24, max_decode: 7 };
+    let model = Seq2Seq::new(&mut ps, &mut rng, cfg_m);
+    let batch = data.batches(true, 256).remove(0);
+    let mut opt = build(SolverKind::Momentum, 0.0);
+    let mut g = c.benchmark_group("seq2seq_b256_sharded");
+    for shards in shard_counts {
+        let exec = Executor::new(shards);
+        g.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                let out = exec.step_seq2seq(&model, &mut ps, &batch);
+                opt.step(&mut ps, 0.5);
+                ps.zero_grad();
+                black_box(out.loss)
+            });
+        });
+    }
+    g.finish();
+}
+
 fn all(c: &mut Criterion) {
     bench_mnist_step(c);
     bench_ptb_step(c);
     bench_seq2seq_step(c);
     bench_resnet_step(c);
+    bench_sharded_step(c);
 }
 
 criterion_group! {

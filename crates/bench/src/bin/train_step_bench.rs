@@ -1,0 +1,115 @@
+//! Standalone training-step timing harness used to track the perf
+//! trajectory of the data-parallel executor in `BENCH_train_step.json` at
+//! the repo root.
+//!
+//! Times one full optimizer-ready step (forward, tape backward, gradient
+//! write-back/all-reduce, grad zero) at batch 256 for two model families:
+//! the serial single-tape reference path, and the executor at 1/2/4
+//! shards. Prints a single machine-readable JSON object, like `gemm_bench`:
+//!
+//! ```text
+//! cargo run --release -p legw-bench --bin train_step_bench
+//! LEGW_THREADS=4 cargo run --release -p legw-bench --bin train_step_bench
+//! ```
+
+use legw::Executor;
+use legw_data::{SynthMnist, SynthTranslation};
+use legw_models::{MnistLstm, Seq2Seq, Seq2SeqConfig};
+use legw_nn::ParamSet;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `iters` runs of `f` (after 2 warmup runs).
+fn time_median<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    let mut sink = 0.0f64;
+    for _ in 0..2 {
+        sink += f();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            sink += f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sink == f64::INFINITY {
+        eprintln!("unreachable {sink}");
+    }
+    samples[samples.len() / 2]
+}
+
+struct Case {
+    name: String,
+    secs: f64,
+}
+
+fn main() {
+    let threads = legw_parallel::global().threads();
+    let shard_counts = [1usize, 2, 4];
+    let mut cases: Vec<Case> = Vec::new();
+
+    // MNIST-LSTM at batch 256.
+    {
+        let data = SynthMnist::generate(5, 256, 8);
+        let (bx, by) = data.train.gather(&(0..256).collect::<Vec<_>>());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let model = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+        let secs = time_median(9, || {
+            let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            let lv = g.value(loss).item() as f64;
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            ps.zero_grad();
+            lv
+        });
+        cases.push(Case { name: "mnist_b256_serial".into(), secs });
+        for shards in shard_counts {
+            let exec = Executor::new(shards);
+            let secs = time_median(9, || {
+                let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+                ps.zero_grad();
+                out.loss
+            });
+            cases.push(Case { name: format!("mnist_b256_shards{shards}"), secs });
+        }
+    }
+
+    // Seq2seq with attention at batch 256.
+    {
+        let data = SynthTranslation::generate_with(6, 16, 256, 16, 3, 5, false);
+        let batch = data.batches(true, 256).remove(0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ps = ParamSet::new();
+        let cfg =
+            Seq2SeqConfig { vocab: data.vocab, embed: 32, hidden: 32, attn: 24, max_decode: 7 };
+        let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
+        let secs = time_median(9, || {
+            let (mut g, bd, loss, nll) = model.forward_loss(&ps, &batch);
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            ps.zero_grad();
+            nll
+        });
+        cases.push(Case { name: "seq2seq_b256_serial".into(), secs });
+        for shards in shard_counts {
+            let exec = Executor::new(shards);
+            let secs = time_median(9, || {
+                let out = exec.step_seq2seq(&model, &mut ps, &batch);
+                ps.zero_grad();
+                out.loss
+            });
+            cases.push(Case { name: format!("seq2seq_b256_shards{shards}"), secs });
+        }
+    }
+
+    println!("{{");
+    println!("  \"threads\": {threads},");
+    println!("  \"default_shards\": {},", legw::exec::default_shards());
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        println!("  \"{}\": {{ \"ms\": {:.3} }}{}", c.name, c.secs * 1e3, comma);
+    }
+    println!("}}");
+}

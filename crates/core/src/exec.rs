@@ -1,0 +1,506 @@
+//! Data-parallel training executor: shard a batch across workers,
+//! all-reduce the gradients deterministically, step once.
+//!
+//! This is the paper's own computation structure — batch size `B` split
+//! over `P` workers, per-worker gradients combined before a single
+//! optimizer update (You et al., SC'19) — applied to the local thread
+//! pool instead of a cluster:
+//!
+//! 1. the batch is split into `P` contiguous shards
+//!    ([`Executor::shards`] workers, overridable via `LEGW_SHARDS`);
+//! 2. each shard runs forward + [`legw_autograd::Graph::backward`] +
+//!    `Binding::write_grads_to` concurrently, on its own tape, into its
+//!    own [`GradBuffer`] — no shared `&mut ParamSet`;
+//! 3. shard buffers are weighted by shard example counts and merged
+//!    with a fixed-order pairwise tree ([`tree reduce`](GradBuffer::merge)),
+//!    so results are byte-identical across runs and independent of
+//!    worker scheduling;
+//! 4. the combined gradient is applied to the `ParamSet` and the caller
+//!    performs the single optimizer step.
+//!
+//! Nested-parallelism budget: shard tasks run on a dedicated `P`-thread
+//! pool, and each shard installs a private `max(1, T/P)`-thread intra-op
+//! pool via [`legw_parallel::with_pool`], so the tensor kernels inside a
+//! shard never contend with other shards' fork/join latches and the
+//! total thread budget stays at `T` (`LEGW_THREADS`).
+//!
+//! With `LEGW_SHARDS=1` (the default) every step runs on the caller's
+//! thread against the global pool and is bit-identical to the historical
+//! serial trainer path.
+
+use legw_data::{LmBatch, TranslationBatch};
+use legw_models::{LmState, MnistLstm, PtbLm, ResNet, Seq2Seq};
+use legw_nn::{GradBuffer, ParamSet};
+use legw_parallel::{default_threads, with_pool, ThreadPool};
+use legw_tensor::Tensor;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How shard gradients (and losses) are combined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduce {
+    /// `Σ (wₛ/W) · gₛ` — exact for losses that are means over examples
+    /// (MNIST/ResNet cross-entropy, PTB per-token NLL) when `wₛ` is the
+    /// shard example count.
+    WeightedMean,
+    /// `Σ gₛ` — for shard losses that are already globally normalised
+    /// (the seq2seq masked loss with per-step `active_shard/active_batch`
+    /// scales).
+    Sum,
+}
+
+/// What one shard worker returns.
+pub struct ShardOut<E> {
+    /// The shard's accumulated gradients.
+    pub grads: GradBuffer,
+    /// The shard's loss value (per [`Reduce`] semantics).
+    pub loss: f64,
+    /// Combination weight (example count) — ignored by [`Reduce::Sum`].
+    pub weight: f64,
+    /// Arbitrary extra payload (e.g. the carried LSTM state).
+    pub extra: E,
+}
+
+/// Aggregate result of one sharded training step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepOutcome {
+    /// Combined batch loss, equal (within fp tolerance; exactly, for one
+    /// shard) to what the serial path would have reported.
+    pub loss: f64,
+    /// True if any shard produced a non-finite loss.
+    pub diverged: bool,
+}
+
+/// The data-parallel step executor. See the module docs for the design.
+pub struct Executor {
+    shards: usize,
+    /// Pool the shard closures run on (absent for the serial executor).
+    /// Sized so `run(n ≤ shards)` gives each shard its own concurrent
+    /// worker (the caller participates as one of them).
+    shard_pool: Option<ThreadPool>,
+    /// Per-shard intra-op pools installed via `with_pool` while the shard
+    /// closure runs.
+    intra: Vec<Arc<ThreadPool>>,
+}
+
+impl Executor {
+    /// An executor that splits each batch into (at most) `shards` shards.
+    /// `shards <= 1` builds the serial executor: no extra threads, every
+    /// step bit-identical to the historical single-tape path.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        if shards == 1 {
+            return Self { shards, shard_pool: None, intra: Vec::new() };
+        }
+        let budget = default_threads();
+        let intra_threads = (budget / shards).max(1);
+        Self {
+            shards,
+            shard_pool: Some(ThreadPool::new(shards)),
+            intra: (0..shards).map(|_| Arc::new(ThreadPool::new(intra_threads))).collect(),
+        }
+    }
+
+    /// The process-wide executor, sized from `LEGW_SHARDS` (default 1).
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| Executor::new(default_shards()))
+    }
+
+    /// Maximum number of shards a batch is split into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Contiguous example ranges for a batch of `n` examples: at most
+    /// [`Executor::shards`] shards, never an empty one.
+    pub fn shard_ranges(&self, n: usize) -> Vec<Range<usize>> {
+        legw_parallel::split_evenly(n, self.shards)
+    }
+
+    /// Runs `f` once per shard (concurrently when this executor is
+    /// parallel), then combines the shard gradients with a fixed-order
+    /// tree reduction. Returns the combined buffer, the aggregate
+    /// loss/divergence outcome, and the per-shard extras in shard order.
+    ///
+    /// Determinism: `f` must be deterministic per shard; everything the
+    /// executor adds (assignment of shards to workers aside) is a fixed
+    /// serial order on the calling thread, so repeated runs are
+    /// byte-identical.
+    pub fn run_shards<S, E, F>(&self, reduce: Reduce, shards: &[S], f: F) -> (GradBuffer, StepOutcome, Vec<E>)
+    where
+        S: Sync,
+        E: Send,
+        F: Fn(usize, &S) -> ShardOut<E> + Sync,
+    {
+        let n = shards.len();
+        assert!(n >= 1, "run_shards needs at least one shard");
+        assert!(
+            self.shard_pool.is_none() || n <= self.intra.len(),
+            "more shards than the executor was built for"
+        );
+
+        let outs: Vec<ShardOut<E>> = match &self.shard_pool {
+            None => shards.iter().enumerate().map(|(i, s)| f(i, s)).collect(),
+            Some(_) if n == 1 => vec![f(0, &shards[0])],
+            Some(pool) => {
+                let slots: Vec<Mutex<Option<ShardOut<E>>>> =
+                    (0..n).map(|_| Mutex::new(None)).collect();
+                pool.run(n, |i| {
+                    let out = with_pool(&self.intra[i], || f(i, &shards[i]));
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap().expect("shard task did not report"))
+                    .collect()
+            }
+        };
+
+        let diverged = outs.iter().any(|o| !o.loss.is_finite());
+        let mut losses = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut bufs = Vec::with_capacity(n);
+        let mut extras = Vec::with_capacity(n);
+        for o in outs {
+            losses.push(o.loss);
+            weights.push(o.weight);
+            bufs.push(o.grads);
+            extras.push(o.extra);
+        }
+
+        let loss = if n == 1 {
+            // Single shard: no scaling at all, so the result is
+            // bit-identical to the serial path.
+            losses[0]
+        } else {
+            match reduce {
+                Reduce::WeightedMean => {
+                    let total: f64 = weights.iter().sum();
+                    let mut loss = 0.0f64;
+                    for ((l, w), buf) in losses.iter().zip(&weights).zip(bufs.iter_mut()) {
+                        let frac = w / total;
+                        loss += frac * l;
+                        buf.scale(frac as f32);
+                    }
+                    loss
+                }
+                Reduce::Sum => losses.iter().sum(),
+            }
+        };
+        let combined = tree_reduce(bufs);
+        (combined, StepOutcome { loss, diverged }, extras)
+    }
+}
+
+impl Executor {
+    /// One sharded training step of the MNIST-LSTM classifier: forward +
+    /// backward per shard, deterministic gradient combine into `ps.grad`.
+    /// The caller clips/steps/zeroes as usual.
+    pub fn step_mnist(
+        &self,
+        model: &MnistLstm,
+        ps: &mut ParamSet,
+        bx: &Tensor,
+        by: &[usize],
+    ) -> StepOutcome {
+        let ranges = self.shard_ranges(by.len());
+        let shards: Vec<(Tensor, &[usize])> = if ranges.len() == 1 {
+            vec![(bx.clone(), by)]
+        } else {
+            ranges.iter().map(|r| (bx.rows(r.start, r.end), &by[r.start..r.end])).collect()
+        };
+        let ps_ref: &ParamSet = ps;
+        let (grads, out, _) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
+            let (sx, sy) = shard;
+            let (mut g, bd, loss, _) = model.forward_loss(ps_ref, sx, sy);
+            let lv = g.value(loss).item() as f64;
+            g.backward(loss);
+            let mut buf = GradBuffer::for_params(ps_ref);
+            bd.write_grads_to(&g, &mut buf);
+            ShardOut { grads: buf, loss: lv, weight: sy.len() as f64, extra: () }
+        });
+        grads.apply(ps);
+        out
+    }
+
+    /// One sharded BPTT window of the PTB language model. Tracks are
+    /// sharded by index, so each shard carries its own slice of the
+    /// recurrent state; the returned state is the shard states
+    /// reassembled in order.
+    pub fn step_ptb(
+        &self,
+        model: &PtbLm,
+        ps: &mut ParamSet,
+        window: &LmBatch,
+        state: &LmState,
+    ) -> (StepOutcome, LmState) {
+        let ranges = self.shard_ranges(window.tracks());
+        let shards: Vec<(LmBatch, LmState)> = if ranges.len() == 1 {
+            vec![(window.clone(), state.clone())]
+        } else {
+            ranges
+                .iter()
+                .map(|r| (window.slice_tracks(r.start, r.end), state.slice_rows(r.start, r.end)))
+                .collect()
+        };
+        let ps_ref: &ParamSet = ps;
+        let (grads, out, states) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
+            let (sw, ss) = shard;
+            let (mut g, bd, loss, nll, next) = model.forward_loss(ps_ref, sw, ss);
+            g.backward(loss);
+            let mut buf = GradBuffer::for_params(ps_ref);
+            bd.write_grads_to(&g, &mut buf);
+            ShardOut { grads: buf, loss: nll, weight: sw.tracks() as f64, extra: next }
+        });
+        grads.apply(ps);
+        let next_state =
+            if states.len() == 1 { states.into_iter().next().unwrap() } else { LmState::concat(&states) };
+        (out, next_state)
+    }
+
+    /// One sharded training step of the seq2seq model.
+    ///
+    /// The serial loss averages each decode step over the globally active
+    /// (unmasked) rows, so an example-count weighted mean of shard losses
+    /// would be wrong for ragged batches. Instead each shard scales step
+    /// `t` by `active_in_shard / active_in_batch` (computed here from the
+    /// full batch) and the shards combine by plain [`Reduce::Sum`], which
+    /// reproduces the serial loss and gradient exactly.
+    pub fn step_seq2seq(
+        &self,
+        model: &Seq2Seq,
+        ps: &mut ParamSet,
+        batch: &TranslationBatch,
+    ) -> StepOutcome {
+        let active = |step: &[usize]| step.iter().filter(|&&t| t != usize::MAX).count() as f32;
+        let ranges = self.shard_ranges(batch.batch_size());
+        let shards: Vec<(TranslationBatch, Option<Vec<f32>>)> = if ranges.len() == 1 {
+            vec![(batch.clone(), None)]
+        } else {
+            let global: Vec<f32> = batch.dec_tgt.iter().map(|s| active(s)).collect();
+            ranges
+                .iter()
+                .map(|r| {
+                    let sb = batch.slice(r.start, r.end);
+                    let scale: Vec<f32> = sb
+                        .dec_tgt
+                        .iter()
+                        .zip(&global)
+                        .map(|(s, &ga)| if ga > 0.0 { active(s) / ga } else { 0.0 })
+                        .collect();
+                    (sb, Some(scale))
+                })
+                .collect()
+        };
+        let ps_ref: &ParamSet = ps;
+        let (grads, out, _) = self.run_shards(Reduce::Sum, &shards, |_, shard| {
+            let (sb, scale) = shard;
+            let (mut g, bd, loss, nll) = model.forward_loss_scaled(ps_ref, sb, scale.as_deref());
+            g.backward(loss);
+            let mut buf = GradBuffer::for_params(ps_ref);
+            bd.write_grads_to(&g, &mut buf);
+            ShardOut { grads: buf, loss: nll, weight: sb.batch_size() as f64, extra: () }
+        });
+        grads.apply(ps);
+        out
+    }
+
+    /// One sharded training step of the ResNet. Each shard trains a clone
+    /// of the model (BatchNorm normalises with shard statistics — the
+    /// standard non-synchronised distributed-BN semantics) and the shard
+    /// running stats are folded back deterministically afterwards.
+    pub fn step_resnet(
+        &self,
+        model: &mut ResNet,
+        ps: &mut ParamSet,
+        bx: &Tensor,
+        by: &[usize],
+    ) -> StepOutcome {
+        let ranges = self.shard_ranges(by.len());
+        if ranges.len() == 1 {
+            // Serial path: mutate the model's BN stats in place, exactly as
+            // the historical trainer did.
+            let (mut g, bd, loss, _) = model.forward_loss(ps, bx, by);
+            let lv = g.value(loss).item() as f64;
+            g.backward(loss);
+            let mut buf = GradBuffer::for_params(ps);
+            bd.write_grads_to(&g, &mut buf);
+            buf.apply(ps);
+            return StepOutcome { loss: lv, diverged: !lv.is_finite() };
+        }
+
+        let clones: Vec<Mutex<ResNet>> =
+            ranges.iter().map(|_| Mutex::new(model.clone())).collect();
+        let shards: Vec<(Tensor, &[usize])> = ranges
+            .iter()
+            .map(|r| (bx.slice_outer(r.start, r.end), &by[r.start..r.end]))
+            .collect();
+        let ps_ref: &ParamSet = ps;
+        let (grads, out, _) = self.run_shards(Reduce::WeightedMean, &shards, |i, shard| {
+            let (sx, sy) = shard;
+            let mut m = clones[i].lock().unwrap();
+            let (mut g, bd, loss, _) = m.forward_loss(ps_ref, sx, sy);
+            let lv = g.value(loss).item() as f64;
+            g.backward(loss);
+            let mut buf = GradBuffer::for_params(ps_ref);
+            bd.write_grads_to(&g, &mut buf);
+            ShardOut { grads: buf, loss: lv, weight: sy.len() as f64, extra: () }
+        });
+        grads.apply(ps);
+
+        let total = by.len() as f32;
+        let clones: Vec<ResNet> =
+            clones.into_iter().map(|m| m.into_inner().unwrap()).collect();
+        let sources: Vec<(f32, &ResNet)> = ranges
+            .iter()
+            .zip(&clones)
+            .map(|(r, m)| ((r.end - r.start) as f32 / total, m))
+            .collect();
+        model.merge_shard_stats(&sources);
+        out
+    }
+}
+
+/// Fixed-order pairwise tree reduction (stride doubling): `bufs[i] +=
+/// bufs[i+s]` for `i ≡ 0 (mod 2s)`, `s = 1, 2, 4, …` — the same
+/// combination tree regardless of which worker finished first, so the
+/// floating-point result is deterministic for a given shard count.
+fn tree_reduce(mut bufs: Vec<GradBuffer>) -> GradBuffer {
+    let n = bufs.len();
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let right = std::mem::take(&mut bufs[i + stride]);
+            bufs[i].merge(&right);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    bufs.swap_remove(0)
+}
+
+/// `LEGW_SHARDS` parsed as a positive integer, else 1.
+pub fn default_shards() -> usize {
+    if let Ok(v) = std::env::var("LEGW_SHARDS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legw_data::SynthMnist;
+    use legw_models::MnistLstm;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// A synthetic "model": shard i contributes gradient `grad[i]` on one
+    /// scalar parameter with weight `w[i]` and loss `loss[i]`.
+    fn run_synthetic(
+        exec: &Executor,
+        reduce: Reduce,
+        cases: &[(f32, f64, f64)], // (grad, loss, weight)
+    ) -> (f32, StepOutcome) {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[1]));
+        let ps_ref = &ps;
+        let (grads, out, _) = exec.run_shards(reduce, cases, |_, &(g, l, w)| {
+            let mut buf = GradBuffer::for_params(ps_ref);
+            buf.accumulate(id, &Tensor::from_vec(vec![g], &[1]));
+            ShardOut { grads: buf, loss: l, weight: w, extra: () }
+        });
+        (grads.get(id).unwrap().as_slice()[0], out)
+    }
+
+    #[test]
+    fn weighted_mean_weights_by_example_count() {
+        let exec = Executor::new(1); // serial executor still reduces n shards
+        let (g, out) = run_synthetic(
+            &exec,
+            Reduce::WeightedMean,
+            &[(1.0, 1.0, 3.0), (5.0, 5.0, 1.0)],
+        );
+        // (3/4)·1 + (1/4)·5 = 2
+        assert!((g - 2.0).abs() < 1e-6);
+        assert!((out.loss - 2.0).abs() < 1e-9);
+        assert!(!out.diverged);
+    }
+
+    #[test]
+    fn sum_reduce_ignores_weights() {
+        let exec = Executor::new(1);
+        let (g, out) =
+            run_synthetic(&exec, Reduce::Sum, &[(1.0, 0.5, 99.0), (2.0, 0.25, 1.0)]);
+        assert!((g - 3.0).abs() < 1e-6);
+        assert!((out.loss - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_shard_skips_scaling_entirely() {
+        let exec = Executor::new(1);
+        let (g, out) = run_synthetic(&exec, Reduce::WeightedMean, &[(0.1, 7.0, 13.0)]);
+        assert_eq!(g, 0.1); // bit-identical, not 0.1 * (13/13)
+        assert_eq!(out.loss, 7.0);
+    }
+
+    #[test]
+    fn divergence_aggregates_across_shards() {
+        let exec = Executor::new(1);
+        let (_, out) = run_synthetic(
+            &exec,
+            Reduce::WeightedMean,
+            &[(1.0, 1.0, 1.0), (1.0, f64::NAN, 1.0)],
+        );
+        assert!(out.diverged);
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_bitwise() {
+        let serial = Executor::new(1);
+        let parallel = Executor::new(3);
+        let cases = [(0.3f32, 1.0, 2.0), (0.7, 2.0, 3.0), (0.11, 3.0, 1.0)];
+        let (gs, os) = run_synthetic(&serial, Reduce::WeightedMean, &cases);
+        for _ in 0..3 {
+            let (gp, op) = run_synthetic(&parallel, Reduce::WeightedMean, &cases);
+            assert_eq!(gs, gp, "tree reduce must not depend on worker timing");
+            assert_eq!(os.loss, op.loss);
+        }
+    }
+
+    #[test]
+    fn shard_ranges_never_empty() {
+        let exec = Executor::new(7);
+        let ranges = exec.shard_ranges(3);
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn step_mnist_sharded_matches_serial_grads() {
+        let data = SynthMnist::generate(1, 24, 8);
+        let (bx, by) = data.train.gather(&(0..11).collect::<Vec<_>>());
+        let grads_at = |shards: usize| {
+            let mut ps = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(5);
+            let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
+            let exec = Executor::new(shards);
+            let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+            assert!(!out.diverged);
+            let grads: Vec<f32> =
+                ps.iter().flat_map(|(_, p)| p.grad.as_slice().to_vec()).collect();
+            (out.loss, grads)
+        };
+        let (l1, g1) = grads_at(1);
+        let (l3, g3) = grads_at(3);
+        assert!((l1 - l3).abs() < 1e-6, "loss {l1} vs {l3}");
+        for (a, b) in g1.iter().zip(&g3) {
+            assert!((a - b).abs() < 1e-5, "grad mismatch {a} vs {b}");
+        }
+    }
+}

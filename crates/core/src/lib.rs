@@ -8,6 +8,10 @@
 //!   Table 1, driven by a [`legw_schedules::BaselineSchedule`] and any
 //!   [`legw_optim::SolverKind`], with divergence detection and per-epoch
 //!   metric histories.
+//! * [`exec`] — the data-parallel step executor the trainers run on:
+//!   batches are sharded over `LEGW_SHARDS` workers and shard gradients
+//!   are combined with a deterministic fixed-order tree reduction before
+//!   the single optimizer step.
 //! * [`apps`] — the Table 1 registry: per-application synthetic dataset
 //!   parameters, tuned baseline schedules, and a single entry point
 //!   ([`apps::run`]) the figure/table harness calls.
@@ -31,8 +35,10 @@
 
 pub mod apps;
 pub mod convergence;
+pub mod exec;
 pub mod lipschitz;
 pub mod trainer;
 pub mod tuning;
 
+pub use exec::{Executor, StepOutcome};
 pub use trainer::TrainReport;

@@ -1,6 +1,9 @@
 //! Training loops for the four applications, schedule-driven and
-//! divergence-aware.
+//! divergence-aware. Every step runs through the data-parallel
+//! [`Executor`](crate::exec::Executor) (serial by default; set
+//! `LEGW_SHARDS` to shard batches across workers).
 
+use crate::exec::Executor;
 use legw_data::{Classification, SynthImageNet, SynthMnist, SynthPtb, SynthTranslation};
 use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
 use legw_nn::ParamSet;
@@ -33,8 +36,8 @@ pub struct TrainReport {
 /// practice; applied identically to every method under comparison).
 pub const RNN_CLIP: f32 = 5.0;
 
-fn check_divergence(loss: f32, ps: &ParamSet) -> bool {
-    !loss.is_finite() || !ps.any_nonfinite_fast()
+fn check_divergence(loss_diverged: bool, ps: &ParamSet) -> bool {
+    loss_diverged || ps.any_nonfinite_fast()
 }
 
 trait FastFinite {
@@ -43,8 +46,21 @@ trait FastFinite {
 
 impl FastFinite for ParamSet {
     fn any_nonfinite_fast(&self) -> bool {
-        // cheap proxy: the global value norm is finite iff all entries are
-        self.value_norm().is_finite()
+        // Chunked scan exploiting `x * 0.0`: the product is +/-0 for every
+        // finite x and NaN for NaN/±Inf, so a chunk is all-finite iff the
+        // sum of products compares equal to zero. Branch-free per element
+        // (vectorises), and — unlike the old `value_norm().is_finite()`
+        // proxy — cannot overflow to Inf on large-but-finite parameters
+        // and falsely flag divergence.
+        for (_, p) in self.iter() {
+            for chunk in p.value.as_slice().chunks(4096) {
+                let acc: f32 = chunk.iter().map(|&v| v * 0.0).sum();
+                if acc != 0.0 {
+                    return true;
+                }
+            }
+        }
+        false
     }
 }
 
@@ -61,6 +77,7 @@ pub fn train_mnist(
     let mut ps = ParamSet::new();
     let model = MnistLstm::new(&mut ps, &mut rng, proj, hidden);
     let mut opt = build(solver, 0.0);
+    let exec = Executor::global();
 
     let batch = schedule.batch_size();
     let ipe = data.train.iters_per_epoch(batch);
@@ -83,16 +100,13 @@ pub fn train_mnist(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
-            let lv = g.value(loss).item();
-            epoch_loss += lv as f64;
+            let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+            epoch_loss += out.loss;
             epoch_count += 1;
-            if check_divergence(lv, &ps) {
+            if check_divergence(out.diverged, &ps) {
                 report.diverged = true;
                 break 'outer;
             }
-            g.backward(loss);
-            bd.write_grads(&g, &mut ps);
             ps.clip_grad_norm(RNN_CLIP);
             opt.step(&mut ps, lr);
             ps.zero_grad();
@@ -127,6 +141,7 @@ pub fn train_ptb(
     let mut ps = ParamSet::new();
     let model = PtbLm::new(&mut ps, &mut rng, cfg);
     let mut opt = build(solver, 0.0);
+    let exec = Executor::global();
 
     let batch = schedule.batch_size();
     let ipe = data.iters_per_epoch(batch, seq_len);
@@ -150,16 +165,14 @@ pub fn train_ptb(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (mut g, bd, loss, nll, next_state) = model.forward_loss(&ps, &window, &state);
-            epoch_loss += nll;
+            let (out, next_state) = exec.step_ptb(&model, &mut ps, &window, &state);
+            epoch_loss += out.loss;
             epoch_count += 1;
-            if check_divergence(nll as f32, &ps) {
+            if check_divergence(out.diverged, &ps) {
                 report.diverged = true;
                 break 'outer;
             }
             state = next_state;
-            g.backward(loss);
-            bd.write_grads(&g, &mut ps);
             ps.clip_grad_norm(RNN_CLIP);
             opt.step(&mut ps, lr);
             ps.zero_grad();
@@ -192,6 +205,7 @@ pub fn train_seq2seq(
     let mut ps = ParamSet::new();
     let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
     let mut opt = build(solver, 0.0);
+    let exec = Executor::global();
 
     let batch = schedule.batch_size();
     let ipe = data.iters_per_epoch(batch);
@@ -214,15 +228,13 @@ pub fn train_seq2seq(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (mut g, bd, loss, nll) = model.forward_loss(&ps, &b);
-            epoch_loss += nll;
+            let out = exec.step_seq2seq(&model, &mut ps, &b);
+            epoch_loss += out.loss;
             epoch_count += 1;
-            if check_divergence(nll as f32, &ps) {
+            if check_divergence(out.diverged, &ps) {
                 report.diverged = true;
                 break 'outer;
             }
-            g.backward(loss);
-            bd.write_grads(&g, &mut ps);
             ps.clip_grad_norm(RNN_CLIP);
             opt.step(&mut ps, lr);
             ps.zero_grad();
@@ -254,6 +266,7 @@ pub fn train_resnet(
     let mut ps = ParamSet::new();
     let mut model = ResNet::new(&mut ps, &mut rng, width, data.n_classes);
     let mut opt = build(solver, weight_decay);
+    let exec = Executor::global();
 
     let batch = schedule.batch_size();
     let ipe = data.train.iters_per_epoch(batch);
@@ -276,16 +289,13 @@ pub fn train_resnet(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
-            let lv = g.value(loss).item();
-            epoch_loss += lv as f64;
+            let out = exec.step_resnet(&mut model, &mut ps, &bx, &by);
+            epoch_loss += out.loss;
             epoch_count += 1;
-            if check_divergence(lv, &ps) {
+            if check_divergence(out.diverged, &ps) {
                 report.diverged = true;
                 break 'outer;
             }
-            g.backward(loss);
-            bd.write_grads(&g, &mut ps);
             opt.step(&mut ps, lr);
             ps.zero_grad();
             iter += 1;

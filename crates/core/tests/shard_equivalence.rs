@@ -1,0 +1,120 @@
+//! Integration properties of the data-parallel executor ([`legw::exec`]):
+//! for every shard count, a sharded step must reproduce the serial
+//! gradients (within fp tolerance), and repeated runs at a fixed shard
+//! count must be *byte-identical* — the fixed-order tree reduction makes
+//! the result independent of worker scheduling.
+
+use legw::Executor;
+use legw_data::{SynthMnist, SynthTranslation};
+use legw_models::{MnistLstm, Seq2Seq, Seq2SeqConfig};
+use legw_nn::ParamSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shard counts exercised against the serial reference, including a prime
+/// (3) and one larger than some test batches (7 — ranges cap at the batch).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn grad_vec(ps: &ParamSet) -> Vec<f32> {
+    ps.iter().flat_map(|(_, p)| p.grad.as_slice().to_vec()).collect()
+}
+
+/// One MNIST-LSTM step on a fresh seeded model; returns (loss, grads).
+fn mnist_step(seed: u64, batch: usize, shards: usize) -> (f64, Vec<f32>) {
+    let data = SynthMnist::generate(7, 32, 8);
+    let idx: Vec<usize> = (0..batch).collect();
+    let (bx, by) = data.train.gather(&idx);
+    let mut ps = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
+    let exec = Executor::new(shards);
+    let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+    assert!(!out.diverged);
+    (out.loss, grad_vec(&ps))
+}
+
+/// One seq2seq step on a ragged (masked-label) batch; returns (loss, grads).
+fn seq2seq_step(seed: u64, batch: usize, shards: usize) -> (f64, Vec<f32>) {
+    let data = SynthTranslation::generate(9, 12, 16, 4, 2, 5);
+    let b = data.batches(true, batch).into_iter().next().unwrap();
+    let mut ps = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = Seq2SeqConfig::compact(data.vocab, data.max_len() + 1);
+    let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
+    let exec = Executor::new(shards);
+    let out = exec.step_seq2seq(&model, &mut ps, &b);
+    assert!(!out.diverged);
+    (out.loss, grad_vec(&ps))
+}
+
+proptest! {
+    /// MNIST-LSTM: executor gradients match the serial path within 1e-5
+    /// for every shard count, over ragged batch sizes.
+    #[test]
+    fn mnist_sharded_grads_match_serial(
+        seed in 0u64..1000,
+        batch in 4usize..24,
+    ) {
+        let (l1, g1) = mnist_step(seed, batch, 1);
+        for shards in SHARD_COUNTS {
+            let (lp, gp) = mnist_step(seed, batch, shards);
+            prop_assert!((l1 - lp).abs() < 1e-5, "loss {l1} vs {lp} at {shards} shards");
+            prop_assert!(g1.len() == gp.len());
+            for (a, b) in g1.iter().zip(&gp) {
+                prop_assert!((a - b).abs() < 1e-5, "grad {a} vs {b} at {shards} shards");
+            }
+        }
+    }
+
+    /// Seq2seq with masked labels: the per-step active-row rescaling makes
+    /// sharded gradients match the serial globally-averaged loss within
+    /// 1e-5 — including ragged batches where shards see different numbers
+    /// of active rows per decode step.
+    #[test]
+    fn seq2seq_sharded_grads_match_serial(
+        seed in 0u64..1000,
+        batch in 2usize..13,
+    ) {
+        let (l1, g1) = seq2seq_step(seed, batch, 1);
+        for shards in SHARD_COUNTS {
+            let (lp, gp) = seq2seq_step(seed, batch, shards);
+            prop_assert!((l1 - lp).abs() < 1e-5, "loss {l1} vs {lp} at {shards} shards");
+            prop_assert!(g1.len() == gp.len());
+            for (a, b) in g1.iter().zip(&gp) {
+                prop_assert!((a - b).abs() < 1e-5, "grad {a} vs {b} at {shards} shards");
+            }
+        }
+    }
+}
+
+/// At a fixed shard count the whole step is byte-deterministic: repeated
+/// runs produce bit-identical losses and gradients regardless of how the
+/// OS schedules the shard workers.
+#[test]
+fn sharded_step_is_byte_identical_across_runs() {
+    let (ml, mg) = mnist_step(3, 13, 3);
+    let (sl, sg) = seq2seq_step(4, 11, 3);
+    for _ in 0..2 {
+        let (l, g) = mnist_step(3, 13, 3);
+        assert_eq!(l.to_bits(), ml.to_bits(), "mnist loss must be bit-stable");
+        assert_eq!(g.len(), mg.len());
+        assert!(g.iter().zip(&mg).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let (l, g) = seq2seq_step(4, 11, 3);
+        assert_eq!(l.to_bits(), sl.to_bits(), "seq2seq loss must be bit-stable");
+        assert_eq!(g.len(), sg.len());
+        assert!(g.iter().zip(&sg).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+/// The serial executor (`LEGW_SHARDS=1`) takes the clone-free fast path
+/// and is bit-identical to itself run-to-run — the guarantee the
+/// quickstart's exact expected accuracies rely on.
+#[test]
+fn serial_executor_is_bit_stable() {
+    let (l0, g0) = mnist_step(8, 9, 1);
+    let (l1, g1) = mnist_step(8, 9, 1);
+    assert_eq!(l0.to_bits(), l1.to_bits());
+    assert!(g0.iter().zip(&g1).all(|(a, b)| a.to_bits() == b.to_bits()));
+}

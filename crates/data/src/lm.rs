@@ -124,11 +124,30 @@ impl SynthPtb {
 }
 
 /// One truncated-BPTT window: `inputs[t][b]` and `targets[t][b]` token ids.
+#[derive(Clone)]
 pub struct LmBatch {
     /// Input token ids per step per track.
     pub inputs: Vec<Vec<usize>>,
     /// Next-token targets aligned with `inputs`.
     pub targets: Vec<Vec<usize>>,
+}
+
+impl LmBatch {
+    /// Number of parallel tracks in the window.
+    pub fn tracks(&self) -> usize {
+        self.inputs.first().map_or(0, |step| step.len())
+    }
+
+    /// The sub-window of tracks `[start, end)` — every step's id vector is
+    /// column-sliced. Used by the data-parallel executor to shard a BPTT
+    /// window across workers (track state stays aligned by index).
+    pub fn slice_tracks(&self, start: usize, end: usize) -> LmBatch {
+        assert!(start <= end && end <= self.tracks());
+        let cols = |rows: &[Vec<usize>]| -> Vec<Vec<usize>> {
+            rows.iter().map(|r| r[start..end].to_vec()).collect()
+        };
+        LmBatch { inputs: cols(&self.inputs), targets: cols(&self.targets) }
+    }
 }
 
 #[cfg(test)]

@@ -138,6 +138,7 @@ impl SynthTranslation {
 }
 
 /// A padded seq2seq batch in time-major layout.
+#[derive(Clone)]
 pub struct TranslationBatch {
     /// `src[t][b]`: source ids, [`PAD`]-padded.
     pub src: Vec<Vec<usize>>,
@@ -183,6 +184,23 @@ impl TranslationBatch {
     /// Batch width.
     pub fn batch_size(&self) -> usize {
         self.refs.len()
+    }
+
+    /// The sub-batch of sequences `[start, end)` — every per-step id vector
+    /// is column-sliced, keeping padding/masking intact. Used by the
+    /// data-parallel executor to shard a batch across workers.
+    pub fn slice(&self, start: usize, end: usize) -> TranslationBatch {
+        assert!(start <= end && end <= self.batch_size());
+        let cols = |rows: &[Vec<usize>]| -> Vec<Vec<usize>> {
+            rows.iter().map(|r| r[start..end].to_vec()).collect()
+        };
+        TranslationBatch {
+            src: cols(&self.src),
+            dec_in: cols(&self.dec_in),
+            dec_tgt: cols(&self.dec_tgt),
+            refs: self.refs[start..end].to_vec(),
+            sources: self.sources[start..end].to_vec(),
+        }
     }
 }
 

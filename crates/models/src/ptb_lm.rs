@@ -52,6 +52,33 @@ impl LmState {
                 .collect(),
         )
     }
+
+    /// Rows `[start, end)` of every layer's `(h, c)` — the state slice for
+    /// one batch shard in the data-parallel executor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> LmState {
+        Self(
+            self.0
+                .iter()
+                .map(|(h, c)| (h.rows(start, end), c.rows(start, end)))
+                .collect(),
+        )
+    }
+
+    /// Reassembles per-shard carried states (given in shard order) back
+    /// into the full-batch state. Inverse of [`LmState::slice_rows`].
+    pub fn concat(parts: &[LmState]) -> LmState {
+        assert!(!parts.is_empty(), "concat of zero states");
+        let layers = parts[0].0.len();
+        Self(
+            (0..layers)
+                .map(|l| {
+                    let hs: Vec<&Tensor> = parts.iter().map(|p| &p.0[l].0).collect();
+                    let cs: Vec<&Tensor> = parts.iter().map(|p| &p.0[l].1).collect();
+                    (Tensor::concat_outer(&hs), Tensor::concat_outer(&cs))
+                })
+                .collect(),
+        )
+    }
 }
 
 /// The language model.

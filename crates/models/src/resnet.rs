@@ -12,6 +12,7 @@ use legw_nn::{BatchNorm2d, Binding, Conv2d, Linear, ParamSet};
 use legw_tensor::Tensor;
 use rand::Rng;
 
+#[derive(Clone)]
 struct Block {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -83,6 +84,12 @@ impl Block {
 }
 
 /// The ResNet-8 stand-in.
+///
+/// `Clone` copies the layer wiring *and* the BatchNorm running statistics;
+/// the data-parallel executor clones the model per batch shard (forward
+/// passes mutate BN state) and folds the shard stats back with
+/// [`ResNet::merge_shard_stats`].
+#[derive(Clone)]
 pub struct ResNet {
     stem: Conv2d,
     stem_bn: BatchNorm2d,
@@ -153,6 +160,49 @@ impl ResNet {
         let loss = g.softmax_cross_entropy(logits, labels);
         let lv = g.value(logits).clone();
         (g, bd, loss, lv)
+    }
+
+    /// Every BatchNorm layer in forward order.
+    fn batch_norms(&self) -> Vec<&BatchNorm2d> {
+        let mut bns = vec![&self.stem_bn];
+        for b in &self.blocks {
+            bns.push(&b.bn1);
+            bns.push(&b.bn2);
+            if let Some((_, bn)) = &b.proj {
+                bns.push(bn);
+            }
+        }
+        bns
+    }
+
+    /// Every BatchNorm layer, mutably, in the same order as
+    /// [`ResNet::batch_norms`].
+    fn batch_norms_mut(&mut self) -> Vec<&mut BatchNorm2d> {
+        let mut bns = vec![&mut self.stem_bn];
+        for b in &mut self.blocks {
+            bns.push(&mut b.bn1);
+            bns.push(&mut b.bn2);
+            if let Some((_, bn)) = &mut b.proj {
+                bns.push(bn);
+            }
+        }
+        bns
+    }
+
+    /// Replaces this model's BatchNorm running statistics with the
+    /// weighted average of the shard clones' statistics (weights must sum
+    /// to 1; use shard-example fractions). Deterministic: iterates shards
+    /// in the order given.
+    pub fn merge_shard_stats(&mut self, shards: &[(f32, &ResNet)]) {
+        let shard_bns: Vec<Vec<&BatchNorm2d>> = shards.iter().map(|(_, m)| m.batch_norms()).collect();
+        for (i, bn) in self.batch_norms_mut().into_iter().enumerate() {
+            let sources: Vec<(f32, &BatchNorm2d)> = shards
+                .iter()
+                .zip(&shard_bns)
+                .map(|((w, _), bns)| (*w, bns[i]))
+                .collect();
+            bn.set_stats_weighted(&sources);
+        }
     }
 
     /// `(top-1, top-k)` accuracy over a dataset in evaluation mode.

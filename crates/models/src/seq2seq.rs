@@ -148,6 +148,23 @@ impl Seq2Seq {
         ps: &ParamSet,
         batch: &TranslationBatch,
     ) -> (Graph, Binding, Var, f64) {
+        self.forward_loss_scaled(ps, batch, None)
+    }
+
+    /// [`Seq2Seq::forward_loss`] with optional per-decode-step loss scales.
+    ///
+    /// The data-parallel executor needs this for exact batch sharding: the
+    /// serial loss averages each step over the *globally* active (unmasked)
+    /// rows, so a shard must weight step `t` by `active_in_shard /
+    /// active_in_batch`; the sum of the scaled shard losses then equals the
+    /// serial loss. A scale of exactly `1.0` adds no tape node, keeping the
+    /// single-shard path bit-identical to the unscaled one.
+    pub fn forward_loss_scaled(
+        &self,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+        step_scale: Option<&[f32]>,
+    ) -> (Graph, Binding, Var, f64) {
         let mut g = Graph::new();
         let mut bd = Binding::new();
         let enc = self.encode(&mut g, &mut bd, ps, &batch.src);
@@ -155,13 +172,21 @@ impl Seq2Seq {
         let mut s1 = LstmState { h: enc.last.h, c: enc.last.c };
 
         let steps = batch.dec_in.len();
+        if let Some(s) = step_scale {
+            assert_eq!(s.len(), steps, "one loss scale per decode step");
+        }
         let mut total: Option<Var> = None;
         for t in 0..steps {
             let (logits, ns0, ns1) =
                 self.decode_step(&mut g, &mut bd, ps, &enc, &batch.dec_in[t], s0, s1);
             s0 = ns0;
             s1 = ns1;
-            let step_loss = g.softmax_cross_entropy(logits, &batch.dec_tgt[t]);
+            let mut step_loss = g.softmax_cross_entropy(logits, &batch.dec_tgt[t]);
+            if let Some(s) = step_scale {
+                if s[t] != 1.0 {
+                    step_loss = g.scale(step_loss, s[t]);
+                }
+            }
             total = Some(match total {
                 Some(acc) => g.add(acc, step_loss),
                 None => step_loss,

@@ -7,6 +7,7 @@ use rand::Rng;
 
 /// 2-D convolution layer (no bias — always followed by [`BatchNorm2d`] in
 /// the ResNet blocks, as in the reference architecture).
+#[derive(Clone)]
 pub struct Conv2d {
     /// Kernel `[out_channels, in_channels·kh·kw]`.
     pub w: ParamId,
@@ -67,6 +68,7 @@ impl Conv2d {
 
 /// Per-channel batch normalisation with learned affine and running
 /// statistics for inference.
+#[derive(Clone)]
 pub struct BatchNorm2d {
     /// Scale `[C]`, initialised to 1.
     pub gamma: ParamId,
@@ -121,6 +123,22 @@ impl BatchNorm2d {
         let gamma = b.bind(g, ps, self.gamma);
         let beta = b.bind(g, ps, self.beta);
         g.batch_norm(x, gamma, beta, self.eps)
+    }
+
+    /// Overwrites the running statistics with the weighted average of the
+    /// `sources` stats (weights must sum to 1).
+    ///
+    /// The data-parallel executor trains shard-local clones of BN layers
+    /// and folds them back with shard-example-count weights; because every
+    /// clone starts from the same pre-step stats, the weighted average of
+    /// the updated means reproduces the serial running-mean update exactly
+    /// (the variance average drops the between-shard term, the usual
+    /// non-synchronised distributed-BN behaviour).
+    pub fn set_stats_weighted(&mut self, sources: &[(f32, &BatchNorm2d)]) {
+        for c in 0..self.channels {
+            self.running_mean[c] = sources.iter().map(|(w, s)| w * s.running_mean[c]).sum();
+            self.running_var[c] = sources.iter().map(|(w, s)| w * s.running_var[c]).sum();
+        }
     }
 
     /// Inference-mode forward: folds the running statistics and affine

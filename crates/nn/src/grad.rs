@@ -1,0 +1,177 @@
+//! Stand-alone gradient accumulation, decoupled from `&mut ParamSet`.
+//!
+//! The data-parallel training executor runs one backward pass per batch
+//! shard on concurrent workers. Those workers cannot all hold
+//! `&mut ParamSet`, so each accumulates into its own [`GradBuffer`] —
+//! a sparse per-[`ParamId`] tensor store — via
+//! [`Binding::write_grads_to`]. The buffers are then scaled by shard
+//! weight, merged pairwise in a fixed order (deterministic tree
+//! all-reduce), and applied to the real parameter store once, on the
+//! coordinating thread, before the single optimizer step.
+//!
+//! [`Binding::write_grads_to`]: crate::Binding::write_grads_to
+
+use crate::param::{ParamId, ParamSet};
+use legw_tensor::Tensor;
+
+/// Per-parameter gradient accumulator keyed by [`ParamId`].
+///
+/// Slots start empty; a parameter that never receives a gradient stays
+/// `None` and is skipped by [`GradBuffer::apply`], mirroring
+/// `Binding::write_grads` leaving untouched gradients alone.
+#[derive(Default)]
+pub struct GradBuffer {
+    slots: Vec<Option<Tensor>>,
+}
+
+impl GradBuffer {
+    /// A buffer with one empty slot per parameter of the target store.
+    pub fn for_params(ps: &ParamSet) -> Self {
+        Self::with_len(ps.len())
+    }
+
+    /// A buffer with `n` empty slots.
+    pub fn with_len(n: usize) -> Self {
+        Self { slots: (0..n).map(|_| None).collect() }
+    }
+
+    /// Number of slots (empty or filled).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the buffer has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of slots that have received a gradient.
+    pub fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The accumulated gradient for `id`, if any.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.slots[id.0].as_ref()
+    }
+
+    /// Adds `grad` into the slot for `id` (first write clones, later
+    /// writes accumulate — the same order-of-operations as
+    /// `grad.axpy` chains on a zeroed `ParamSet` gradient).
+    pub fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        match &mut self.slots[id.0] {
+            Some(t) => t.axpy(1.0, grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+
+    /// Scales every filled slot by `s` (shard weighting). `s == 1.0` is a
+    /// guaranteed no-op so the single-shard path stays bit-identical to
+    /// the serial one.
+    pub fn scale(&mut self, s: f32) {
+        if s == 1.0 {
+            return;
+        }
+        for t in self.slots.iter_mut().flatten() {
+            t.scale_inplace(s);
+        }
+    }
+
+    /// Element-wise merge of another buffer into this one (the reduction
+    /// step of the tree all-reduce). Empty slots on either side pass the
+    /// other side through.
+    pub fn merge(&mut self, other: &GradBuffer) {
+        assert_eq!(self.slots.len(), other.slots.len(), "grad buffer arity mismatch");
+        for (dst, src) in self.slots.iter_mut().zip(&other.slots) {
+            match (dst.as_mut(), src) {
+                (Some(d), Some(s)) => d.axpy(1.0, s),
+                (None, Some(s)) => *dst = Some(s.clone()),
+                (_, None) => {}
+            }
+        }
+    }
+
+    /// Adds every filled slot into the matching `ParamSet` gradient.
+    pub fn apply(&self, ps: &mut ParamSet) {
+        assert_eq!(self.slots.len(), ps.len(), "grad buffer arity mismatch");
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(t) = slot {
+                ps.get_mut(ParamId(i)).grad.axpy(1.0, t);
+            }
+        }
+    }
+
+    /// True if every filled slot is NaN/Inf-free.
+    pub fn all_finite(&self) -> bool {
+        self.slots.iter().flatten().all(|t| t.all_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Binding;
+    use legw_autograd::Graph;
+
+    fn two_param_set() -> (ParamSet, ParamId, ParamId) {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = ps.add("b", Tensor::from_vec(vec![3.0], &[1]));
+        (ps, a, b)
+    }
+
+    #[test]
+    fn accumulate_scale_apply() {
+        let (mut ps, a, b) = two_param_set();
+        let mut buf = GradBuffer::for_params(&ps);
+        assert_eq!(buf.len(), 2);
+        buf.accumulate(a, &Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        buf.accumulate(a, &Tensor::from_vec(vec![1.0, 3.0], &[2]));
+        assert_eq!(buf.filled(), 1);
+        buf.scale(0.5);
+        buf.apply(&mut ps);
+        assert_eq!(ps.get(a).grad.as_slice(), &[1.0, 1.0]);
+        // b never received a gradient: untouched.
+        assert_eq!(ps.get(b).grad.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn merge_handles_disjoint_and_overlapping_slots() {
+        let (ps, a, b) = two_param_set();
+        let mut x = GradBuffer::for_params(&ps);
+        let mut y = GradBuffer::for_params(&ps);
+        x.accumulate(a, &Tensor::from_vec(vec![1.0, 0.0], &[2]));
+        y.accumulate(a, &Tensor::from_vec(vec![0.5, 2.0], &[2]));
+        y.accumulate(b, &Tensor::from_vec(vec![7.0], &[1]));
+        x.merge(&y);
+        assert_eq!(x.get(a).unwrap().as_slice(), &[1.5, 2.0]);
+        assert_eq!(x.get(b).unwrap().as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn all_finite_flags_nan() {
+        let (ps, a, _) = two_param_set();
+        let mut buf = GradBuffer::for_params(&ps);
+        buf.accumulate(a, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert!(buf.all_finite());
+        buf.accumulate(a, &Tensor::from_vec(vec![f32::NAN, 0.0], &[2]));
+        assert!(!buf.all_finite());
+    }
+
+    #[test]
+    fn write_grads_to_matches_write_grads() {
+        // Same tape driven through both sinks must produce identical grads.
+        let (mut ps, a, _) = two_param_set();
+        let mut g = Graph::new();
+        let mut bind = Binding::new();
+        let v = bind.bind(&mut g, &ps, a);
+        let m = g.mul(v, v);
+        let y = g.sum_all(m);
+        g.backward(y);
+
+        let mut buf = GradBuffer::for_params(&ps);
+        bind.write_grads_to(&g, &mut buf);
+        bind.write_grads(&g, &mut ps);
+        assert_eq!(buf.get(a).unwrap().as_slice(), ps.get(a).grad.as_slice());
+    }
+}

@@ -7,6 +7,9 @@
 //!   optimizers mutate the store, and a per-step [`Binding`] maps parameters
 //!   onto tape variables (deduplicated, so weights reused across timesteps
 //!   accumulate gradients correctly).
+//! * [`GradBuffer`] — detached per-parameter gradient accumulation for
+//!   data-parallel shard workers (merged deterministically before the
+//!   optimizer step).
 //! * [`Linear`], [`Embedding`] — affine map and table lookup.
 //! * [`LstmCell`] / [`Lstm`] — the paper's workhorse. Gates are composed
 //!   from tape ops (concat → matmul → slice → σ/tanh), so the backward pass
@@ -35,6 +38,7 @@ pub mod checkpoint;
 mod conv;
 mod dropout;
 mod embedding;
+mod grad;
 mod linear;
 mod lstm;
 mod param;
@@ -43,6 +47,7 @@ pub use attention::BahdanauAttention;
 pub use conv::{BatchNorm2d, Conv2d};
 pub use dropout::Dropout;
 pub use embedding::Embedding;
+pub use grad::GradBuffer;
 pub use linear::Linear;
 pub use lstm::{Lstm, LstmCell, LstmState};
 pub use param::{Binding, Param, ParamId, ParamSet};

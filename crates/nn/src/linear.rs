@@ -6,6 +6,7 @@ use legw_tensor::Tensor;
 use rand::Rng;
 
 /// Affine map `y = x·W (+ b)` with Xavier-uniform initialisation.
+#[derive(Clone)]
 pub struct Linear {
     /// Weight `[in, out]`.
     pub w: ParamId,

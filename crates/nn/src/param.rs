@@ -207,6 +207,20 @@ impl Binding {
             }
         }
     }
+
+    /// Like [`Binding::write_grads`], but accumulates into a detached
+    /// [`GradBuffer`](crate::GradBuffer) instead of the parameter store.
+    /// Visits parameters in the same binding order, so a single-shard
+    /// buffer applied to a zeroed `ParamSet` reproduces `write_grads`
+    /// bit-for-bit. This is what lets data-parallel shard workers run
+    /// backward passes without sharing `&mut ParamSet`.
+    pub fn write_grads_to(&self, g: &Graph, buf: &mut crate::GradBuffer) {
+        for &(id, var) in &self.bound {
+            if let Some(grad) = g.grad(var) {
+                buf.accumulate(id, grad);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

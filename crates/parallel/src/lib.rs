@@ -16,6 +16,10 @@
 //!   built on (the last one is the 2-D grid launch used by blocked GEMM).
 //! * [`global`] — a process-wide lazily initialised pool (size taken from
 //!   `LEGW_THREADS` or the machine's available parallelism).
+//! * [`current`] / [`with_pool`] — thread-local pool scoping so nested
+//!   parallelism (e.g. data-parallel shard workers in the training
+//!   executor) can give each outer worker its own small intra-op pool
+//!   instead of oversubscribing the global one.
 //!
 //! The design follows the classic channel + latch structure: jobs are
 //! `Box<dyn FnOnce() + Send>` values pushed into an unbounded channel;
@@ -38,10 +42,12 @@
 mod latch;
 mod pool;
 mod iter;
+mod scope;
 
 pub use latch::CountLatch;
 pub use pool::ThreadPool;
 pub use iter::{par_chunks_mut, par_map, par_map_reduce, par_tiles_2d, parallel_for, split_evenly};
+pub use scope::{current, with_pool, PoolHandle};
 
 use std::sync::OnceLock;
 

@@ -7,7 +7,7 @@
 
 use crate::pool::Buffer;
 use crate::tensor::Tensor;
-use legw_parallel::{global, par_chunks_mut};
+use legw_parallel::{current, par_chunks_mut};
 
 /// Geometry of a 2-D convolution: input/kernel/stride/padding extents and
 /// the derived output size.
@@ -96,13 +96,13 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
         }
     };
 
-    let pool = global();
+    let pool = current();
     let rows_per_chunk = if rows * ckk < crate::PAR_THRESHOLD || pool.threads() == 1 {
         rows.max(1)
     } else {
         rows.div_ceil(pool.threads() * 2).max(1)
     };
-    par_chunks_mut(pool, &mut out, rows_per_chunk * ckk, |start, chunk| {
+    par_chunks_mut(&pool, &mut out, rows_per_chunk * ckk, |start, chunk| {
         let row0 = start / ckk;
         for (r, dst) in chunk.chunks_mut(ckk).enumerate() {
             fill_row(row0 + r, dst);

@@ -33,7 +33,7 @@
 //!   here.
 
 use crate::pool::Buffer;
-use legw_parallel::{global, par_chunks_mut, par_tiles_2d, ThreadPool};
+use legw_parallel::{current, par_chunks_mut, par_tiles_2d, ThreadPool};
 use std::cell::RefCell;
 
 /// Microkernel rows: the M-extent of the register tile.
@@ -71,7 +71,7 @@ pub(crate) fn gemm(
     n: usize,
 ) -> Buffer {
     let mut out = Buffer::zeroed(m * n);
-    gemm_into(global(), trans_a, trans_b, a, b, m, k, n, &mut out);
+    gemm_into(&current(), trans_a, trans_b, a, b, m, k, n, &mut out);
     out
 }
 

@@ -10,7 +10,7 @@
 use crate::gemm;
 use crate::pool::Buffer;
 use crate::tensor::Tensor;
-use legw_parallel::global;
+use legw_parallel::current;
 
 impl Tensor {
     /// Matrix product `self @ rhs` of a `[m,k]` by a `[k,n]` tensor.
@@ -65,7 +65,7 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         assert_eq!(k, v.dim(0), "matvec dims: {:?} @ {:?}", self.shape(), v.shape());
         let mut out = Buffer::zeroed(m);
-        gemm::gemv(global(), self.as_slice(), v.as_slice(), m, k, &mut out);
+        gemm::gemv(&current(), self.as_slice(), v.as_slice(), m, k, &mut out);
         Tensor::from_buffer(out, &[m])
     }
 

@@ -4,7 +4,7 @@
 use crate::shape::{broadcast_shapes, Shape};
 use crate::tensor::Tensor;
 use crate::PAR_THRESHOLD;
-use legw_parallel::{global, par_chunks_mut};
+use legw_parallel::{current, par_chunks_mut};
 
 /// How one operand's shape relates to the broadcast output shape; used to
 /// pick a fast path.
@@ -95,7 +95,8 @@ fn binary_op(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tens
     };
 
     if n >= PAR_THRESHOLD {
-        par_chunks_mut(global(), &mut out, n.div_ceil(global().threads() * 2).max(1024), fill);
+        let pool = current();
+        par_chunks_mut(&pool, &mut out, n.div_ceil(pool.threads() * 2).max(1024), fill);
     } else {
         fill(0, &mut out);
     }
@@ -106,7 +107,8 @@ fn unary_op(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let mut out = a.as_slice().to_vec();
     let n = out.len();
     if n >= PAR_THRESHOLD {
-        par_chunks_mut(global(), &mut out, n.div_ceil(global().threads() * 2).max(1024), |_, c| {
+        let pool = current();
+        par_chunks_mut(&pool, &mut out, n.div_ceil(pool.threads() * 2).max(1024), |_, c| {
             for v in c {
                 *v = f(*v);
             }

@@ -189,6 +189,34 @@ impl Tensor {
         Tensor::from_vec(self.data[start * cols..end * cols].to_vec(), &[end - start, cols])
     }
 
+    /// Copies the index range `[start, end)` of the leading axis, for any
+    /// rank ≥ 1 (the N-dimensional generalisation of [`Tensor::rows`]).
+    pub fn slice_outer(&self, start: usize, end: usize) -> Tensor {
+        assert!(self.ndim() >= 1);
+        assert!(start <= end && end <= self.dim(0));
+        let inner: usize = self.shape()[1..].iter().product();
+        let mut dims = self.shape().to_vec();
+        dims[0] = end - start;
+        Tensor::from_vec(self.data[start * inner..end * inner].to_vec(), &dims)
+    }
+
+    /// Concatenates tensors along the existing leading axis; trailing
+    /// dimensions must match. Inverse of slicing with [`Tensor::slice_outer`].
+    pub fn concat_outer(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let tail = &parts[0].shape()[1..];
+        let mut lead = 0;
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.numel()).sum());
+        for p in parts {
+            assert_eq!(&p.shape()[1..], tail, "concat_outer trailing-shape mismatch");
+            lead += p.dim(0);
+            data.extend_from_slice(p.as_slice());
+        }
+        let mut dims = vec![lead];
+        dims.extend_from_slice(tail);
+        Tensor::from_vec(data, &dims)
+    }
+
     /// Stacks 2-D tensors with identical shapes along a new leading axis,
     /// producing `[k, rows, cols]`.
     pub fn stack(parts: &[&Tensor]) -> Tensor {
@@ -361,6 +389,18 @@ mod tests {
         let mid = a.rows(1, 3);
         assert_eq!(mid.shape(), &[2, 3]);
         assert_eq!(mid.as_slice(), &[3., 4., 5., 6., 7., 8.]);
+    }
+
+    #[test]
+    fn slice_outer_and_concat_outer_roundtrip() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[4, 2, 3]);
+        let head = a.slice_outer(0, 1);
+        let tail = a.slice_outer(1, 4);
+        assert_eq!(head.shape(), &[1, 2, 3]);
+        assert_eq!(tail.shape(), &[3, 2, 3]);
+        assert_eq!(tail.as_slice()[0], 6.0);
+        let back = Tensor::concat_outer(&[&head, &tail]);
+        assert_eq!(back, a);
     }
 
     #[test]

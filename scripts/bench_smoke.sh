@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Quick performance smoke: run the criterion kernel benches in quick mode.
+# Quick performance smoke: run the criterion kernel and training-step
+# benches in quick mode.
 #
 # Usage:
-#   scripts/bench_smoke.sh                 # all kernel benches
+#   scripts/bench_smoke.sh                 # kernel + training-step benches
 #   scripts/bench_smoke.sh gemm_shapes     # just the GEMM shape sweep
 #   LEGW_THREADS=1 scripts/bench_smoke.sh  # pin the worker pool
+#   LEGW_SHARDS=4 scripts/bench_smoke.sh sharded   # executor shard sweep
 #
 # The benches already use short measurement windows (see the `quick` config
 # in crates/bench/benches/kernels.rs); --quick shortens criterion's analysis
 # further so the whole sweep finishes in a couple of minutes. Compare GEMM
-# results against the tracked numbers in BENCH_gemm.json.
+# results against the tracked numbers in BENCH_gemm.json and training-step
+# results (including the *_sharded executor groups) against
+# BENCH_train_step.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FILTER="${1:-}"
-exec cargo bench --package legw-bench --bench kernels -- --quick ${FILTER:+"$FILTER"}
+cargo bench --package legw-bench --bench kernels -- --quick ${FILTER:+"$FILTER"}
+exec cargo bench --package legw-bench --bench training_step -- --quick ${FILTER:+"$FILTER"}
