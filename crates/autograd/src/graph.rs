@@ -71,6 +71,16 @@ pub(crate) enum Op {
     /// Per-channel batch normalisation over `(N,H,W)` with affine params.
     /// Caches `x_hat`, the per-channel `inv_std`, and the normalised count.
     BatchNorm { x: Var, gamma: Var, beta: Var, x_hat: Tensor, inv_std: Tensor },
+    /// Fused LSTM cell — the `h'` output of the tape's first two-output op
+    /// ([`Graph::lstm_cell`]). Carries the closed-form backward and its
+    /// cached intermediates: the activated gates `[σ(i)|σ(f)|tanh(ĝ)|σ(o)]`
+    /// and `tanh(c')`. `c_out` is the sibling `c'` node, pushed immediately
+    /// before this one.
+    LstmCell { preact: Var, c_prev: Var, gates: Tensor, tanh_c: Tensor, c_out: Var },
+    /// Fused LSTM cell — the `c'` sibling output. `h_out` is the `h'` node
+    /// (pushed immediately after); the shared backward rule runs when the
+    /// sweep visits `h'`, so this node only acts if `h'` got no gradient.
+    LstmCellC { h_out: Var },
 }
 
 /// Label value marking a position to exclude from the cross-entropy mean

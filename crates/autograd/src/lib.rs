@@ -39,6 +39,7 @@ mod graph;
 mod ops_basic;
 mod ops_conv;
 mod ops_loss;
+mod ops_lstm;
 
 pub use graph::{Graph, Var};
 

@@ -253,6 +253,7 @@ impl Graph {
             | Op::MaxPool2x2 { .. }
             | Op::GlobalAvgPool { .. }
             | Op::BatchNorm { .. } => self.backward_conv(op, v, up),
+            Op::LstmCell { .. } | Op::LstmCellC { .. } => self.backward_lstm(op, v, up),
         }
     }
 }

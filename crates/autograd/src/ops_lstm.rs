@@ -1,0 +1,269 @@
+//! The fused LSTM cell op — the tape's first (and so far only) two-output
+//! node.
+//!
+//! [`Graph::lstm_cell`] records the whole cell interior
+//!
+//! ```text
+//! c' = σ(f)∘c + σ(i)∘tanh(ĝ)        h' = σ(o)∘tanh(c')
+//! ```
+//!
+//! as a *pair* of consecutive nodes instead of the ~8 separate elementwise
+//! ops the unfused formulation needs: first the `c'` node
+//! ([`Op::LstmCellC`]), then the `h'` node ([`Op::LstmCell`]) which owns
+//! the cached intermediates and the closed-form backward (implemented in
+//! `legw_tensor::lstm_cell_backward`).
+//!
+//! ## Why consecutive siblings make two outputs safe on this tape
+//!
+//! The reverse sweep walks node indices downward and every consumer of
+//! either output was pushed *after* both siblings. So when the sweep
+//! reaches `h'` (the higher index), the gradient accumulated on `c'` is
+//! already final — the `h'` rule can read it and run the joint backward for
+//! both outputs at once, accumulating into `preact` and `c_prev`. When the
+//! sweep then reaches `c'`, its work is already done; the `c'` node only
+//! runs the rule itself (with `dh = 0`) in the corner case where `h'` got
+//! no gradient at all (e.g. only the cell state feeds the loss).
+
+use crate::graph::{Graph, Op, Var};
+use legw_tensor::{lstm_cell_backward, lstm_cell_forward, Tensor};
+
+impl Graph {
+    /// Fused LSTM cell: consumes the packed pre-activation block `preact`
+    /// (`[B, 4H]`, gate order `i,f,ĝ,o`) and the previous cell state
+    /// `c_prev` (`[B, H]`), returns `(h', c')` — two tape nodes backed by
+    /// one cache-resident kernel pass and one closed-form backward.
+    pub fn lstm_cell(&mut self, preact: Var, c_prev: Var) -> (Var, Var) {
+        let fwd = lstm_cell_forward(self.value(preact), self.value(c_prev));
+        let rg = self.requires(preact) || self.requires(c_prev);
+        // `h'` lands at index len()+1: right after its `c'` sibling.
+        let c = self.push(fwd.c, rg, Op::LstmCellC { h_out: Var(self.len() + 1) });
+        let h = self.push(
+            fwd.h,
+            rg,
+            Op::LstmCell { preact, c_prev, gates: fwd.gates, tanh_c: fwd.tanh_c, c_out: c },
+        );
+        (h, c)
+    }
+
+    pub(crate) fn backward_lstm(&mut self, op: &Op, _v: Var, up: &Tensor) {
+        match op {
+            Op::LstmCell { preact, c_prev, gates, tanh_c, c_out } => {
+                // `up` is dL/dh'. The sweep visits h' before c' and all of
+                // c's consumers are later than h', so c's gradient is final.
+                let dc = self.nodes[c_out.0].grad.clone();
+                let (dpre, dcp) =
+                    lstm_cell_backward(gates, tanh_c, self.value(*c_prev), Some(up), dc.as_ref());
+                self.accumulate(*preact, dpre);
+                self.accumulate(*c_prev, dcp);
+            }
+            Op::LstmCellC { h_out } => {
+                if self.nodes[h_out.0].grad.is_some() {
+                    // The h' node already ran the joint rule (reading this
+                    // node's gradient); nothing left to do.
+                    return;
+                }
+                // h' is unused on the tape: run the rule with dh = 0. The
+                // cached intermediates live on the sibling (Arc-cheap to
+                // clone out).
+                let (preact, c_prev, gates, tanh_c) = match &self.nodes[h_out.0].op {
+                    Op::LstmCell { preact, c_prev, gates, tanh_c, .. } => {
+                        (*preact, *c_prev, gates.clone(), tanh_c.clone())
+                    }
+                    _ => unreachable!("LstmCellC sibling must be LstmCell"),
+                };
+                let (dpre, dcp) =
+                    lstm_cell_backward(&gates, &tanh_c, self.value(c_prev), None, Some(up));
+                self.accumulate(preact, dpre);
+                self.accumulate(c_prev, dcp);
+            }
+            _ => unreachable!("backward_lstm on non-LSTM op"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::grad_check;
+
+    fn seeded(seed: u64, dims: &[usize]) -> Tensor {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let data = (0..dims.iter().product())
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// The unfused 8-op reference: the exact chain `legw_nn::LstmCell`
+    /// recorded before fusion.
+    fn unfused_cell(g: &mut Graph, preact: Var, c_prev: Var, hid: usize) -> (Var, Var) {
+        let i = g.slice_cols(preact, 0, hid);
+        let f = g.slice_cols(preact, hid, 2 * hid);
+        let gg = g.slice_cols(preact, 2 * hid, 3 * hid);
+        let o = g.slice_cols(preact, 3 * hid, 4 * hid);
+        let i = g.sigmoid(i);
+        let f = g.sigmoid(f);
+        let gg = g.tanh(gg);
+        let o = g.sigmoid(o);
+        let fc = g.mul(f, c_prev);
+        let ig = g.mul(i, gg);
+        let c = g.add(fc, ig);
+        let tc = g.tanh(c);
+        let h = g.mul(o, tc);
+        (h, c)
+    }
+
+    /// Loss touching both outputs so both gradient paths are exercised.
+    fn both_outputs_loss(g: &mut Graph, h: Var, c: Var) -> Var {
+        let hh = g.mul(h, h);
+        let cc = g.mul(c, c);
+        let s = g.add(hh, cc);
+        g.sum_all(s)
+    }
+
+    /// Forward values and parameter gradients must match the unfused
+    /// reference graph bitwise, including at boundary shapes (B=1, H=1,
+    /// H not a multiple of 8).
+    #[test]
+    fn fused_matches_unfused_reference_graph() {
+        for &(b, hid) in &[(1usize, 1usize), (1, 5), (4, 13), (3, 8), (7, 3)] {
+            let preact0 = seeded(b as u64 * 41 + hid as u64, &[b, 4 * hid]);
+            let c0 = seeded(b as u64 * 59 + hid as u64 + 1, &[b, hid]);
+
+            let mut gf = Graph::new();
+            let pa_f = gf.param(preact0.clone());
+            let cp_f = gf.param(c0.clone());
+            let (h_f, c_f) = gf.lstm_cell(pa_f, cp_f);
+            let loss_f = both_outputs_loss(&mut gf, h_f, c_f);
+            gf.backward(loss_f);
+
+            let mut gu = Graph::new();
+            let pa_u = gu.param(preact0);
+            let cp_u = gu.param(c0);
+            let (h_u, c_u) = unfused_cell(&mut gu, pa_u, cp_u, hid);
+            let loss_u = both_outputs_loss(&mut gu, h_u, c_u);
+            gu.backward(loss_u);
+
+            assert_eq!(
+                gf.value(h_f).as_slice(),
+                gu.value(h_u).as_slice(),
+                "h forward mismatch at B={b} H={hid}"
+            );
+            assert_eq!(
+                gf.value(c_f).as_slice(),
+                gu.value(c_u).as_slice(),
+                "c forward mismatch at B={b} H={hid}"
+            );
+            for (name, vf, vu) in [("preact", pa_f, pa_u), ("c_prev", cp_f, cp_u)] {
+                let a = gf.grad(vf).unwrap().as_slice();
+                let w = gu.grad(vu).unwrap().as_slice();
+                for (x, y) in a.iter().zip(w) {
+                    assert!(
+                        (x - y).abs() < 1e-5,
+                        "{name} grad mismatch at B={b} H={hid}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Finite-difference check through the fused op, both outputs in the
+    /// loss, at boundary shapes.
+    #[test]
+    fn lstm_cell_finite_difference_check() {
+        for &(b, hid) in &[(1usize, 1usize), (2, 3), (3, 13)] {
+            grad_check(
+                &[
+                    seeded(b as u64 + 100 * hid as u64, &[b, 4 * hid]),
+                    seeded(b as u64 + 100 * hid as u64 + 7, &[b, hid]),
+                ],
+                |g, vs| {
+                    let (h, c) = g.lstm_cell(vs[0], vs[1]);
+                    both_outputs_loss(g, h, c)
+                },
+            );
+        }
+    }
+
+    /// Only `h'` feeds the loss: `c'` has no gradient, the h-node rule
+    /// must handle `dc = None`.
+    #[test]
+    fn grads_flow_when_only_h_used() {
+        grad_check(&[seeded(21, &[2, 12]), seeded(22, &[2, 3])], |g, vs| {
+            let (h, _c) = g.lstm_cell(vs[0], vs[1]);
+            let hh = g.mul(h, h);
+            g.sum_all(hh)
+        });
+    }
+
+    /// Only `c'` feeds the loss: `h'` never receives a gradient, so the
+    /// c-sibling must run the rule itself with `dh = 0`.
+    #[test]
+    fn grads_flow_when_only_c_used() {
+        grad_check(&[seeded(31, &[2, 12]), seeded(32, &[2, 3])], |g, vs| {
+            let (_h, c) = g.lstm_cell(vs[0], vs[1]);
+            let cc = g.mul(c, c);
+            g.sum_all(cc)
+        });
+        // And against the unfused reference, bit-for-bit path equivalence.
+        let preact0 = seeded(33, &[3, 20]);
+        let c0 = seeded(34, &[3, 5]);
+        let mut gf = Graph::new();
+        let pa_f = gf.param(preact0.clone());
+        let cp_f = gf.param(c0.clone());
+        let (_hf, cf) = gf.lstm_cell(pa_f, cp_f);
+        let sf = gf.sum_all(cf);
+        gf.backward(sf);
+        let mut gu = Graph::new();
+        let pa_u = gu.param(preact0);
+        let cp_u = gu.param(c0);
+        let (_hu, cu) = unfused_cell(&mut gu, pa_u, cp_u, 5);
+        let su = gu.sum_all(cu);
+        gu.backward(su);
+        for (x, y) in gf.grad(pa_f).unwrap().as_slice().iter().zip(gu.grad(pa_u).unwrap().as_slice())
+        {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    /// Chained steps: the cell state threads through two fused cells, so
+    /// `c'` of step 1 receives gradients both from its own consumers and
+    /// through step 2's interior. Cross-checked against the unfused chain.
+    #[test]
+    fn chained_cells_accumulate_cell_path() {
+        let (b, hid) = (3usize, 4usize);
+        let pa1 = seeded(41, &[b, 4 * hid]);
+        let pa2 = seeded(42, &[b, 4 * hid]);
+        let c0 = seeded(43, &[b, hid]);
+
+        let run = |fused: bool| -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+            let mut g = Graph::new();
+            let p1 = g.param(pa1.clone());
+            let p2 = g.param(pa2.clone());
+            let c = g.param(c0.clone());
+            let (h1, c1) = if fused {
+                g.lstm_cell(p1, c)
+            } else {
+                unfused_cell(&mut g, p1, c, hid)
+            };
+            let (h2, c2) =
+                if fused { g.lstm_cell(p2, c1) } else { unfused_cell(&mut g, p2, c1, hid) };
+            let hs = g.add(h1, h2);
+            let loss = both_outputs_loss(&mut g, hs, c2);
+            g.backward(loss);
+            (
+                g.grad(p1).unwrap().as_slice().to_vec(),
+                g.grad(p2).unwrap().as_slice().to_vec(),
+                g.grad(c).unwrap().as_slice().to_vec(),
+            )
+        };
+        let (f1, f2, fc) = run(true);
+        let (u1, u2, uc) = run(false);
+        for (a, w) in f1.iter().zip(&u1).chain(f2.iter().zip(&u2)).chain(fc.iter().zip(&uc)) {
+            assert!((a - w).abs() < 1e-5, "chained grad mismatch: {a} vs {w}");
+        }
+    }
+}

@@ -132,6 +132,34 @@ fn bench_lstm_cell(c: &mut Criterion) {
             scratch.zero_grad();
         });
     });
+    // The pre-fusion per-gate op chain, kept as the comparison baseline
+    // for the fused two-output cell op (same math, ~13 tape nodes).
+    g.bench_function("forward_unfused", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut bd = Binding::new();
+            let s0 = cell.zero_state(&mut graph, 64);
+            let xi = graph.input(x.clone());
+            let s1 = cell.step_unfused(&mut graph, &mut bd, &ps, xi, s0);
+            black_box(graph.value(s1.h).as_slice()[0])
+        });
+    });
+    g.bench_function("forward_backward_unfused", |b| {
+        let mut scratch = ps.clone();
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut bd = Binding::new();
+            let s0 = cell.zero_state(&mut graph, 64);
+            let xi = graph.input(x.clone());
+            let s1 = cell.step_unfused(&mut graph, &mut bd, &ps, xi, s0);
+            let sq = graph.mul(s1.h, s1.h);
+            let loss = graph.sum_all(sq);
+            graph.backward(loss);
+            bd.write_grads(&graph, &mut scratch);
+            black_box(scratch.grad_norm());
+            scratch.zero_grad();
+        });
+    });
     g.finish();
 }
 

@@ -39,6 +39,18 @@ fn time_median<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Median of `iters` runs of `f`, where `f` itself returns the seconds of
+/// the portion being measured — used to time the tape backward alone,
+/// excluding graph construction (after 2 warmup runs).
+fn median_portion<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..iters).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
 struct Case {
     name: String,
     secs: f64,
@@ -56,6 +68,21 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut ps = ParamSet::new();
         let model = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+        let secs = time_median(9, || {
+            let (g, _, loss, _) = model.forward_loss(&ps, &bx, &by);
+            g.value(loss).item() as f64
+        });
+        cases.push(Case { name: "mnist_b256_forward".into(), secs });
+        let secs = median_portion(9, || {
+            let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            let t0 = Instant::now();
+            g.backward(loss);
+            let dt = t0.elapsed().as_secs_f64();
+            bd.write_grads(&g, &mut ps);
+            ps.zero_grad();
+            dt
+        });
+        cases.push(Case { name: "mnist_b256_tape_backward".into(), secs });
         let secs = time_median(9, || {
             let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
             let lv = g.value(loss).item() as f64;
@@ -85,6 +112,21 @@ fn main() {
         let cfg =
             Seq2SeqConfig { vocab: data.vocab, embed: 32, hidden: 32, attn: 24, max_decode: 7 };
         let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
+        let secs = time_median(9, || {
+            let (g, _, loss, _) = model.forward_loss(&ps, &batch);
+            g.value(loss).item() as f64
+        });
+        cases.push(Case { name: "seq2seq_b256_forward".into(), secs });
+        let secs = median_portion(9, || {
+            let (mut g, bd, loss, _) = model.forward_loss(&ps, &batch);
+            let t0 = Instant::now();
+            g.backward(loss);
+            let dt = t0.elapsed().as_secs_f64();
+            bd.write_grads(&g, &mut ps);
+            ps.zero_grad();
+            dt
+        });
+        cases.push(Case { name: "seq2seq_b256_tape_backward".into(), secs });
         let secs = time_median(9, || {
             let (mut g, bd, loss, nll) = model.forward_loss(&ps, &batch);
             g.backward(loss);

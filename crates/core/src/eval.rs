@@ -1,0 +1,247 @@
+//! Sharded epoch-end evaluation: the forward-only side of the
+//! data-parallel executor.
+//!
+//! Training already splits each batch across [`Executor`] shards; these
+//! helpers do the same for the validation sweeps the trainer runs at every
+//! epoch boundary, so `LEGW_SHARDS > 1` accelerates evaluation too.
+//!
+//! Shard-count invariance: for the chunked evaluators (MNIST, ResNet,
+//! seq2seq) the *work items* are the exact evaluation batches the serial
+//! sweep would build, merely distributed over shards — every forward pass
+//! sees byte-identical inputs, and the per-item results (integer correct
+//! counts, decoded token sequences) combine by exact concatenation or
+//! integer addition. The metric is therefore identical for any shard
+//! count. The PTB stream carries recurrent state across windows, so its
+//! only parallel axis is the track (row) dimension; shard NLLs combine by
+//! track-count weighted mean, which matches the full-batch mean up to
+//! floating-point association (the single-shard path reproduces the
+//! historical sweep exactly).
+
+use crate::exec::Executor;
+use legw_data::{metrics, Classification, SynthPtb, SynthTranslation};
+use legw_models::{LmState, MnistLstm, PtbLm, ResNet, Seq2Seq};
+use legw_nn::ParamSet;
+use std::ops::Range;
+
+/// The serial chunk boundaries for `n` examples: `⌈n/chunk⌉` index ranges
+/// of at most `chunk` examples, in dataset order.
+fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..n.div_ceil(chunk)).map(|i| i * chunk..((i + 1) * chunk).min(n)).collect()
+}
+
+/// Splits `items` work items over at most `shards` contiguous groups.
+fn item_groups(n_items: usize, shards: usize) -> Vec<Range<usize>> {
+    legw_parallel::split_evenly(n_items, shards)
+}
+
+impl Executor {
+    /// Top-1 accuracy of the MNIST-LSTM classifier over a dataset,
+    /// sharded over this executor's workers. Evaluates the same
+    /// `chunk`-sized batches as [`MnistLstm::evaluate`] and returns the
+    /// same metric for every shard count (integer correct counts combine
+    /// exactly).
+    pub fn eval_mnist(
+        &self,
+        model: &MnistLstm,
+        ps: &ParamSet,
+        data: &Classification,
+        chunk: usize,
+    ) -> f64 {
+        let n = data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let chunks = chunk_ranges(n, chunk);
+        let groups = item_groups(chunks.len(), self.shards());
+        let correct: u64 = self
+            .map_shards(&groups, |_, g| {
+                let mut c = 0u64;
+                for r in &chunks[g.start..g.end] {
+                    let idx: Vec<usize> = (r.start..r.end).collect();
+                    let (batch, labels) = data.gather(&idx);
+                    let mut graph = legw_autograd::Graph::new();
+                    let mut bd = legw_nn::Binding::new();
+                    let logits = model.forward(&mut graph, &mut bd, ps, &batch);
+                    let acc = metrics::accuracy(graph.value(logits), &labels);
+                    c += (acc * labels.len() as f64).round() as u64;
+                }
+                c
+            })
+            .into_iter()
+            .sum();
+        correct as f64 / n as f64
+    }
+
+    /// `(top-1, top-k)` accuracy of the ResNet over a dataset, sharded
+    /// over this executor's workers. Each shard evaluates a clone of the
+    /// model (evaluation mode only reads the BN running stats, but the
+    /// forward signature is `&mut`), over the same `chunk`-sized batches
+    /// the serial [`ResNet::evaluate`] sweep builds.
+    pub fn eval_resnet(
+        &self,
+        model: &ResNet,
+        ps: &ParamSet,
+        data: &Classification,
+        chunk: usize,
+        k: usize,
+    ) -> (f64, f64) {
+        let n = data.len();
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let chunks = chunk_ranges(n, chunk);
+        let groups = item_groups(chunks.len(), self.shards());
+        let counts = self.map_shards(&groups, |_, g| {
+            let mut m = model.clone();
+            let (mut c1, mut ck) = (0u64, 0u64);
+            for r in &chunks[g.start..g.end] {
+                let idx: Vec<usize> = (r.start..r.end).collect();
+                let (batch, labels) = data.gather(&idx);
+                let mut graph = legw_autograd::Graph::new();
+                let mut bd = legw_nn::Binding::new();
+                let logits = m.forward(&mut graph, &mut bd, ps, &batch, false);
+                let lv = graph.value(logits);
+                c1 += (metrics::accuracy(lv, &labels) * labels.len() as f64).round() as u64;
+                ck += (metrics::top_k_accuracy(lv, &labels, k) * labels.len() as f64).round()
+                    as u64;
+            }
+            (c1, ck)
+        });
+        let (c1, ck) = counts.into_iter().fold((0u64, 0u64), |(a, b), (x, y)| (a + x, b + y));
+        (c1 as f64 / n as f64, ck as f64 / n as f64)
+    }
+
+    /// Validation perplexity of the PTB language model, sharded by track.
+    /// Each shard walks the full window stream carrying its own slice of
+    /// the recurrent state; shard NLLs combine by track-count weighted
+    /// mean. The single-shard path is the historical
+    /// [`PtbLm::evaluate_perplexity`] sweep, term for term.
+    pub fn eval_ptb_perplexity(
+        &self,
+        model: &PtbLm,
+        ps: &ParamSet,
+        data: &SynthPtb,
+        batch: usize,
+        seq_len: usize,
+    ) -> f64 {
+        let windows = data.batches(false, batch, seq_len);
+        if windows.is_empty() {
+            return f64::INFINITY;
+        }
+        let tracks = windows[0].tracks();
+        let ranges = self.shard_ranges(tracks);
+        let nll = if ranges.len() == 1 {
+            let mut state = LmState::zeros(model.config(), tracks);
+            let mut total = 0.0f64;
+            for w in &windows {
+                let (_, _, _, nll, next) = model.forward_loss(ps, w, &state);
+                total += nll;
+                state = next;
+            }
+            total / windows.len() as f64
+        } else {
+            let partials = self.map_shards(&ranges, |_, r| {
+                let mut state = LmState::zeros(model.config(), r.end - r.start);
+                let mut total = 0.0f64;
+                for w in &windows {
+                    let sw = w.slice_tracks(r.start, r.end);
+                    let (_, _, _, nll, next) = model.forward_loss(ps, &sw, &state);
+                    total += nll;
+                    state = next;
+                }
+                total
+            });
+            let weighted: f64 = ranges
+                .iter()
+                .zip(&partials)
+                .map(|(r, p)| (r.end - r.start) as f64 / tracks as f64 * p)
+                .sum();
+            weighted / windows.len() as f64
+        };
+        nll.exp()
+    }
+
+    /// Corpus BLEU of the seq2seq model over the test split, sharded over
+    /// this executor's workers. The work items are the exact padded
+    /// batches the serial [`Seq2Seq::evaluate_bleu`] sweep decodes;
+    /// hypotheses and references concatenate in batch order, so the score
+    /// is identical for every shard count.
+    pub fn eval_seq2seq_bleu(
+        &self,
+        model: &Seq2Seq,
+        ps: &ParamSet,
+        data: &SynthTranslation,
+        batch: usize,
+    ) -> f64 {
+        let batches = data.batches(false, batch);
+        if batches.is_empty() {
+            return 0.0;
+        }
+        let groups = item_groups(batches.len(), self.shards());
+        let parts = self.map_shards(&groups, |_, g| {
+            let mut cands = Vec::new();
+            let mut refs = Vec::new();
+            for b in &batches[g.start..g.end] {
+                cands.extend(model.greedy_decode(ps, b));
+                refs.extend(b.refs.clone());
+            }
+            (cands, refs)
+        });
+        let mut cands = Vec::new();
+        let mut refs = Vec::new();
+        for (c, r) in parts {
+            cands.extend(c);
+            refs.extend(r);
+        }
+        metrics::corpus_bleu(&cands, &refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legw_data::SynthMnist;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(4, 4), vec![0..4]);
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+    }
+
+    #[test]
+    fn map_shards_preserves_item_order() {
+        for shards in [1usize, 2, 3] {
+            let exec = Executor::new(shards);
+            let items: Vec<usize> = (0..shards).collect();
+            let out = exec.map_shards(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(out, (0..shards).map(|x| x * 10).collect::<Vec<_>>());
+        }
+        // The serial executor maps any number of items, in order.
+        let exec = Executor::new(1);
+        let out = exec.map_shards(&[5usize, 6, 7], |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 5), (1, 6), (2, 7)]);
+    }
+
+    #[test]
+    fn eval_mnist_matches_model_evaluate() {
+        let data = SynthMnist::generate(31, 48, 40);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ps = ParamSet::new();
+        let model = MnistLstm::new(&mut ps, &mut rng, 10, 10);
+        let serial = model.evaluate(&ps, &data.test, 16);
+        for shards in [1usize, 2, 3, 7] {
+            let exec = Executor::new(shards);
+            let acc = exec.eval_mnist(&model, &ps, &data.test, 16);
+            assert!(
+                (acc - serial).abs() < 1e-12,
+                "shards={shards}: {acc} vs serial {serial}"
+            );
+        }
+    }
+}

@@ -69,6 +69,12 @@ pub struct StepOutcome {
     pub loss: f64,
     /// True if any shard produced a non-finite loss.
     pub diverged: bool,
+    /// `Σ gᵢ²` (f64) of the `ParamSet` gradients right after the combined
+    /// gradient was applied, accumulated during the apply itself —
+    /// `sqrt` gives the global ℓ₂ norm, so the caller's gradient clipping
+    /// needs no extra full-parameter sweep. Zero until a `step_*` helper
+    /// has applied gradients.
+    pub grad_sq_norm: f64,
 }
 
 /// The data-parallel step executor. See the module docs for the design.
@@ -189,7 +195,42 @@ impl Executor {
             }
         };
         let combined = tree_reduce(bufs);
-        (combined, StepOutcome { loss, diverged }, extras)
+        (combined, StepOutcome { loss, diverged, grad_sq_norm: 0.0 }, extras)
+    }
+
+    /// Forward-only companion to [`Executor::run_shards`]: runs `f` once
+    /// per item (concurrently on the shard pool when this executor is
+    /// parallel, serially in item order otherwise) and returns the
+    /// results in item order. No gradient combine, no loss bookkeeping —
+    /// this is what epoch-end validation uses so `LEGW_SHARDS > 1`
+    /// accelerates evaluation too. Each shard runs under its private
+    /// intra-op pool, same as training shards.
+    pub fn map_shards<S, R, F>(&self, shards: &[S], f: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(usize, &S) -> R + Sync,
+    {
+        let n = shards.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match &self.shard_pool {
+            None => shards.iter().enumerate().map(|(i, s)| f(i, s)).collect(),
+            Some(_) if n == 1 => vec![f(0, &shards[0])],
+            Some(pool) => {
+                assert!(n <= self.intra.len(), "more shards than the executor was built for");
+                let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+                pool.run(n, |i| {
+                    let out = with_pool(&self.intra[i], || f(i, &shards[i]));
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap().expect("shard task did not report"))
+                    .collect()
+            }
+        }
     }
 }
 
@@ -211,7 +252,7 @@ impl Executor {
             ranges.iter().map(|r| (bx.rows(r.start, r.end), &by[r.start..r.end])).collect()
         };
         let ps_ref: &ParamSet = ps;
-        let (grads, out, _) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
+        let (grads, mut out, _) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
             let (sx, sy) = shard;
             let (mut g, bd, loss, _) = model.forward_loss(ps_ref, sx, sy);
             let lv = g.value(loss).item() as f64;
@@ -220,7 +261,7 @@ impl Executor {
             bd.write_grads_to(&g, &mut buf);
             ShardOut { grads: buf, loss: lv, weight: sy.len() as f64, extra: () }
         });
-        grads.apply(ps);
+        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
         out
     }
 
@@ -245,7 +286,7 @@ impl Executor {
                 .collect()
         };
         let ps_ref: &ParamSet = ps;
-        let (grads, out, states) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
+        let (grads, mut out, states) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
             let (sw, ss) = shard;
             let (mut g, bd, loss, nll, next) = model.forward_loss(ps_ref, sw, ss);
             g.backward(loss);
@@ -253,7 +294,7 @@ impl Executor {
             bd.write_grads_to(&g, &mut buf);
             ShardOut { grads: buf, loss: nll, weight: sw.tracks() as f64, extra: next }
         });
-        grads.apply(ps);
+        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
         let next_state =
             if states.len() == 1 { states.into_iter().next().unwrap() } else { LmState::concat(&states) };
         (out, next_state)
@@ -294,7 +335,7 @@ impl Executor {
                 .collect()
         };
         let ps_ref: &ParamSet = ps;
-        let (grads, out, _) = self.run_shards(Reduce::Sum, &shards, |_, shard| {
+        let (grads, mut out, _) = self.run_shards(Reduce::Sum, &shards, |_, shard| {
             let (sb, scale) = shard;
             let (mut g, bd, loss, nll) = model.forward_loss_scaled(ps_ref, sb, scale.as_deref());
             g.backward(loss);
@@ -302,7 +343,7 @@ impl Executor {
             bd.write_grads_to(&g, &mut buf);
             ShardOut { grads: buf, loss: nll, weight: sb.batch_size() as f64, extra: () }
         });
-        grads.apply(ps);
+        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
         out
     }
 
@@ -326,8 +367,8 @@ impl Executor {
             g.backward(loss);
             let mut buf = GradBuffer::for_params(ps);
             bd.write_grads_to(&g, &mut buf);
-            buf.apply(ps);
-            return StepOutcome { loss: lv, diverged: !lv.is_finite() };
+            let gsq = buf.apply_with_sq_norm(ps);
+            return StepOutcome { loss: lv, diverged: !lv.is_finite(), grad_sq_norm: gsq };
         }
 
         let clones: Vec<Mutex<ResNet>> =
@@ -337,7 +378,7 @@ impl Executor {
             .map(|r| (bx.slice_outer(r.start, r.end), &by[r.start..r.end]))
             .collect();
         let ps_ref: &ParamSet = ps;
-        let (grads, out, _) = self.run_shards(Reduce::WeightedMean, &shards, |i, shard| {
+        let (grads, mut out, _) = self.run_shards(Reduce::WeightedMean, &shards, |i, shard| {
             let (sx, sy) = shard;
             let mut m = clones[i].lock().unwrap();
             let (mut g, bd, loss, _) = m.forward_loss(ps_ref, sx, sy);
@@ -347,7 +388,7 @@ impl Executor {
             bd.write_grads_to(&g, &mut buf);
             ShardOut { grads: buf, loss: lv, weight: sy.len() as f64, extra: () }
         });
-        grads.apply(ps);
+        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
 
         let total = by.len() as f32;
         let clones: Vec<ResNet> =
@@ -492,6 +533,15 @@ mod tests {
             let exec = Executor::new(shards);
             let out = exec.step_mnist(&model, &mut ps, &bx, &by);
             assert!(!out.diverged);
+            // The fused apply's norm accumulation must agree with the
+            // post-apply sweep it replaces.
+            let norm = ps.grad_norm() as f64;
+            assert!(
+                (out.grad_sq_norm.sqrt() - norm).abs() < 1e-4 * (1.0 + norm),
+                "fused grad norm {} vs swept {}",
+                out.grad_sq_norm.sqrt(),
+                norm
+            );
             let grads: Vec<f32> =
                 ps.iter().flat_map(|(_, p)| p.grad.as_slice().to_vec()).collect();
             (out.loss, grads)

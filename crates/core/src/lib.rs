@@ -35,6 +35,7 @@
 
 pub mod apps;
 pub mod convergence;
+pub mod eval;
 pub mod exec;
 pub mod lipschitz;
 pub mod trainer;

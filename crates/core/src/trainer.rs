@@ -107,7 +107,9 @@ pub fn train_mnist(
                 report.diverged = true;
                 break 'outer;
             }
-            ps.clip_grad_norm(RNN_CLIP);
+            // The executor accumulated Σg² while applying the combined
+            // gradient, so clipping needs no extra full-parameter sweep.
+            ps.clip_grad_norm_from(out.grad_sq_norm.sqrt() as f32, RNN_CLIP);
             opt.step(&mut ps, lr);
             ps.zero_grad();
             iter += 1;
@@ -115,14 +117,14 @@ pub fn train_mnist(
         if epoch_count > 0 {
             report.epoch_losses.push(epoch_loss / epoch_count as f64);
         }
-        let acc = model.evaluate(&ps, &data.test, 256);
+        let acc = exec.eval_mnist(&model, &ps, &data.test, 256);
         report.history.push((iter as f64 / ipe as f64, acc));
     }
     report.iterations = iter;
     report.final_metric = if report.diverged {
         0.0
     } else {
-        model.evaluate(&ps, &data.test, 256)
+        exec.eval_mnist(&model, &ps, &data.test, 256)
     };
     report
 }
@@ -173,7 +175,9 @@ pub fn train_ptb(
                 break 'outer;
             }
             state = next_state;
-            ps.clip_grad_norm(RNN_CLIP);
+            // The executor accumulated Σg² while applying the combined
+            // gradient, so clipping needs no extra full-parameter sweep.
+            ps.clip_grad_norm_from(out.grad_sq_norm.sqrt() as f32, RNN_CLIP);
             opt.step(&mut ps, lr);
             ps.zero_grad();
             iter += 1;
@@ -181,14 +185,14 @@ pub fn train_ptb(
         if epoch_count > 0 {
             report.epoch_losses.push(epoch_loss / epoch_count as f64);
         }
-        let ppl = model.evaluate_perplexity(&ps, data, batch.min(32), seq_len);
+        let ppl = exec.eval_ptb_perplexity(&model, &ps, data, batch.min(32), seq_len);
         report.history.push((iter as f64 / ipe as f64, ppl));
     }
     report.iterations = iter;
     report.final_metric = if report.diverged {
         cfg.vocab as f64
     } else {
-        model.evaluate_perplexity(&ps, data, batch.min(32), seq_len)
+        exec.eval_ptb_perplexity(&model, &ps, data, batch.min(32), seq_len)
     };
     report
 }
@@ -235,7 +239,9 @@ pub fn train_seq2seq(
                 report.diverged = true;
                 break 'outer;
             }
-            ps.clip_grad_norm(RNN_CLIP);
+            // The executor accumulated Σg² while applying the combined
+            // gradient, so clipping needs no extra full-parameter sweep.
+            ps.clip_grad_norm_from(out.grad_sq_norm.sqrt() as f32, RNN_CLIP);
             opt.step(&mut ps, lr);
             ps.zero_grad();
             iter += 1;
@@ -243,11 +249,12 @@ pub fn train_seq2seq(
         if epoch_count > 0 {
             report.epoch_losses.push(epoch_loss / epoch_count as f64);
         }
-        let bleu = model.evaluate_bleu(&ps, data, 64);
+        let bleu = exec.eval_seq2seq_bleu(&model, &ps, data, 64);
         report.history.push((iter as f64 / ipe as f64, bleu));
     }
     report.iterations = iter;
-    report.final_metric = if report.diverged { 0.0 } else { model.evaluate_bleu(&ps, data, 64) };
+    report.final_metric =
+        if report.diverged { 0.0 } else { exec.eval_seq2seq_bleu(&model, &ps, data, 64) };
     report
 }
 
@@ -303,7 +310,7 @@ pub fn train_resnet(
         if epoch_count > 0 {
             report.epoch_losses.push(epoch_loss / epoch_count as f64);
         }
-        let (t1, tk) = model.evaluate(&ps, &data.test, 128, top_k);
+        let (t1, tk) = exec.eval_resnet(&model, &ps, &data.test, 128, top_k);
         report.history.push((iter as f64 / ipe as f64, t1));
         report.secondary_metric = Some(tk);
     }
@@ -312,7 +319,7 @@ pub fn train_resnet(
         report.final_metric = 0.0;
         report.secondary_metric = Some(0.0);
     } else {
-        let (t1, tk) = model.evaluate(&ps, &data.test, 128, top_k);
+        let (t1, tk) = exec.eval_resnet(&model, &ps, &data.test, 128, top_k);
         report.final_metric = t1;
         report.secondary_metric = Some(tk);
     }

@@ -118,3 +118,80 @@ fn serial_executor_is_bit_stable() {
     assert_eq!(l0.to_bits(), l1.to_bits());
     assert!(g0.iter().zip(&g1).all(|(a, b)| a.to_bits() == b.to_bits()));
 }
+
+/// The gradient norm accumulated during the executor's fused apply equals
+/// the explicit post-apply sweep for every shard count — the property the
+/// trainer's sweep-free clipping relies on.
+#[test]
+fn fused_grad_norm_matches_explicit_sweep() {
+    let data = SynthMnist::generate(7, 32, 8);
+    let (bx, by) = data.train.gather(&(0..16).collect::<Vec<_>>());
+    for shards in SHARD_COUNTS {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
+        let exec = Executor::new(shards);
+        let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+        let swept = ps.grad_norm() as f64;
+        let fused = out.grad_sq_norm.sqrt();
+        assert!(
+            (fused - swept).abs() < 1e-4 * (1.0 + swept),
+            "shards={shards}: fused {fused} vs swept {swept}"
+        );
+    }
+}
+
+/// Sharded epoch-end evaluation reproduces the serial sweep: exactly for
+/// the chunked evaluators (identical work items, integer/concatenation
+/// combine) and within fp tolerance for the track-sliced PTB stream.
+#[test]
+fn sharded_eval_matches_serial() {
+    use legw_models::{PtbLm, PtbLmConfig};
+
+    // MNIST: integer correct counts — identical at every shard count.
+    let data = SynthMnist::generate(17, 48, 40);
+    let mut ps = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(13);
+    let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
+    let serial_acc = model.evaluate(&ps, &data.test, 16);
+    for shards in SHARD_COUNTS {
+        let exec = Executor::new(shards);
+        let acc = exec.eval_mnist(&model, &ps, &data.test, 16);
+        assert!((acc - serial_acc).abs() < 1e-12, "mnist shards={shards}: {acc} vs {serial_acc}");
+    }
+
+    // Seq2seq BLEU: identical decode batches — identical score.
+    let tdata = SynthTranslation::generate(9, 12, 48, 8, 2, 5);
+    let mut ps = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(19);
+    let cfg = Seq2SeqConfig::compact(tdata.vocab, tdata.max_len() + 1);
+    let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
+    let serial_bleu = model.evaluate_bleu(&ps, &tdata, 4);
+    for shards in SHARD_COUNTS {
+        let exec = Executor::new(shards);
+        let bleu = exec.eval_seq2seq_bleu(&model, &ps, &tdata, 4);
+        assert!(
+            (bleu - serial_bleu).abs() < 1e-12,
+            "seq2seq shards={shards}: {bleu} vs {serial_bleu}"
+        );
+    }
+
+    // PTB: track-sliced; weighted mean matches within fp tolerance, and
+    // the single-shard path matches the historical sweep exactly.
+    let pdata = legw_data::SynthPtb::generate(23, 24, 6, 6000, 1200);
+    let cfg = PtbLmConfig { vocab: 24, embed: 10, hidden: 10, layers: 2 };
+    let mut ps = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(29);
+    let model = PtbLm::new(&mut ps, &mut rng, cfg);
+    let serial_ppl = model.evaluate_perplexity(&ps, &pdata, 8, 12);
+    let one = Executor::new(1).eval_ptb_perplexity(&model, &ps, &pdata, 8, 12);
+    assert_eq!(one.to_bits(), serial_ppl.to_bits(), "single-shard PTB eval must be exact");
+    for shards in SHARD_COUNTS {
+        let exec = Executor::new(shards);
+        let ppl = exec.eval_ptb_perplexity(&model, &ps, &pdata, 8, 12);
+        assert!(
+            (ppl - serial_ppl).abs() < 1e-6 * serial_ppl,
+            "ptb shards={shards}: {ppl} vs {serial_ppl}"
+        );
+    }
+}

@@ -101,6 +101,30 @@ impl GradBuffer {
         }
     }
 
+    /// [`GradBuffer::apply`] fused with the global-norm accumulation:
+    /// returns `Σ gᵢ²` (f64) over the *post-apply* `ParamSet` gradients,
+    /// so `sqrt` of it is exactly the global ℓ₂ norm clipping needs — no
+    /// second sweep over every parameter. The parameter update itself is
+    /// bit-identical to [`GradBuffer::apply`]. Slots that never received
+    /// a gradient contribute the (usually zero) existing gradient's
+    /// squared norm, so the result is the true global norm even when the
+    /// caller pre-accumulated into some gradients.
+    pub fn apply_with_sq_norm(&self, ps: &mut ParamSet) -> f64 {
+        assert_eq!(self.slots.len(), ps.len(), "grad buffer arity mismatch");
+        let mut sq = 0.0f64;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let g = &mut ps.get_mut(ParamId(i)).grad;
+            match slot {
+                Some(t) => sq += g.axpy_sq_norm(1.0, t),
+                None => {
+                    let n = g.l2_norm() as f64;
+                    sq += n * n;
+                }
+            }
+        }
+        sq
+    }
+
     /// True if every filled slot is NaN/Inf-free.
     pub fn all_finite(&self) -> bool {
         self.slots.iter().flatten().all(|t| t.all_finite())
@@ -133,6 +157,27 @@ mod tests {
         assert_eq!(ps.get(a).grad.as_slice(), &[1.0, 1.0]);
         // b never received a gradient: untouched.
         assert_eq!(ps.get(b).grad.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn apply_with_sq_norm_matches_apply_plus_grad_norm() {
+        let (ps0, a, b) = two_param_set();
+        let mut buf = GradBuffer::for_params(&ps0);
+        buf.accumulate(a, &Tensor::from_vec(vec![3.0, -4.0], &[2]));
+        // b's slot stays empty but its gradient is pre-loaded: the fused
+        // norm must still see it.
+        let mut ps1 = ps0.clone();
+        ps1.get_mut(b).grad = Tensor::from_vec(vec![12.0], &[1]);
+        let mut ps2 = ps1.clone();
+
+        buf.apply(&mut ps1);
+        let sq = buf.apply_with_sq_norm(&mut ps2);
+
+        assert_eq!(ps1.get(a).grad.as_slice(), ps2.get(a).grad.as_slice());
+        assert_eq!(ps1.get(b).grad.as_slice(), ps2.get(b).grad.as_slice());
+        let norm = sq.sqrt() as f32; // 5-12-13 triangle
+        assert!((norm - 13.0).abs() < 1e-5, "{norm}");
+        assert!((norm - ps1.grad_norm()).abs() < 1e-4 * 13.0);
     }
 
     #[test]

@@ -78,7 +78,33 @@ impl LstmCell {
 
     /// One recurrence step: consumes `x [B, in]` and the previous state,
     /// returns the next state.
+    ///
+    /// The cell interior (4 activations + hadamards + adds) is one fused
+    /// two-output tape op ([`Graph::lstm_cell`]) — bit-identical to the
+    /// unfused per-gate chain (kept as [`LstmCell::step_unfused`]) but
+    /// recording 2 nodes instead of ~13 and backpropagating in one
+    /// closed-form pass.
     pub fn step(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        x: Var,
+        state: LstmState,
+    ) -> LstmState {
+        let w = bd.bind(g, ps, self.w);
+        let b = bd.bind(g, ps, self.b);
+        let xh = g.concat_cols(&[x, state.h]);
+        let gates_lin = g.matmul(xh, w);
+        let preact = g.add_bias(gates_lin, b);
+        let (hh, c) = g.lstm_cell(preact, state.c);
+        LstmState { h: hh, c }
+    }
+
+    /// The reference per-gate implementation the fused [`LstmCell::step`]
+    /// replaced: ~8 separate elementwise tape ops with derived backward.
+    /// Kept for gradient cross-checks against the fused kernel.
+    pub fn step_unfused(
         &self,
         g: &mut Graph,
         bd: &mut Binding,
@@ -289,6 +315,77 @@ mod tests {
             let sq = g.mul(hh, hh);
             g.sum_all(sq)
         });
+    }
+
+    /// One full cell step through the fused path vs the unfused reference:
+    /// identical forward bits and matching parameter gradients, including
+    /// at boundary shapes (B=1, H=1, H not a multiple of 8).
+    fn assert_fused_matches_unfused(batch: usize, in_dim: usize, hidden: usize, seed: u64) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = LstmCell::new(&mut ps, &mut rng, "eq", in_dim, hidden);
+        let x0 = Tensor::rand_uniform(&mut rng, &[batch, in_dim], -1.0, 1.0);
+        let h0 = Tensor::rand_uniform(&mut rng, &[batch, hidden], -0.8, 0.8);
+        let c0 = Tensor::rand_uniform(&mut rng, &[batch, hidden], -0.8, 0.8);
+
+        let run = |fused: bool, ps: &ParamSet| -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+            let mut g = Graph::new();
+            let mut bd = Binding::new();
+            let x = g.input(x0.clone());
+            let s0 = LstmState { h: g.input(h0.clone()), c: g.input(c0.clone()) };
+            let s1 = if fused {
+                cell.step(&mut g, &mut bd, ps, x, s0)
+            } else {
+                cell.step_unfused(&mut g, &mut bd, ps, x, s0)
+            };
+            let hv = g.value(s1.h).as_slice().to_vec();
+            let cv = g.value(s1.c).as_slice().to_vec();
+            // Loss touches both outputs so both gradient paths fire.
+            let hh = g.mul(s1.h, s1.h);
+            let cc = g.mul(s1.c, s1.c);
+            let sum = g.add(hh, cc);
+            let loss = g.sum_all(sum);
+            g.backward(loss);
+            let mut ps2 = ps.clone();
+            bd.write_grads(&g, &mut ps2);
+            (
+                hv,
+                cv,
+                ps2.get(cell.w).grad.as_slice().to_vec(),
+                ps2.get(cell.b).grad.as_slice().to_vec(),
+            )
+        };
+        let (hf, cf, wf, bf) = run(true, &ps);
+        let (hu, cu, wu, bu) = run(false, &ps);
+        assert_eq!(hf, hu, "fused h differs at B={batch} in={in_dim} H={hidden}");
+        assert_eq!(cf, cu, "fused c differs at B={batch} in={in_dim} H={hidden}");
+        for (a, b) in wf.iter().zip(&wu).chain(bf.iter().zip(&bu)) {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "grad mismatch at B={batch} in={in_dim} H={hidden}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_step_matches_unfused_at_boundary_shapes() {
+        assert_fused_matches_unfused(1, 1, 1, 19); // B=1, H=1
+        assert_fused_matches_unfused(1, 4, 3, 23); // B=1, H non-multiple-of-8
+        assert_fused_matches_unfused(5, 7, 13, 29); // ragged everything
+        assert_fused_matches_unfused(8, 16, 16, 31); // aligned
+    }
+
+    proptest::proptest! {
+        /// Random-shape sweep of fused-vs-unfused cell equivalence.
+        #[test]
+        fn fused_step_matches_unfused_sweep(
+            batch in 1usize..9,
+            in_dim in 1usize..11,
+            hidden in 1usize..18,
+            seed in 0u64..500,
+        ) {
+            assert_fused_matches_unfused(batch, in_dim, hidden, seed);
+        }
     }
 
     #[test]

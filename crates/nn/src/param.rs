@@ -124,9 +124,16 @@ impl ParamSet {
     /// Returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
+        self.clip_grad_norm_from(norm, max_norm)
+    }
+
+    /// [`ParamSet::clip_grad_norm`] with the global norm already known —
+    /// e.g. accumulated for free during the executor's gradient apply
+    /// ([`crate::GradBuffer::apply_with_sq_norm`]) — so clipping costs no
+    /// extra sweep over every parameter. Returns the (pre-clip) norm.
+    pub fn clip_grad_norm_from(&mut self, norm: f32, max_norm: f32) -> f32 {
         if norm > max_norm && norm > 0.0 {
-            let s = max_norm / norm;
-            self.scale_grads(s);
+            self.scale_grads(max_norm / norm);
         }
         norm
     }
@@ -260,6 +267,21 @@ mod tests {
         let pre2 = ps.clip_grad_norm(10.0);
         assert!((pre2 - 1.0).abs() < 1e-6);
         assert!((ps.grad_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_from_matches_clip_grad_norm() {
+        let grads = [vec![3.0f32, 4.0], vec![0.5, 0.5]]; // above / below threshold
+        for gv in grads {
+            let mut a = ParamSet::new();
+            let ia = a.add("w", Tensor::zeros(&[2]));
+            a.get_mut(ia).grad = Tensor::from_vec(gv.clone(), &[2]);
+            let mut b = a.clone();
+            let na = a.clip_grad_norm(1.0);
+            let nb = b.clip_grad_norm_from(b.grad_norm(), 1.0);
+            assert_eq!(na, nb);
+            assert_eq!(a.get(ia).grad.as_slice(), b.get(ia).grad.as_slice());
+        }
     }
 
     #[test]

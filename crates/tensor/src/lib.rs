@@ -38,6 +38,7 @@
 mod conv;
 mod gemm;
 mod init;
+mod lstm_cell;
 mod matmul;
 mod ops;
 mod pool;
@@ -46,6 +47,7 @@ mod shape;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeom};
+pub use lstm_cell::{lstm_cell_backward, lstm_cell_forward, LstmCellFwd};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
 

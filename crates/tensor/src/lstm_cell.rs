@@ -1,0 +1,415 @@
+//! Fused LSTM cell pointwise kernels.
+//!
+//! One cache-resident pass over the packed `B×4H` pre-activation block
+//! replaces the ~8 separate elementwise ops (4 activations + hadamards +
+//! adds) the unfused tape records per timestep. The forward caches the
+//! activated gates `σ(i),σ(f),tanh(ĝ),σ(o)` and `tanh(c')` so the backward
+//! is a single closed-form pass instead of a re-walk of 8 nodes.
+//!
+//! Gate layout matches `legw_nn::LstmCell`: the `4H` columns are
+//! `[i | f | ĝ | o]` (input, forget, candidate, output), and
+//!
+//! ```text
+//! c' = σ(f)∘c + σ(i)∘tanh(ĝ)        h' = σ(o)∘tanh(c')
+//! ```
+//!
+//! The per-element arithmetic matches the unfused op chain exactly (same
+//! stable sigmoid, `f32::tanh`, and mul/mul/add order; rustc does not
+//! contract `a*b + c*d` into FMA), so fusing is bit-identical to the
+//! separate-op path — the shard-equivalence and determinism guarantees
+//! carry over unchanged.
+//!
+//! Both kernels are row-parallel on [`legw_parallel::current`], so they
+//! respect the executor's thread-local per-shard pool override.
+
+use crate::pool::Buffer;
+use crate::tensor::Tensor;
+use crate::PAR_THRESHOLD;
+use legw_parallel::{current, parallel_for};
+use std::ops::Range;
+
+/// Everything the fused forward produces: the outputs plus the cached
+/// intermediates its closed-form backward reuses.
+pub struct LstmCellFwd {
+    /// New hidden state `h' = σ(o)∘tanh(c')`, shape `[B, H]`.
+    pub h: Tensor,
+    /// New cell state `c' = σ(f)∘c + σ(i)∘tanh(ĝ)`, shape `[B, H]`.
+    pub c: Tensor,
+    /// Activated gates `[σ(i) | σ(f) | tanh(ĝ) | σ(o)]`, shape `[B, 4H]`.
+    pub gates: Tensor,
+    /// `tanh(c')`, shape `[B, H]`.
+    pub tanh_c: Tensor,
+}
+
+/// Numerically stable logistic sigmoid — identical to `Tensor::sigmoid`
+/// so the fused cell is bit-compatible with the unfused op chain.
+#[inline(always)]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Shared pointer for disjoint row-range writes from the parallel loop.
+struct SendPtr(*mut f32);
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    /// # Safety
+    /// Caller must hand out non-overlapping `offset..offset+len` windows.
+    unsafe fn slice(&self, offset: usize, len: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+fn fwd_rows(
+    rows: Range<usize>,
+    hid: usize,
+    pa: &[f32],
+    cp: &[f32],
+    gates: &SendPtr,
+    c_out: &SendPtr,
+    tanh_c: &SendPtr,
+    h_out: &SendPtr,
+) {
+    for r in rows {
+        let pa_r = &pa[r * 4 * hid..(r + 1) * 4 * hid];
+        let cp_r = &cp[r * hid..(r + 1) * hid];
+        // Safety: row ranges from the parallel loop are disjoint.
+        let (g_r, c_r, t_r, h_r) = unsafe {
+            (
+                gates.slice(r * 4 * hid, 4 * hid),
+                c_out.slice(r * hid, hid),
+                tanh_c.slice(r * hid, hid),
+                h_out.slice(r * hid, hid),
+            )
+        };
+        for j in 0..hid {
+            let i = sigmoid(pa_r[j]);
+            let f = sigmoid(pa_r[hid + j]);
+            let g = pa_r[2 * hid + j].tanh();
+            let o = sigmoid(pa_r[3 * hid + j]);
+            let c = f * cp_r[j] + i * g;
+            let tc = c.tanh();
+            g_r[j] = i;
+            g_r[hid + j] = f;
+            g_r[2 * hid + j] = g;
+            g_r[3 * hid + j] = o;
+            c_r[j] = c;
+            t_r[j] = tc;
+            h_r[j] = o * tc;
+        }
+    }
+}
+
+/// Fused LSTM cell forward: one pass over the `B×4H` pre-activations.
+///
+/// `preact` is `[B, 4H]` (gate order `i,f,ĝ,o`), `c_prev` is `[B, H]`.
+pub fn lstm_cell_forward(preact: &Tensor, c_prev: &Tensor) -> LstmCellFwd {
+    assert_eq!(preact.ndim(), 2, "lstm_cell: preact must be [B, 4H]");
+    assert_eq!(c_prev.ndim(), 2, "lstm_cell: c_prev must be [B, H]");
+    let b = preact.dim(0);
+    let hid = c_prev.dim(1);
+    assert_eq!(c_prev.dim(0), b, "lstm_cell: batch mismatch");
+    assert_eq!(preact.dim(1), 4 * hid, "lstm_cell: preact cols must be 4*H");
+
+    let mut gates = Buffer::zeroed(b * 4 * hid);
+    let mut c_out = Buffer::zeroed(b * hid);
+    let mut tanh_c = Buffer::zeroed(b * hid);
+    let mut h_out = Buffer::zeroed(b * hid);
+    {
+        let pa = preact.as_slice();
+        let cp = c_prev.as_slice();
+        let gp = SendPtr(gates.as_mut_ptr());
+        let op = SendPtr(c_out.as_mut_ptr());
+        let tp = SendPtr(tanh_c.as_mut_ptr());
+        let hp = SendPtr(h_out.as_mut_ptr());
+        let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
+        let pool = current();
+        parallel_for(&pool, b, min_rows, |rows| {
+            fwd_rows(rows, hid, pa, cp, &gp, &op, &tp, &hp);
+        });
+    }
+    LstmCellFwd {
+        h: Tensor::from_buffer(h_out, &[b, hid]),
+        c: Tensor::from_buffer(c_out, &[b, hid]),
+        gates: Tensor::from_buffer(gates, &[b, 4 * hid]),
+        tanh_c: Tensor::from_buffer(tanh_c, &[b, hid]),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bwd_rows(
+    rows: Range<usize>,
+    hid: usize,
+    ga: &[f32],
+    tc: &[f32],
+    cp: &[f32],
+    dh: Option<&[f32]>,
+    dc: Option<&[f32]>,
+    dpre: &SendPtr,
+    dc_prev: &SendPtr,
+) {
+    for r in rows {
+        let g_r = &ga[r * 4 * hid..(r + 1) * 4 * hid];
+        let t_r = &tc[r * hid..(r + 1) * hid];
+        let cp_r = &cp[r * hid..(r + 1) * hid];
+        let dh_r = dh.map(|s| &s[r * hid..(r + 1) * hid]);
+        let dc_r = dc.map(|s| &s[r * hid..(r + 1) * hid]);
+        // Safety: row ranges from the parallel loop are disjoint.
+        let (dp_r, dcp_r) =
+            unsafe { (dpre.slice(r * 4 * hid, 4 * hid), dc_prev.slice(r * hid, hid)) };
+        for j in 0..hid {
+            let i = g_r[j];
+            let f = g_r[hid + j];
+            let g = g_r[2 * hid + j];
+            let o = g_r[3 * hid + j];
+            let t = t_r[j];
+            let dh_j = dh_r.map_or(0.0, |s| s[j]);
+            let dc_j = dc_r.map_or(0.0, |s| s[j]);
+            // dL/dc' seen by the cell interior: the incoming cell gradient
+            // plus the hidden-path gradient through h' = o∘tanh(c').
+            let dct = dc_j + dh_j * o * (1.0 - t * t);
+            dp_r[j] = dct * g * i * (1.0 - i);
+            dp_r[hid + j] = dct * cp_r[j] * f * (1.0 - f);
+            dp_r[2 * hid + j] = dct * i * (1.0 - g * g);
+            dp_r[3 * hid + j] = dh_j * t * o * (1.0 - o);
+            dcp_r[j] = dct * f;
+        }
+    }
+}
+
+/// Closed-form fused LSTM cell backward.
+///
+/// Takes the forward's cached `gates` (`[B,4H]`, already activated),
+/// `tanh_c` (`[B,H]`) and the original `c_prev`, plus the upstream
+/// gradients `dh` (w.r.t. `h'`) and `dc` (w.r.t. `c'`) — either may be
+/// absent. Returns `(dpreact, dc_prev)`.
+pub fn lstm_cell_backward(
+    gates: &Tensor,
+    tanh_c: &Tensor,
+    c_prev: &Tensor,
+    dh: Option<&Tensor>,
+    dc: Option<&Tensor>,
+) -> (Tensor, Tensor) {
+    let b = c_prev.dim(0);
+    let hid = c_prev.dim(1);
+    debug_assert_eq!(gates.shape(), &[b, 4 * hid]);
+    debug_assert_eq!(tanh_c.shape(), &[b, hid]);
+    if let Some(t) = dh {
+        debug_assert_eq!(t.shape(), &[b, hid]);
+    }
+    if let Some(t) = dc {
+        debug_assert_eq!(t.shape(), &[b, hid]);
+    }
+
+    let mut dpre = Buffer::zeroed(b * 4 * hid);
+    let mut dc_prev = Buffer::zeroed(b * hid);
+    {
+        let ga = gates.as_slice();
+        let tc = tanh_c.as_slice();
+        let cp = c_prev.as_slice();
+        let dh_s = dh.map(|t| t.as_slice());
+        let dc_s = dc.map(|t| t.as_slice());
+        let dp = SendPtr(dpre.as_mut_ptr());
+        let dcp = SendPtr(dc_prev.as_mut_ptr());
+        let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
+        let pool = current();
+        parallel_for(&pool, b, min_rows, |rows| {
+            bwd_rows(rows, hid, ga, tc, cp, dh_s, dc_s, &dp, &dcp);
+        });
+    }
+    (Tensor::from_buffer(dpre, &[b, 4 * hid]), Tensor::from_buffer(dc_prev, &[b, hid]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, n: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn rand_t(seed: u64, dims: &[usize]) -> Tensor {
+        Tensor::from_vec(lcg(seed, dims.iter().product()), dims)
+    }
+
+    /// Unfused reference: the same op chain `legw_nn::LstmCell` recorded
+    /// before fusion, via public Tensor ops.
+    fn reference(preact: &Tensor, c_prev: &Tensor) -> (Tensor, Tensor) {
+        let b = preact.dim(0);
+        let hid = c_prev.dim(1);
+        let cols = |t: &Tensor, a: usize| {
+            let src = t.as_slice();
+            let mut out = vec![0.0f32; b * hid];
+            for r in 0..b {
+                out[r * hid..(r + 1) * hid]
+                    .copy_from_slice(&src[r * 4 * hid + a * hid..r * 4 * hid + (a + 1) * hid]);
+            }
+            Tensor::from_vec(out, &[b, hid])
+        };
+        let i = cols(preact, 0).sigmoid();
+        let f = cols(preact, 1).sigmoid();
+        let g = cols(preact, 2).tanh();
+        let o = cols(preact, 3).sigmoid();
+        let c = f.mul(c_prev).add(&i.mul(&g));
+        let h = o.mul(&c.tanh());
+        (h, c)
+    }
+
+    #[test]
+    fn forward_matches_unfused_bitwise() {
+        for &(b, hid) in &[(1usize, 1usize), (1, 7), (3, 13), (8, 32), (5, 9)] {
+            let preact = rand_t(b as u64 * 31 + hid as u64, &[b, 4 * hid]);
+            let c_prev = rand_t(b as u64 * 17 + hid as u64 + 1, &[b, hid]);
+            let fwd = lstm_cell_forward(&preact, &c_prev);
+            let (h_ref, c_ref) = reference(&preact, &c_prev);
+            assert_eq!(fwd.h.shape(), &[b, hid]);
+            assert_eq!(fwd.c.shape(), &[b, hid]);
+            for (a, w) in fwd.h.as_slice().iter().zip(h_ref.as_slice()) {
+                assert_eq!(a.to_bits(), w.to_bits(), "h mismatch at B={b} H={hid}");
+            }
+            for (a, w) in fwd.c.as_slice().iter().zip(c_ref.as_slice()) {
+                assert_eq!(a.to_bits(), w.to_bits(), "c mismatch at B={b} H={hid}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_intermediates_are_consistent() {
+        let (b, hid) = (4, 6);
+        let preact = rand_t(5, &[b, 4 * hid]);
+        let c_prev = rand_t(6, &[b, hid]);
+        let fwd = lstm_cell_forward(&preact, &c_prev);
+        let ga = fwd.gates.as_slice();
+        let tc = fwd.tanh_c.as_slice();
+        for r in 0..b {
+            for j in 0..hid {
+                let i = ga[r * 4 * hid + j];
+                let f = ga[r * 4 * hid + hid + j];
+                let g = ga[r * 4 * hid + 2 * hid + j];
+                let c = f * c_prev.as_slice()[r * hid + j] + i * g;
+                assert_eq!(c.to_bits(), fwd.c.as_slice()[r * hid + j].to_bits());
+                assert_eq!(c.tanh().to_bits(), tc[r * hid + j].to_bits());
+            }
+        }
+    }
+
+    /// Backward against central finite differences of the fused forward,
+    /// for every combination of upstream gradients.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let (b, hid) = (3, 5);
+        let preact = rand_t(7, &[b, 4 * hid]);
+        let c_prev = rand_t(8, &[b, hid]);
+        let dh = rand_t(9, &[b, hid]);
+        let dc = rand_t(10, &[b, hid]);
+        for (use_dh, use_dc) in [(true, true), (true, false), (false, true)] {
+            let loss = |pa: &Tensor, cp: &Tensor| -> f64 {
+                let fwd = lstm_cell_forward(pa, cp);
+                let mut acc = 0.0f64;
+                if use_dh {
+                    for (x, w) in fwd.h.as_slice().iter().zip(dh.as_slice()) {
+                        acc += (x * w) as f64;
+                    }
+                }
+                if use_dc {
+                    for (x, w) in fwd.c.as_slice().iter().zip(dc.as_slice()) {
+                        acc += (x * w) as f64;
+                    }
+                }
+                acc
+            };
+            let fwd = lstm_cell_forward(&preact, &c_prev);
+            let (dpre, dcp) = lstm_cell_backward(
+                &fwd.gates,
+                &fwd.tanh_c,
+                &c_prev,
+                use_dh.then_some(&dh),
+                use_dc.then_some(&dc),
+            );
+            let eps = 1e-3f32;
+            for idx in 0..preact.numel() {
+                let mut plus = preact.as_slice().to_vec();
+                plus[idx] += eps;
+                let mut minus = preact.as_slice().to_vec();
+                minus[idx] -= eps;
+                let fd = (loss(&Tensor::from_vec(plus, preact.shape()), &c_prev)
+                    - loss(&Tensor::from_vec(minus, preact.shape()), &c_prev))
+                    / (2.0 * eps as f64);
+                let an = dpre.as_slice()[idx] as f64;
+                assert!(
+                    (fd - an).abs() < 1e-3 * (1.0 + fd.abs()),
+                    "dpre[{idx}] fd={fd} analytic={an} (dh={use_dh} dc={use_dc})"
+                );
+            }
+            for idx in 0..c_prev.numel() {
+                let mut plus = c_prev.as_slice().to_vec();
+                plus[idx] += eps;
+                let mut minus = c_prev.as_slice().to_vec();
+                minus[idx] -= eps;
+                let fd = (loss(&preact, &Tensor::from_vec(plus, c_prev.shape()))
+                    - loss(&preact, &Tensor::from_vec(minus, c_prev.shape())))
+                    / (2.0 * eps as f64);
+                let an = dcp.as_slice()[idx] as f64;
+                assert!(
+                    (fd - an).abs() < 1e-3 * (1.0 + fd.abs()),
+                    "dc_prev[{idx}] fd={fd} analytic={an} (dh={use_dh} dc={use_dc})"
+                );
+            }
+        }
+    }
+
+    /// Above PAR_THRESHOLD the row-parallel path must produce the same bits
+    /// as a serial run (row-independent, so this holds for any pool).
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let (b, hid) = (192, 48); // b*4*hid = 36864 > PAR_THRESHOLD
+        let preact = rand_t(11, &[b, 4 * hid]);
+        let c_prev = rand_t(12, &[b, hid]);
+        let par = lstm_cell_forward(&preact, &c_prev);
+        // Serial reference: force one chunk by computing rows directly.
+        let mut gates = vec![0.0f32; b * 4 * hid];
+        let mut c_out = vec![0.0f32; b * hid];
+        let mut tanh_c = vec![0.0f32; b * hid];
+        let mut h_out = vec![0.0f32; b * hid];
+        fwd_rows(
+            0..b,
+            hid,
+            preact.as_slice(),
+            c_prev.as_slice(),
+            &SendPtr(gates.as_mut_ptr()),
+            &SendPtr(c_out.as_mut_ptr()),
+            &SendPtr(tanh_c.as_mut_ptr()),
+            &SendPtr(h_out.as_mut_ptr()),
+        );
+        assert!(par.h.as_slice().iter().zip(&h_out).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(par.c.as_slice().iter().zip(&c_out).all(|(a, b)| a.to_bits() == b.to_bits()));
+        let dh = rand_t(13, &[b, hid]);
+        let dc = rand_t(14, &[b, hid]);
+        let (dp1, dc1) = lstm_cell_backward(&par.gates, &par.tanh_c, &c_prev, Some(&dh), Some(&dc));
+        let mut dpre = vec![0.0f32; b * 4 * hid];
+        let mut dcp = vec![0.0f32; b * hid];
+        bwd_rows(
+            0..b,
+            hid,
+            par.gates.as_slice(),
+            par.tanh_c.as_slice(),
+            c_prev.as_slice(),
+            Some(dh.as_slice()),
+            Some(dc.as_slice()),
+            &SendPtr(dpre.as_mut_ptr()),
+            &SendPtr(dcp.as_mut_ptr()),
+        );
+        assert!(dp1.as_slice().iter().zip(&dpre).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(dc1.as_slice().iter().zip(&dcp).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

@@ -237,6 +237,23 @@ impl Tensor {
         }
     }
 
+    /// `self += alpha * other`, additionally returning `Σ selfᵢ²` of the
+    /// *updated* elements in f64 — the fused accumulate-and-measure the
+    /// executor's gradient apply uses so global-norm clipping needs no
+    /// second full-parameter sweep. The update itself is bit-identical
+    /// to [`Tensor::axpy`].
+    pub fn axpy_sq_norm(&mut self, alpha: f32, other: &Tensor) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        let o = other.as_slice().to_vec(); // detach in case self aliases other
+        let dst = self.as_mut_slice();
+        let mut sq = 0.0f64;
+        for (d, s) in dst.iter_mut().zip(o.iter()) {
+            *d += alpha * s;
+            sq += (*d as f64) * (*d as f64);
+        }
+        sq
+    }
+
     /// `self *= s` in place.
     pub fn scale_inplace(&mut self, s: f32) {
         for v in self.as_mut_slice() {
@@ -378,6 +395,23 @@ mod tests {
         let alias = a.clone();
         a.axpy(1.0, &alias);
         assert_eq!(a.as_slice(), &[2., 4.]);
+    }
+
+    #[test]
+    fn axpy_sq_norm_updates_like_axpy_and_measures_result() {
+        let mut a = t(vec![1., 2., 3.], &[3]);
+        let mut b = a.clone();
+        let g = t(vec![10., -10., 10.], &[3]);
+        a.axpy(-0.1, &g);
+        let sq = b.axpy_sq_norm(-0.1, &g);
+        assert_eq!(a.as_slice(), b.as_slice(), "update must be bit-identical to axpy");
+        let expect: f64 = b.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum();
+        assert!((sq - expect).abs() < 1e-12, "{sq} vs {expect}");
+        // aliasing stays safe
+        let alias = b.clone();
+        let sq2 = b.axpy_sq_norm(1.0, &alias);
+        let expect2: f64 = b.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum();
+        assert!((sq2 - expect2).abs() < 1e-12);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 # Usage:
 #   scripts/bench_smoke.sh                 # kernel + training-step benches
 #   scripts/bench_smoke.sh gemm_shapes     # just the GEMM shape sweep
+#   scripts/bench_smoke.sh lstm_cell       # fused vs unfused LSTM cell op
 #   LEGW_THREADS=1 scripts/bench_smoke.sh  # pin the worker pool
 #   LEGW_SHARDS=4 scripts/bench_smoke.sh sharded   # executor shard sweep
 #

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, test suite, and lint-clean clippy.
+#
+# Usage:
+#   scripts/check.sh            # build + test + clippy
+#   scripts/check.sh fast       # skip clippy (build + test only)
+#
+# Requires network access (or a primed cargo registry cache) the first
+# time, to fetch the workspace's few external crates. In a fully offline
+# container, see .claude/skills/verify/SKILL.md for the stub-rlib rustc
+# rig that reproduces this gate without cargo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "fast" ]]; then
+  echo "== cargo clippy --workspace -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "check.sh: all gates passed"
