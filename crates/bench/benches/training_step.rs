@@ -6,7 +6,8 @@
 //! forward alone, quantifying what the derived (non-fused) backward costs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use legw::Executor;
+use legw::exec::{ExecConfig, Reduce, ShardOut};
+use legw::{Executor, MnistStep, Seq2SeqStep};
 use legw_data::{SynthMnist, SynthPtb, SynthTranslation};
 use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
 use legw_nn::ParamSet;
@@ -52,7 +53,7 @@ fn bench_ptb_step(c: &mut Criterion) {
     let data = SynthPtb::generate(2, 64, 8, 4_000, 500);
     let mut rng = StdRng::seed_from_u64(2);
     let mut ps = ParamSet::new();
-    let cfg_m = PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2 };
+    let cfg_m = PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2, keep: 1.0 };
     let model = PtbLm::new(&mut ps, &mut rng, cfg_m);
     let window = data.batches(true, 16, 16).remove(0);
     let state = LmState::zeros(&cfg_m, 16);
@@ -131,10 +132,11 @@ fn bench_sharded_step(c: &mut Criterion) {
     let mut opt = build(SolverKind::Momentum, 0.0);
     let mut g = c.benchmark_group("mnist_lstm_b256_sharded");
     for shards in shard_counts {
-        let exec = Executor::new(shards);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let step = MnistStep { model: &model, bx: &bx, by: &by };
         g.bench_function(format!("shards{shards}"), |b| {
             b.iter(|| {
-                let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+                let (out, _) = exec.step(&step, &mut ps);
                 opt.step(&mut ps, 0.1);
                 ps.zero_grad();
                 black_box(out.loss)
@@ -154,13 +156,55 @@ fn bench_sharded_step(c: &mut Criterion) {
     let mut opt = build(SolverKind::Momentum, 0.0);
     let mut g = c.benchmark_group("seq2seq_b256_sharded");
     for shards in shard_counts {
-        let exec = Executor::new(shards);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let step = Seq2SeqStep { model: &model, batch: &batch };
         g.bench_function(format!("shards{shards}"), |b| {
             b.iter(|| {
-                let out = exec.step_seq2seq(&model, &mut ps, &batch);
+                let (out, _) = exec.step(&step, &mut ps);
                 opt.step(&mut ps, 0.5);
                 ps.zero_grad();
                 black_box(out.loss)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Streaming vs post-barrier gradient reduction with a deliberate
+/// straggler: 8 shards contribute a large synthetic gradient at staggered
+/// times (shard `i` after ~4·i ms, shard 7 a genuine straggler at 60 ms).
+/// The streaming scheduler runs each arriving shard's scale and every
+/// straggler-independent merge inside the idle sleep windows; the barrier
+/// path pays for all of them after the straggler lands. Mirrors the
+/// `straggler_s8_*` cases of the `train_step_bench` binary.
+fn bench_reduce_straggler(c: &mut Criterion) {
+    use legw_nn::GradBuffer;
+    use legw_tensor::Tensor;
+
+    const BALLAST: usize = 2_000_000;
+    let ballast = Tensor::from_vec(vec![0.5f32; BALLAST], &[BALLAST]);
+    let mut ps = ParamSet::new();
+    let id = ps.add("ballast", Tensor::zeros(&[BALLAST]));
+    let ps_ref = &ps;
+    let shard_ids: Vec<usize> = (0..8).collect();
+    let weights = vec![1.0f64; 8];
+
+    let mut g = c.benchmark_group("reduce_straggler_s8");
+    for overlap in [true, false] {
+        let exec =
+            Executor::new(ExecConfig::default().with_shards(8).with_reduce_overlap(overlap));
+        let label = if overlap { "overlap_on" } else { "overlap_off" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (grads, out, _) =
+                    exec.run_shards(Reduce::WeightedMean, &shard_ids, &weights, |i, _| {
+                        let delay = if i == 7 { 60 } else { 4 * i as u64 };
+                        std::thread::sleep(Duration::from_millis(delay));
+                        let mut buf = GradBuffer::for_params(ps_ref);
+                        buf.accumulate(id, &ballast);
+                        ShardOut { grads: buf, loss: 1.0, extra: () }
+                    });
+                black_box(grads.get(id).unwrap().as_slice()[0] as f64 + out.loss)
             });
         });
     }
@@ -173,6 +217,7 @@ fn all(c: &mut Criterion) {
     bench_seq2seq_step(c);
     bench_resnet_step(c);
     bench_sharded_step(c);
+    bench_reduce_straggler(c);
 }
 
 criterion_group! {

@@ -47,6 +47,7 @@ struct Case {
 }
 
 fn main() {
+    legw_bench::init_threads_from_env();
     let mut rng = StdRng::seed_from_u64(42);
     let threads = legw_parallel::global().threads();
     let mut cases: Vec<Case> = Vec::new();

@@ -19,6 +19,7 @@ fn usage() -> ! {
 }
 
 fn main() {
+    legw_bench::init_threads_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else { usage() };
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);

@@ -5,19 +5,24 @@
 //! Times one full optimizer-ready step (forward, tape backward, gradient
 //! write-back/all-reduce, grad zero) at batch 256 for two model families:
 //! the serial single-tape reference path, and the executor at 1/2/4
-//! shards. Prints a single machine-readable JSON object, like `gemm_bench`:
+//! shards. A deliberate-straggler case times the streaming gradient
+//! reduction against the post-barrier reduction when one of eight shards
+//! finishes late, isolating the latency the overlap hides. Prints a single
+//! machine-readable JSON object, like `gemm_bench`:
 //!
 //! ```text
 //! cargo run --release -p legw-bench --bin train_step_bench
 //! LEGW_THREADS=4 cargo run --release -p legw-bench --bin train_step_bench
 //! ```
 
-use legw::Executor;
+use legw::exec::{ExecConfig, Executor, Reduce, ShardOut};
+use legw::{MnistStep, Seq2SeqStep};
 use legw_data::{SynthMnist, SynthTranslation};
 use legw_models::{MnistLstm, Seq2Seq, Seq2SeqConfig};
-use legw_nn::ParamSet;
+use legw_nn::{GradBuffer, ParamSet};
+use legw_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Median wall-clock seconds of `iters` runs of `f` (after 2 warmup runs).
 fn time_median<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
@@ -57,6 +62,7 @@ struct Case {
 }
 
 fn main() {
+    legw_bench::init_threads_from_env();
     let threads = legw_parallel::global().threads();
     let shard_counts = [1usize, 2, 4];
     let mut cases: Vec<Case> = Vec::new();
@@ -93,9 +99,10 @@ fn main() {
         });
         cases.push(Case { name: "mnist_b256_serial".into(), secs });
         for shards in shard_counts {
-            let exec = Executor::new(shards);
+            let exec = Executor::new(ExecConfig::default().with_shards(shards));
+            let step = MnistStep { model: &model, bx: &bx, by: &by };
             let secs = time_median(9, || {
-                let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+                let (out, _) = exec.step(&step, &mut ps);
                 ps.zero_grad();
                 out.loss
             });
@@ -136,9 +143,10 @@ fn main() {
         });
         cases.push(Case { name: "seq2seq_b256_serial".into(), secs });
         for shards in shard_counts {
-            let exec = Executor::new(shards);
+            let exec = Executor::new(ExecConfig::default().with_shards(shards));
+            let step = Seq2SeqStep { model: &model, batch: &batch };
             let secs = time_median(9, || {
-                let out = exec.step_seq2seq(&model, &mut ps, &batch);
+                let (out, _) = exec.step(&step, &mut ps);
                 ps.zero_grad();
                 out.loss
             });
@@ -146,9 +154,45 @@ fn main() {
         }
     }
 
+    // Deliberate straggler: 8 shards over a large synthetic gradient,
+    // completing at staggered times (shard i after ~4i ms) with shard 7 a
+    // genuine straggler at 60 ms. Sleeping threads free the core, so the
+    // streaming scheduler runs each arriving shard's scale and every
+    // straggler-independent tree merge inside the idle windows; by the
+    // time the straggler lands only its own scale plus the 3-merge spine
+    // above it remains. The post-barrier path pays for all 8 scales and
+    // 7 merges after the slowest shard returns. Both modes produce
+    // bit-identical gradients — only the tail differs.
+    {
+        const BALLAST: usize = 2_000_000;
+        let ballast = Tensor::from_vec(vec![0.5f32; BALLAST], &[BALLAST]);
+        let mut ps = ParamSet::new();
+        let id = ps.add("ballast", Tensor::zeros(&[BALLAST]));
+        let ps_ref = &ps;
+        let shard_ids: Vec<usize> = (0..8).collect();
+        let weights = vec![1.0f64; 8];
+        for overlap in [true, false] {
+            let exec =
+                Executor::new(ExecConfig::default().with_shards(8).with_reduce_overlap(overlap));
+            let secs = time_median(9, || {
+                let (g, out, _) =
+                    exec.run_shards(Reduce::WeightedMean, &shard_ids, &weights, |i, _| {
+                        let delay = if i == 7 { 60 } else { 4 * i as u64 };
+                        std::thread::sleep(Duration::from_millis(delay));
+                        let mut buf = GradBuffer::for_params(ps_ref);
+                        buf.accumulate(id, &ballast);
+                        ShardOut { grads: buf, loss: 1.0, extra: () }
+                    });
+                g.get(id).unwrap().as_slice()[0] as f64 + out.loss
+            });
+            let label = if overlap { "on" } else { "off" };
+            cases.push(Case { name: format!("straggler_s8_overlap_{label}"), secs });
+        }
+    }
+
     println!("{{");
     println!("  \"threads\": {threads},");
-    println!("  \"default_shards\": {},", legw::exec::default_shards());
+    println!("  \"env_shards\": {},", ExecConfig::from_env().shards);
     for (i, c) in cases.iter().enumerate() {
         let comma = if i + 1 == cases.len() { "" } else { "," };
         println!("  \"{}\": {{ \"ms\": {:.3} }}{}", c.name, c.secs * 1e3, comma);

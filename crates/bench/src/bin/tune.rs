@@ -41,6 +41,7 @@ fn parse_solver(s: &str) -> SolverKind {
 }
 
 fn main() {
+    legw_bench::init_threads_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 5 {
         eprintln!("usage: tune <app> <solver> <batch> <epochs> <lr> [lr ...]");

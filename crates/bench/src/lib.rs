@@ -120,6 +120,16 @@ pub fn quick_mode() -> bool {
     std::env::var("LEGW_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
+/// Installs the `LEGW_THREADS` budget into the kernel thread pool. Bench
+/// binaries call this at the top of `main`, before the first kernel runs;
+/// the variable itself is parsed by [`legw::ExecConfig::from_env`] — the
+/// library's single environment read — this merely forwards the result.
+pub fn init_threads_from_env() {
+    if let Some(t) = legw::ExecConfig::from_env().threads {
+        legw_parallel::set_default_threads(t);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,7 +168,7 @@ pub fn run(app: App, schedule: &BaselineSchedule, solver: SolverKind, seed: u64)
         App::MnistLstm => trainer::train_mnist(mnist_data(), 32, 32, schedule, solver, seed),
         App::PtbSmall => trainer::train_ptb(
             ptb_small_data(),
-            PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2 },
+            PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2, keep: 1.0 },
             PTB_SEQ_LEN,
             schedule,
             solver,
@@ -176,7 +176,7 @@ pub fn run(app: App, schedule: &BaselineSchedule, solver: SolverKind, seed: u64)
         ),
         App::PtbLarge => trainer::train_ptb(
             ptb_large_data(),
-            PtbLmConfig { vocab: 160, embed: 48, hidden: 48, layers: 2 },
+            PtbLmConfig { vocab: 160, embed: 48, hidden: 48, layers: 2, keep: 1.0 },
             PTB_SEQ_LEN,
             schedule,
             solver,

@@ -201,6 +201,7 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ExecConfig;
     use legw_data::SynthMnist;
     use rand::{rngs::StdRng, SeedableRng};
 
@@ -214,7 +215,7 @@ mod tests {
     #[test]
     fn map_shards_preserves_item_order() {
         for shards in [1usize, 2, 3] {
-            let exec = Executor::new(shards);
+            let exec = Executor::new(ExecConfig::default().with_shards(shards));
             let items: Vec<usize> = (0..shards).collect();
             let out = exec.map_shards(&items, |i, &x| {
                 assert_eq!(i, x);
@@ -223,7 +224,7 @@ mod tests {
             assert_eq!(out, (0..shards).map(|x| x * 10).collect::<Vec<_>>());
         }
         // The serial executor maps any number of items, in order.
-        let exec = Executor::new(1);
+        let exec = Executor::new(ExecConfig::default());
         let out = exec.map_shards(&[5usize, 6, 7], |i, &x| (i, x));
         assert_eq!(out, vec![(0, 5), (1, 6), (2, 7)]);
     }
@@ -236,7 +237,7 @@ mod tests {
         let model = MnistLstm::new(&mut ps, &mut rng, 10, 10);
         let serial = model.evaluate(&ps, &data.test, 16);
         for shards in [1usize, 2, 3, 7] {
-            let exec = Executor::new(shards);
+            let exec = Executor::new(ExecConfig::default().with_shards(shards));
             let acc = exec.eval_mnist(&model, &ps, &data.test, 16);
             assert!(
                 (acc - serial).abs() < 1e-12,

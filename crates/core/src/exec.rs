@@ -6,15 +6,18 @@
 //! optimizer update (You et al., SC'19) — applied to the local thread
 //! pool instead of a cluster:
 //!
-//! 1. the batch is split into `P` contiguous shards
-//!    ([`Executor::shards`] workers, overridable via `LEGW_SHARDS`);
+//! 1. the batch is split into `P` contiguous shards ([`Executor::shards`]
+//!    workers, configured via [`ExecConfig`]);
 //! 2. each shard runs forward + [`legw_autograd::Graph::backward`] +
 //!    `Binding::write_grads_to` concurrently, on its own tape, into its
 //!    own [`GradBuffer`] — no shared `&mut ParamSet`;
-//! 3. shard buffers are weighted by shard example counts and merged
-//!    with a fixed-order pairwise tree ([`tree reduce`](GradBuffer::merge)),
-//!    so results are byte-identical across runs and independent of
-//!    worker scheduling;
+//! 3. shard buffers are weighted by shard example counts and merged with
+//!    the fixed-order pairwise tree of [`crate::reduce_sched`]. By default
+//!    the merge is *streaming*: each shard's buffer enters the tree the
+//!    moment it completes, so reduction latency hides behind still-running
+//!    shards instead of waiting for the slowest one. The merge schedule is
+//!    data-independent, so the result is byte-identical to the post-barrier
+//!    reduce (and across runs) regardless of worker timing;
 //! 4. the combined gradient is applied to the `ParamSet` and the caller
 //!    performs the single optimizer step.
 //!
@@ -22,19 +25,98 @@
 //! pool, and each shard installs a private `max(1, T/P)`-thread intra-op
 //! pool via [`legw_parallel::with_pool`], so the tensor kernels inside a
 //! shard never contend with other shards' fork/join latches and the
-//! total thread budget stays at `T` (`LEGW_THREADS`).
+//! total thread budget stays at `T` ([`ExecConfig::with_threads`]).
 //!
-//! With `LEGW_SHARDS=1` (the default) every step runs on the caller's
-//! thread against the global pool and is bit-identical to the historical
-//! serial trainer path.
+//! With one shard (the default) every step runs on the caller's thread
+//! against the global pool and is bit-identical to the historical serial
+//! trainer path.
+//!
+//! Configuration is explicit: build an [`ExecConfig`] (or parse the
+//! `LEGW_SHARDS` / `LEGW_THREADS` / `LEGW_REDUCE_OVERLAP` environment
+//! variables with [`ExecConfig::from_env`] — the one place in the library
+//! that reads them) and hand it to [`Executor::new`]. The four training
+//! workloads plug in through the [`ShardStep`](crate::steps::ShardStep)
+//! trait and run via [`Executor::step`](crate::steps).
 
-use legw_data::{LmBatch, TranslationBatch};
-use legw_models::{LmState, MnistLstm, PtbLm, ResNet, Seq2Seq};
-use legw_nn::{GradBuffer, ParamSet};
+use crate::reduce_sched::{tree_reduce, ReduceScheduler};
+use legw_nn::GradBuffer;
 use legw_parallel::{default_threads, with_pool, ThreadPool};
-use legw_tensor::Tensor;
 use std::ops::Range;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Executor configuration: how many shards each batch is split into, the
+/// total worker-thread budget, and whether gradient reduction streams
+/// (overlaps with still-running shards) or waits for the post-shard
+/// barrier. Build with the `with_*` methods or [`ExecConfig::from_env`]:
+///
+/// ```no_run
+/// use legw::exec::{ExecConfig, Executor};
+/// let exec = Executor::new(ExecConfig::default().with_shards(4).with_threads(8));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum shards per batch (`1` = serial executor). Clamped to ≥ 1.
+    pub shards: usize,
+    /// Total worker-thread budget shared by all shards. `None` leaves the
+    /// kernel pool at its default (machine parallelism). Installed via
+    /// [`legw_parallel::set_default_threads`], so the first `Executor`
+    /// built in a process decides; later values are ignored once the
+    /// global pool exists.
+    pub threads: Option<usize>,
+    /// Stream the gradient tree-reduce as shards complete (default) rather
+    /// than running it after the all-shards barrier. Same bits either way;
+    /// `false` exists for benchmarking the barrier path and as an escape
+    /// hatch.
+    pub reduce_overlap: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { shards: 1, threads: None, reduce_overlap: true }
+    }
+}
+
+impl ExecConfig {
+    /// `shards` shards, default threads, streaming reduction.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the total worker-thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables/disables streaming reduction.
+    pub fn with_reduce_overlap(mut self, on: bool) -> Self {
+        self.reduce_overlap = on;
+        self
+    }
+
+    /// Reads `LEGW_SHARDS` (positive integer, default 1), `LEGW_THREADS`
+    /// (positive integer, default machine parallelism) and
+    /// `LEGW_REDUCE_OVERLAP` (`0`/`false`/`off`/`no` disable, default on).
+    ///
+    /// This is the **only** place the library consults these variables —
+    /// call it at the composition root (trainers, binaries) and pass the
+    /// config down explicitly.
+    pub fn from_env() -> Self {
+        fn positive(key: &str) -> Option<usize> {
+            std::env::var(key).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+        }
+        let reduce_overlap = match std::env::var("LEGW_REDUCE_OVERLAP") {
+            Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off" | "no"),
+            Err(_) => true,
+        };
+        Self {
+            shards: positive("LEGW_SHARDS").unwrap_or(1),
+            threads: positive("LEGW_THREADS"),
+            reduce_overlap,
+        }
+    }
+}
 
 /// How shard gradients (and losses) are combined.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,14 +131,15 @@ pub enum Reduce {
     Sum,
 }
 
-/// What one shard worker returns.
+/// What one shard worker returns. Combination weights are supplied to
+/// [`Executor::run_shards`] up front (they derive from the shard *data*,
+/// not the computation), which is what lets the streaming reduction scale
+/// and merge a buffer the moment it completes.
 pub struct ShardOut<E> {
     /// The shard's accumulated gradients.
     pub grads: GradBuffer,
     /// The shard's loss value (per [`Reduce`] semantics).
     pub loss: f64,
-    /// Combination weight (example count) — ignored by [`Reduce::Sum`].
-    pub weight: f64,
     /// Arbitrary extra payload (e.g. the carried LSTM state).
     pub extra: E,
 }
@@ -72,14 +155,15 @@ pub struct StepOutcome {
     /// `Σ gᵢ²` (f64) of the `ParamSet` gradients right after the combined
     /// gradient was applied, accumulated during the apply itself —
     /// `sqrt` gives the global ℓ₂ norm, so the caller's gradient clipping
-    /// needs no extra full-parameter sweep. Zero until a `step_*` helper
-    /// has applied gradients.
+    /// needs no extra full-parameter sweep. Zero until a step helper has
+    /// applied gradients.
     pub grad_sq_norm: f64,
 }
 
 /// The data-parallel step executor. See the module docs for the design.
 pub struct Executor {
     shards: usize,
+    overlap: bool,
     /// Pool the shard closures run on (absent for the serial executor).
     /// Sized so `run(n ≤ shards)` gives each shard its own concurrent
     /// worker (the caller participates as one of them).
@@ -90,32 +174,50 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// An executor that splits each batch into (at most) `shards` shards.
-    /// `shards <= 1` builds the serial executor: no extra threads, every
-    /// step bit-identical to the historical single-tape path.
-    pub fn new(shards: usize) -> Self {
-        let shards = shards.max(1);
+    /// Builds an executor from an explicit configuration. A `threads`
+    /// budget, if set, is installed as the kernel pool's default before
+    /// any pool is sized. `shards == 1` builds the serial executor: no
+    /// extra threads, every step bit-identical to the historical
+    /// single-tape path.
+    pub fn new(config: ExecConfig) -> Self {
+        if let Some(t) = config.threads {
+            legw_parallel::set_default_threads(t);
+        }
+        let shards = config.shards.max(1);
+        let overlap = config.reduce_overlap;
         if shards == 1 {
-            return Self { shards, shard_pool: None, intra: Vec::new() };
+            return Self { shards, overlap, shard_pool: None, intra: Vec::new() };
         }
         let budget = default_threads();
         let intra_threads = (budget / shards).max(1);
         Self {
             shards,
+            overlap,
             shard_pool: Some(ThreadPool::new(shards)),
             intra: (0..shards).map(|_| Arc::new(ThreadPool::new(intra_threads))).collect(),
         }
     }
 
-    /// The process-wide executor, sized from `LEGW_SHARDS` (default 1).
+    /// The process-wide executor, configured from the environment on first
+    /// use.
+    #[deprecated(
+        note = "build an Executor from an explicit ExecConfig (e.g. \
+                Executor::new(ExecConfig::from_env())) at the composition \
+                root instead of relying on process-global state"
+    )]
     pub fn global() -> &'static Executor {
         static GLOBAL: OnceLock<Executor> = OnceLock::new();
-        GLOBAL.get_or_init(|| Executor::new(default_shards()))
+        GLOBAL.get_or_init(|| Executor::new(ExecConfig::from_env()))
     }
 
     /// Maximum number of shards a batch is split into.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// True when gradient reduction streams as shards complete.
+    pub fn reduce_overlap(&self) -> bool {
+        self.overlap
     }
 
     /// Contiguous example ranges for a batch of `n` examples: at most
@@ -125,15 +227,26 @@ impl Executor {
     }
 
     /// Runs `f` once per shard (concurrently when this executor is
-    /// parallel), then combines the shard gradients with a fixed-order
-    /// tree reduction. Returns the combined buffer, the aggregate
+    /// parallel), combining the shard gradients with the fixed-order tree
+    /// reduction — streaming through [`ReduceScheduler`] as shards finish
+    /// when [`ExecConfig::reduce_overlap`] is on, after the all-shards
+    /// barrier otherwise. Returns the combined buffer, the aggregate
     /// loss/divergence outcome, and the per-shard extras in shard order.
     ///
-    /// Determinism: `f` must be deterministic per shard; everything the
-    /// executor adds (assignment of shards to workers aside) is a fixed
-    /// serial order on the calling thread, so repeated runs are
-    /// byte-identical.
-    pub fn run_shards<S, E, F>(&self, reduce: Reduce, shards: &[S], f: F) -> (GradBuffer, StepOutcome, Vec<E>)
+    /// `weights` are the [`Reduce::WeightedMean`] combination weights
+    /// (shard example counts), one per shard; ignored by [`Reduce::Sum`].
+    ///
+    /// Determinism: `f` must be deterministic per shard; the merge
+    /// schedule is data-independent (same pairs, same left/right roles —
+    /// see [`crate::reduce_sched`]), so repeated runs and both reduction
+    /// modes are byte-identical.
+    pub fn run_shards<S, E, F>(
+        &self,
+        reduce: Reduce,
+        shards: &[S],
+        weights: &[f64],
+        f: F,
+    ) -> (GradBuffer, StepOutcome, Vec<E>)
     where
         S: Sync,
         E: Send,
@@ -141,40 +254,85 @@ impl Executor {
     {
         let n = shards.len();
         assert!(n >= 1, "run_shards needs at least one shard");
+        assert_eq!(weights.len(), n, "one combination weight per shard");
         assert!(
             self.shard_pool.is_none() || n <= self.intra.len(),
             "more shards than the executor was built for"
         );
 
-        let outs: Vec<ShardOut<E>> = match &self.shard_pool {
-            None => shards.iter().enumerate().map(|(i, s)| f(i, s)).collect(),
-            Some(_) if n == 1 => vec![f(0, &shards[0])],
-            Some(pool) => {
-                let slots: Vec<Mutex<Option<ShardOut<E>>>> =
+        // Combination fractions are fixed before any shard runs — this is
+        // what lets the streaming path scale a buffer the moment its shard
+        // completes. The fraction is computed in f64 and cast once at
+        // scale time, exactly as the post-barrier path always did.
+        let fracs: Option<Vec<f64>> = match reduce {
+            Reduce::WeightedMean if n > 1 => {
+                let total: f64 = weights.iter().sum();
+                Some(weights.iter().map(|w| w / total).collect())
+            }
+            _ => None,
+        };
+
+        let (combined, losses, extras) = match &self.shard_pool {
+            Some(pool) if n > 1 && self.overlap => {
+                // Streaming reduction: the completing worker scales its own
+                // buffer and offers it to the scheduler, which immediately
+                // performs every tree merge the arrival enables.
+                let sched = ReduceScheduler::new(n);
+                let fr = fracs.as_deref();
+                let slots: Vec<Mutex<Option<(f64, E)>>> =
                     (0..n).map(|_| Mutex::new(None)).collect();
                 pool.run(n, |i| {
                     let out = with_pool(&self.intra[i], || f(i, &shards[i]));
-                    *slots[i].lock().unwrap() = Some(out);
+                    let mut buf = out.grads;
+                    if let Some(fr) = fr {
+                        buf.scale(fr[i] as f32);
+                    }
+                    sched.complete(i, buf);
+                    *slots[i].lock().unwrap() = Some((out.loss, out.extra));
                 });
-                slots
+                let (losses, extras): (Vec<f64>, Vec<E>) = slots
                     .into_iter()
                     .map(|s| s.into_inner().unwrap().expect("shard task did not report"))
-                    .collect()
+                    .unzip();
+                (sched.finish(), losses, extras)
+            }
+            _ => {
+                // Post-barrier reduction: collect every shard, then scale
+                // and tree-reduce in shard order on the calling thread.
+                let outs: Vec<ShardOut<E>> = match &self.shard_pool {
+                    None => shards.iter().enumerate().map(|(i, s)| f(i, s)).collect(),
+                    Some(_) if n == 1 => vec![f(0, &shards[0])],
+                    Some(pool) => {
+                        let slots: Vec<Mutex<Option<ShardOut<E>>>> =
+                            (0..n).map(|_| Mutex::new(None)).collect();
+                        pool.run(n, |i| {
+                            let out = with_pool(&self.intra[i], || f(i, &shards[i]));
+                            *slots[i].lock().unwrap() = Some(out);
+                        });
+                        slots
+                            .into_iter()
+                            .map(|s| s.into_inner().unwrap().expect("shard task did not report"))
+                            .collect()
+                    }
+                };
+                let mut losses = Vec::with_capacity(n);
+                let mut bufs = Vec::with_capacity(n);
+                let mut extras = Vec::with_capacity(n);
+                for o in outs {
+                    losses.push(o.loss);
+                    bufs.push(o.grads);
+                    extras.push(o.extra);
+                }
+                if let Some(fr) = &fracs {
+                    for (buf, fr) in bufs.iter_mut().zip(fr) {
+                        buf.scale(*fr as f32);
+                    }
+                }
+                (tree_reduce(bufs), losses, extras)
             }
         };
 
-        let diverged = outs.iter().any(|o| !o.loss.is_finite());
-        let mut losses = Vec::with_capacity(n);
-        let mut weights = Vec::with_capacity(n);
-        let mut bufs = Vec::with_capacity(n);
-        let mut extras = Vec::with_capacity(n);
-        for o in outs {
-            losses.push(o.loss);
-            weights.push(o.weight);
-            bufs.push(o.grads);
-            extras.push(o.extra);
-        }
-
+        let diverged = losses.iter().any(|l| !l.is_finite());
         let loss = if n == 1 {
             // Single shard: no scaling at all, so the result is
             // bit-identical to the serial path.
@@ -182,19 +340,11 @@ impl Executor {
         } else {
             match reduce {
                 Reduce::WeightedMean => {
-                    let total: f64 = weights.iter().sum();
-                    let mut loss = 0.0f64;
-                    for ((l, w), buf) in losses.iter().zip(&weights).zip(bufs.iter_mut()) {
-                        let frac = w / total;
-                        loss += frac * l;
-                        buf.scale(frac as f32);
-                    }
-                    loss
+                    fracs.as_ref().unwrap().iter().zip(&losses).map(|(fr, l)| fr * l).sum()
                 }
                 Reduce::Sum => losses.iter().sum(),
             }
         };
-        let combined = tree_reduce(bufs);
         (combined, StepOutcome { loss, diverged, grad_sq_norm: 0.0 }, extras)
     }
 
@@ -202,7 +352,7 @@ impl Executor {
     /// per item (concurrently on the shard pool when this executor is
     /// parallel, serially in item order otherwise) and returns the
     /// results in item order. No gradient combine, no loss bookkeeping —
-    /// this is what epoch-end validation uses so `LEGW_SHARDS > 1`
+    /// this is what epoch-end validation uses so a sharded executor
     /// accelerates evaluation too. Each shard runs under its private
     /// intra-op pool, same as training shards.
     pub fn map_shards<S, R, F>(&self, shards: &[S], f: F) -> Vec<R>
@@ -234,212 +384,11 @@ impl Executor {
     }
 }
 
-impl Executor {
-    /// One sharded training step of the MNIST-LSTM classifier: forward +
-    /// backward per shard, deterministic gradient combine into `ps.grad`.
-    /// The caller clips/steps/zeroes as usual.
-    pub fn step_mnist(
-        &self,
-        model: &MnistLstm,
-        ps: &mut ParamSet,
-        bx: &Tensor,
-        by: &[usize],
-    ) -> StepOutcome {
-        let ranges = self.shard_ranges(by.len());
-        let shards: Vec<(Tensor, &[usize])> = if ranges.len() == 1 {
-            vec![(bx.clone(), by)]
-        } else {
-            ranges.iter().map(|r| (bx.rows(r.start, r.end), &by[r.start..r.end])).collect()
-        };
-        let ps_ref: &ParamSet = ps;
-        let (grads, mut out, _) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
-            let (sx, sy) = shard;
-            let (mut g, bd, loss, _) = model.forward_loss(ps_ref, sx, sy);
-            let lv = g.value(loss).item() as f64;
-            g.backward(loss);
-            let mut buf = GradBuffer::for_params(ps_ref);
-            bd.write_grads_to(&g, &mut buf);
-            ShardOut { grads: buf, loss: lv, weight: sy.len() as f64, extra: () }
-        });
-        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
-        out
-    }
-
-    /// One sharded BPTT window of the PTB language model. Tracks are
-    /// sharded by index, so each shard carries its own slice of the
-    /// recurrent state; the returned state is the shard states
-    /// reassembled in order.
-    pub fn step_ptb(
-        &self,
-        model: &PtbLm,
-        ps: &mut ParamSet,
-        window: &LmBatch,
-        state: &LmState,
-    ) -> (StepOutcome, LmState) {
-        let ranges = self.shard_ranges(window.tracks());
-        let shards: Vec<(LmBatch, LmState)> = if ranges.len() == 1 {
-            vec![(window.clone(), state.clone())]
-        } else {
-            ranges
-                .iter()
-                .map(|r| (window.slice_tracks(r.start, r.end), state.slice_rows(r.start, r.end)))
-                .collect()
-        };
-        let ps_ref: &ParamSet = ps;
-        let (grads, mut out, states) = self.run_shards(Reduce::WeightedMean, &shards, |_, shard| {
-            let (sw, ss) = shard;
-            let (mut g, bd, loss, nll, next) = model.forward_loss(ps_ref, sw, ss);
-            g.backward(loss);
-            let mut buf = GradBuffer::for_params(ps_ref);
-            bd.write_grads_to(&g, &mut buf);
-            ShardOut { grads: buf, loss: nll, weight: sw.tracks() as f64, extra: next }
-        });
-        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
-        let next_state =
-            if states.len() == 1 { states.into_iter().next().unwrap() } else { LmState::concat(&states) };
-        (out, next_state)
-    }
-
-    /// One sharded training step of the seq2seq model.
-    ///
-    /// The serial loss averages each decode step over the globally active
-    /// (unmasked) rows, so an example-count weighted mean of shard losses
-    /// would be wrong for ragged batches. Instead each shard scales step
-    /// `t` by `active_in_shard / active_in_batch` (computed here from the
-    /// full batch) and the shards combine by plain [`Reduce::Sum`], which
-    /// reproduces the serial loss and gradient exactly.
-    pub fn step_seq2seq(
-        &self,
-        model: &Seq2Seq,
-        ps: &mut ParamSet,
-        batch: &TranslationBatch,
-    ) -> StepOutcome {
-        let active = |step: &[usize]| step.iter().filter(|&&t| t != usize::MAX).count() as f32;
-        let ranges = self.shard_ranges(batch.batch_size());
-        let shards: Vec<(TranslationBatch, Option<Vec<f32>>)> = if ranges.len() == 1 {
-            vec![(batch.clone(), None)]
-        } else {
-            let global: Vec<f32> = batch.dec_tgt.iter().map(|s| active(s)).collect();
-            ranges
-                .iter()
-                .map(|r| {
-                    let sb = batch.slice(r.start, r.end);
-                    let scale: Vec<f32> = sb
-                        .dec_tgt
-                        .iter()
-                        .zip(&global)
-                        .map(|(s, &ga)| if ga > 0.0 { active(s) / ga } else { 0.0 })
-                        .collect();
-                    (sb, Some(scale))
-                })
-                .collect()
-        };
-        let ps_ref: &ParamSet = ps;
-        let (grads, mut out, _) = self.run_shards(Reduce::Sum, &shards, |_, shard| {
-            let (sb, scale) = shard;
-            let (mut g, bd, loss, nll) = model.forward_loss_scaled(ps_ref, sb, scale.as_deref());
-            g.backward(loss);
-            let mut buf = GradBuffer::for_params(ps_ref);
-            bd.write_grads_to(&g, &mut buf);
-            ShardOut { grads: buf, loss: nll, weight: sb.batch_size() as f64, extra: () }
-        });
-        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
-        out
-    }
-
-    /// One sharded training step of the ResNet. Each shard trains a clone
-    /// of the model (BatchNorm normalises with shard statistics — the
-    /// standard non-synchronised distributed-BN semantics) and the shard
-    /// running stats are folded back deterministically afterwards.
-    pub fn step_resnet(
-        &self,
-        model: &mut ResNet,
-        ps: &mut ParamSet,
-        bx: &Tensor,
-        by: &[usize],
-    ) -> StepOutcome {
-        let ranges = self.shard_ranges(by.len());
-        if ranges.len() == 1 {
-            // Serial path: mutate the model's BN stats in place, exactly as
-            // the historical trainer did.
-            let (mut g, bd, loss, _) = model.forward_loss(ps, bx, by);
-            let lv = g.value(loss).item() as f64;
-            g.backward(loss);
-            let mut buf = GradBuffer::for_params(ps);
-            bd.write_grads_to(&g, &mut buf);
-            let gsq = buf.apply_with_sq_norm(ps);
-            return StepOutcome { loss: lv, diverged: !lv.is_finite(), grad_sq_norm: gsq };
-        }
-
-        let clones: Vec<Mutex<ResNet>> =
-            ranges.iter().map(|_| Mutex::new(model.clone())).collect();
-        let shards: Vec<(Tensor, &[usize])> = ranges
-            .iter()
-            .map(|r| (bx.slice_outer(r.start, r.end), &by[r.start..r.end]))
-            .collect();
-        let ps_ref: &ParamSet = ps;
-        let (grads, mut out, _) = self.run_shards(Reduce::WeightedMean, &shards, |i, shard| {
-            let (sx, sy) = shard;
-            let mut m = clones[i].lock().unwrap();
-            let (mut g, bd, loss, _) = m.forward_loss(ps_ref, sx, sy);
-            let lv = g.value(loss).item() as f64;
-            g.backward(loss);
-            let mut buf = GradBuffer::for_params(ps_ref);
-            bd.write_grads_to(&g, &mut buf);
-            ShardOut { grads: buf, loss: lv, weight: sy.len() as f64, extra: () }
-        });
-        out.grad_sq_norm = grads.apply_with_sq_norm(ps);
-
-        let total = by.len() as f32;
-        let clones: Vec<ResNet> =
-            clones.into_iter().map(|m| m.into_inner().unwrap()).collect();
-        let sources: Vec<(f32, &ResNet)> = ranges
-            .iter()
-            .zip(&clones)
-            .map(|(r, m)| ((r.end - r.start) as f32 / total, m))
-            .collect();
-        model.merge_shard_stats(&sources);
-        out
-    }
-}
-
-/// Fixed-order pairwise tree reduction (stride doubling): `bufs[i] +=
-/// bufs[i+s]` for `i ≡ 0 (mod 2s)`, `s = 1, 2, 4, …` — the same
-/// combination tree regardless of which worker finished first, so the
-/// floating-point result is deterministic for a given shard count.
-fn tree_reduce(mut bufs: Vec<GradBuffer>) -> GradBuffer {
-    let n = bufs.len();
-    let mut stride = 1;
-    while stride < n {
-        let mut i = 0;
-        while i + stride < n {
-            let right = std::mem::take(&mut bufs[i + stride]);
-            bufs[i].merge(&right);
-            i += 2 * stride;
-        }
-        stride *= 2;
-    }
-    bufs.swap_remove(0)
-}
-
-/// `LEGW_SHARDS` parsed as a positive integer, else 1.
-pub fn default_shards() -> usize {
-    if let Ok(v) = std::env::var("LEGW_SHARDS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    1
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use legw_data::SynthMnist;
-    use legw_models::MnistLstm;
-    use rand::{rngs::StdRng, SeedableRng};
+    use legw_nn::ParamSet;
+    use legw_tensor::Tensor;
 
     /// A synthetic "model": shard i contributes gradient `grad[i]` on one
     /// scalar parameter with weight `w[i]` and loss `loss[i]`.
@@ -451,17 +400,22 @@ mod tests {
         let mut ps = ParamSet::new();
         let id = ps.add("w", Tensor::zeros(&[1]));
         let ps_ref = &ps;
-        let (grads, out, _) = exec.run_shards(reduce, cases, |_, &(g, l, w)| {
+        let weights: Vec<f64> = cases.iter().map(|c| c.2).collect();
+        let (grads, out, _) = exec.run_shards(reduce, cases, &weights, |_, &(g, l, _)| {
             let mut buf = GradBuffer::for_params(ps_ref);
             buf.accumulate(id, &Tensor::from_vec(vec![g], &[1]));
-            ShardOut { grads: buf, loss: l, weight: w, extra: () }
+            ShardOut { grads: buf, loss: l, extra: () }
         });
         (grads.get(id).unwrap().as_slice()[0], out)
     }
 
+    fn serial() -> Executor {
+        Executor::new(ExecConfig::default())
+    }
+
     #[test]
     fn weighted_mean_weights_by_example_count() {
-        let exec = Executor::new(1); // serial executor still reduces n shards
+        let exec = serial(); // serial executor still reduces n shards
         let (g, out) = run_synthetic(
             &exec,
             Reduce::WeightedMean,
@@ -475,7 +429,7 @@ mod tests {
 
     #[test]
     fn sum_reduce_ignores_weights() {
-        let exec = Executor::new(1);
+        let exec = serial();
         let (g, out) =
             run_synthetic(&exec, Reduce::Sum, &[(1.0, 0.5, 99.0), (2.0, 0.25, 1.0)]);
         assert!((g - 3.0).abs() < 1e-6);
@@ -484,7 +438,7 @@ mod tests {
 
     #[test]
     fn single_shard_skips_scaling_entirely() {
-        let exec = Executor::new(1);
+        let exec = serial();
         let (g, out) = run_synthetic(&exec, Reduce::WeightedMean, &[(0.1, 7.0, 13.0)]);
         assert_eq!(g, 0.1); // bit-identical, not 0.1 * (13/13)
         assert_eq!(out.loss, 7.0);
@@ -492,7 +446,7 @@ mod tests {
 
     #[test]
     fn divergence_aggregates_across_shards() {
-        let exec = Executor::new(1);
+        let exec = serial();
         let (_, out) = run_synthetic(
             &exec,
             Reduce::WeightedMean,
@@ -503,8 +457,8 @@ mod tests {
 
     #[test]
     fn parallel_executor_matches_serial_bitwise() {
-        let serial = Executor::new(1);
-        let parallel = Executor::new(3);
+        let serial = serial();
+        let parallel = Executor::new(ExecConfig::default().with_shards(3));
         let cases = [(0.3f32, 1.0, 2.0), (0.7, 2.0, 3.0), (0.11, 3.0, 1.0)];
         let (gs, os) = run_synthetic(&serial, Reduce::WeightedMean, &cases);
         for _ in 0..3 {
@@ -515,42 +469,35 @@ mod tests {
     }
 
     #[test]
+    fn streaming_and_barrier_reduction_agree_bitwise() {
+        let cases = [(0.3f32, 1.0, 2.0), (0.7, 2.0, 3.0), (0.11, 3.0, 1.0), (0.013, 0.5, 5.0)];
+        let on = Executor::new(ExecConfig::default().with_shards(4));
+        let off = Executor::new(ExecConfig::default().with_shards(4).with_reduce_overlap(false));
+        assert!(on.reduce_overlap() && !off.reduce_overlap());
+        for reduce in [Reduce::WeightedMean, Reduce::Sum] {
+            let (g_on, o_on) = run_synthetic(&on, reduce, &cases);
+            let (g_off, o_off) = run_synthetic(&off, reduce, &cases);
+            assert_eq!(g_on.to_bits(), g_off.to_bits());
+            assert_eq!(o_on.loss.to_bits(), o_off.loss.to_bits());
+        }
+    }
+
+    #[test]
     fn shard_ranges_never_empty() {
-        let exec = Executor::new(7);
+        let exec = Executor::new(ExecConfig::default().with_shards(7));
         let ranges = exec.shard_ranges(3);
         assert_eq!(ranges.len(), 3);
         assert!(ranges.iter().all(|r| !r.is_empty()));
     }
 
     #[test]
-    fn step_mnist_sharded_matches_serial_grads() {
-        let data = SynthMnist::generate(1, 24, 8);
-        let (bx, by) = data.train.gather(&(0..11).collect::<Vec<_>>());
-        let grads_at = |shards: usize| {
-            let mut ps = ParamSet::new();
-            let mut rng = StdRng::seed_from_u64(5);
-            let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
-            let exec = Executor::new(shards);
-            let out = exec.step_mnist(&model, &mut ps, &bx, &by);
-            assert!(!out.diverged);
-            // The fused apply's norm accumulation must agree with the
-            // post-apply sweep it replaces.
-            let norm = ps.grad_norm() as f64;
-            assert!(
-                (out.grad_sq_norm.sqrt() - norm).abs() < 1e-4 * (1.0 + norm),
-                "fused grad norm {} vs swept {}",
-                out.grad_sq_norm.sqrt(),
-                norm
-            );
-            let grads: Vec<f32> =
-                ps.iter().flat_map(|(_, p)| p.grad.as_slice().to_vec()).collect();
-            (out.loss, grads)
-        };
-        let (l1, g1) = grads_at(1);
-        let (l3, g3) = grads_at(3);
-        assert!((l1 - l3).abs() < 1e-6, "loss {l1} vs {l3}");
-        for (a, b) in g1.iter().zip(&g3) {
-            assert!((a - b).abs() < 1e-5, "grad mismatch {a} vs {b}");
-        }
+    fn config_builder_and_defaults() {
+        let cfg = ExecConfig::default();
+        assert_eq!(cfg, ExecConfig { shards: 1, threads: None, reduce_overlap: true });
+        let cfg = cfg.with_shards(0).with_reduce_overlap(false);
+        assert_eq!(cfg.shards, 1, "shards clamp to >= 1");
+        assert!(!cfg.reduce_overlap);
+        let cfg = cfg.with_threads(6);
+        assert_eq!(cfg.threads, Some(6));
     }
 }

@@ -9,9 +9,11 @@
 //!   [`legw_optim::SolverKind`], with divergence detection and per-epoch
 //!   metric histories.
 //! * [`exec`] — the data-parallel step executor the trainers run on:
-//!   batches are sharded over `LEGW_SHARDS` workers and shard gradients
-//!   are combined with a deterministic fixed-order tree reduction before
-//!   the single optimizer step.
+//!   batches are sharded over [`exec::ExecConfig::shards`] workers and
+//!   shard gradients are combined with a deterministic fixed-order tree
+//!   reduction — streamed through [`reduce_sched`] as shards complete —
+//!   before the single optimizer step. The four workloads plug in via the
+//!   [`steps::ShardStep`] trait.
 //! * [`apps`] — the Table 1 registry: per-application synthetic dataset
 //!   parameters, tuned baseline schedules, and a single entry point
 //!   ([`apps::run`]) the figure/table harness calls.
@@ -38,8 +40,11 @@ pub mod convergence;
 pub mod eval;
 pub mod exec;
 pub mod lipschitz;
+pub mod reduce_sched;
+pub mod steps;
 pub mod trainer;
 pub mod tuning;
 
-pub use exec::{Executor, StepOutcome};
+pub use exec::{ExecConfig, Executor, StepOutcome};
+pub use steps::{DropPlan, MnistStep, PtbStep, ResnetStep, Seq2SeqStep, ShardStep};
 pub use trainer::TrainReport;

@@ -1,9 +1,12 @@
 //! Training loops for the four applications, schedule-driven and
 //! divergence-aware. Every step runs through the data-parallel
-//! [`Executor`](crate::exec::Executor) (serial by default; set
-//! `LEGW_SHARDS` to shard batches across workers).
+//! [`Executor`](crate::exec::Executor), configured from the environment at
+//! the top of each loop ([`ExecConfig::from_env`] — serial by default; set
+//! `LEGW_SHARDS` to shard batches across workers) and driven through the
+//! per-workload [`ShardStep`](crate::steps::ShardStep) implementations.
 
-use crate::exec::Executor;
+use crate::exec::{ExecConfig, Executor};
+use crate::steps::{DropPlan, MnistStep, PtbStep, ResnetStep, Seq2SeqStep};
 use legw_data::{Classification, SynthImageNet, SynthMnist, SynthPtb, SynthTranslation};
 use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
 use legw_nn::ParamSet;
@@ -77,7 +80,7 @@ pub fn train_mnist(
     let mut ps = ParamSet::new();
     let model = MnistLstm::new(&mut ps, &mut rng, proj, hidden);
     let mut opt = build(solver, 0.0);
-    let exec = Executor::global();
+    let exec = Executor::new(ExecConfig::from_env());
 
     let batch = schedule.batch_size();
     let ipe = data.train.iters_per_epoch(batch);
@@ -100,7 +103,7 @@ pub fn train_mnist(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+            let (out, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps);
             epoch_loss += out.loss;
             epoch_count += 1;
             if check_divergence(out.diverged, &ps) {
@@ -143,7 +146,7 @@ pub fn train_ptb(
     let mut ps = ParamSet::new();
     let model = PtbLm::new(&mut ps, &mut rng, cfg);
     let mut opt = build(solver, 0.0);
-    let exec = Executor::global();
+    let exec = Executor::new(ExecConfig::from_env());
 
     let batch = schedule.batch_size();
     let ipe = data.iters_per_epoch(batch, seq_len);
@@ -167,7 +170,17 @@ pub fn train_ptb(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (out, next_state) = exec.step_ptb(&model, &mut ps, &window, &state);
+            // Counter-based dropout streams: masks are a pure function of
+            // (run seed, optimizer step, global row), so they replay
+            // exactly and are identical for every shard count.
+            let step = PtbStep {
+                model: &model,
+                window: &window,
+                state: &state,
+                drop: Some(DropPlan { seed, step: iter as u64 }),
+            };
+            let (out, shard_states) = exec.step(&step, &mut ps);
+            let next_state = PtbStep::merge_states(shard_states);
             epoch_loss += out.loss;
             epoch_count += 1;
             if check_divergence(out.diverged, &ps) {
@@ -209,7 +222,7 @@ pub fn train_seq2seq(
     let mut ps = ParamSet::new();
     let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
     let mut opt = build(solver, 0.0);
-    let exec = Executor::global();
+    let exec = Executor::new(ExecConfig::from_env());
 
     let batch = schedule.batch_size();
     let ipe = data.iters_per_epoch(batch);
@@ -232,7 +245,7 @@ pub fn train_seq2seq(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let out = exec.step_seq2seq(&model, &mut ps, &b);
+            let (out, _) = exec.step(&Seq2SeqStep { model: &model, batch: &b }, &mut ps);
             epoch_loss += out.loss;
             epoch_count += 1;
             if check_divergence(out.diverged, &ps) {
@@ -273,7 +286,7 @@ pub fn train_resnet(
     let mut ps = ParamSet::new();
     let mut model = ResNet::new(&mut ps, &mut rng, width, data.n_classes);
     let mut opt = build(solver, weight_decay);
-    let exec = Executor::global();
+    let exec = Executor::new(ExecConfig::from_env());
 
     let batch = schedule.batch_size();
     let ipe = data.train.iters_per_epoch(batch);
@@ -296,7 +309,8 @@ pub fn train_resnet(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let out = exec.step_resnet(&mut model, &mut ps, &bx, &by);
+            let (out, stats) = exec.step(&ResnetStep { model: &model, bx: &bx, by: &by }, &mut ps);
+            ResnetStep::fold_stats(&mut model, &stats);
             epoch_loss += out.loss;
             epoch_count += 1;
             if check_divergence(out.diverged, &ps) {
@@ -360,7 +374,7 @@ mod tests {
     #[test]
     fn ptb_short_run_beats_uniform() {
         let data = SynthPtb::generate(2, 60, 6, 20_000, 4_000);
-        let cfg = PtbLmConfig { vocab: 60, embed: 24, hidden: 24, layers: 2 };
+        let cfg = PtbLmConfig { vocab: 60, embed: 24, hidden: 24, layers: 2, keep: 1.0 };
         let sched = BaselineSchedule::constant(8, 0.8, 0.1, 1.0);
         let rep = train_ptb(&data, cfg, 10, &sched, SolverKind::Momentum, 3);
         assert!(!rep.diverged);

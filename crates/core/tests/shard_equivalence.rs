@@ -4,7 +4,7 @@
 //! count must be *byte-identical* — the fixed-order tree reduction makes
 //! the result independent of worker scheduling.
 
-use legw::Executor;
+use legw::{DropPlan, ExecConfig, Executor, MnistStep, PtbStep, Seq2SeqStep};
 use legw_data::{SynthMnist, SynthTranslation};
 use legw_models::{MnistLstm, Seq2Seq, Seq2SeqConfig};
 use legw_nn::ParamSet;
@@ -28,8 +28,8 @@ fn mnist_step(seed: u64, batch: usize, shards: usize) -> (f64, Vec<f32>) {
     let mut ps = ParamSet::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
-    let exec = Executor::new(shards);
-    let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+    let exec = Executor::new(ExecConfig::default().with_shards(shards));
+    let (out, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps);
     assert!(!out.diverged);
     (out.loss, grad_vec(&ps))
 }
@@ -42,8 +42,8 @@ fn seq2seq_step(seed: u64, batch: usize, shards: usize) -> (f64, Vec<f32>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = Seq2SeqConfig::compact(data.vocab, data.max_len() + 1);
     let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
-    let exec = Executor::new(shards);
-    let out = exec.step_seq2seq(&model, &mut ps, &b);
+    let exec = Executor::new(ExecConfig::default().with_shards(shards));
+    let (out, _) = exec.step(&Seq2SeqStep { model: &model, batch: &b }, &mut ps);
     assert!(!out.diverged);
     (out.loss, grad_vec(&ps))
 }
@@ -130,8 +130,8 @@ fn fused_grad_norm_matches_explicit_sweep() {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(11);
         let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
-        let exec = Executor::new(shards);
-        let out = exec.step_mnist(&model, &mut ps, &bx, &by);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let (out, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps);
         let swept = ps.grad_norm() as f64;
         let fused = out.grad_sq_norm.sqrt();
         assert!(
@@ -155,7 +155,7 @@ fn sharded_eval_matches_serial() {
     let model = MnistLstm::new(&mut ps, &mut rng, 8, 8);
     let serial_acc = model.evaluate(&ps, &data.test, 16);
     for shards in SHARD_COUNTS {
-        let exec = Executor::new(shards);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
         let acc = exec.eval_mnist(&model, &ps, &data.test, 16);
         assert!((acc - serial_acc).abs() < 1e-12, "mnist shards={shards}: {acc} vs {serial_acc}");
     }
@@ -168,7 +168,7 @@ fn sharded_eval_matches_serial() {
     let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
     let serial_bleu = model.evaluate_bleu(&ps, &tdata, 4);
     for shards in SHARD_COUNTS {
-        let exec = Executor::new(shards);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
         let bleu = exec.eval_seq2seq_bleu(&model, &ps, &tdata, 4);
         assert!(
             (bleu - serial_bleu).abs() < 1e-12,
@@ -179,19 +179,58 @@ fn sharded_eval_matches_serial() {
     // PTB: track-sliced; weighted mean matches within fp tolerance, and
     // the single-shard path matches the historical sweep exactly.
     let pdata = legw_data::SynthPtb::generate(23, 24, 6, 6000, 1200);
-    let cfg = PtbLmConfig { vocab: 24, embed: 10, hidden: 10, layers: 2 };
+    let cfg = PtbLmConfig { vocab: 24, embed: 10, hidden: 10, layers: 2, keep: 1.0 };
     let mut ps = ParamSet::new();
     let mut rng = StdRng::seed_from_u64(29);
     let model = PtbLm::new(&mut ps, &mut rng, cfg);
     let serial_ppl = model.evaluate_perplexity(&ps, &pdata, 8, 12);
-    let one = Executor::new(1).eval_ptb_perplexity(&model, &ps, &pdata, 8, 12);
+    let one = Executor::new(ExecConfig::default()).eval_ptb_perplexity(&model, &ps, &pdata, 8, 12);
     assert_eq!(one.to_bits(), serial_ppl.to_bits(), "single-shard PTB eval must be exact");
     for shards in SHARD_COUNTS {
-        let exec = Executor::new(shards);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
         let ppl = exec.eval_ptb_perplexity(&model, &ps, &pdata, 8, 12);
         assert!(
             (ppl - serial_ppl).abs() < 1e-6 * serial_ppl,
             "ptb shards={shards}: {ppl} vs {serial_ppl}"
         );
+    }
+}
+
+/// Dropout under sharding: masks are keyed by `(seed, step, global row,
+/// site)`, never by shard id, so a regularised PTB step computes the same
+/// gradients at every shard count — the shard layout must not change which
+/// units drop.
+#[test]
+fn dropout_grads_are_shard_invariant() {
+    use legw_models::{LmState, PtbLm, PtbLmConfig};
+
+    let data = legw_data::SynthPtb::generate(31, 24, 6, 4_000, 800);
+    let cfg = PtbLmConfig { vocab: 24, embed: 10, hidden: 10, layers: 2, keep: 0.7 };
+    let run = |shards: usize| -> (f64, Vec<f32>) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(37);
+        let model = PtbLm::new(&mut ps, &mut rng, cfg);
+        let window = data.batches(true, 8, 12).remove(0);
+        let state = LmState::zeros(&cfg, 8);
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let step = PtbStep {
+            model: &model,
+            window: &window,
+            state: &state,
+            drop: Some(DropPlan { seed: 99, step: 3 }),
+        };
+        let (out, states) = exec.step(&step, &mut ps);
+        assert!(!out.diverged);
+        let _next = PtbStep::merge_states(states);
+        (out.loss, grad_vec(&ps))
+    };
+    let (l1, g1) = run(1);
+    for shards in [2usize, 4] {
+        let (lp, gp) = run(shards);
+        assert!((l1 - lp).abs() < 1e-5, "dropout loss {l1} vs {lp} at {shards} shards");
+        assert_eq!(g1.len(), gp.len());
+        for (a, b) in g1.iter().zip(&gp) {
+            assert!((a - b).abs() < 1e-5, "dropout grad {a} vs {b} at {shards} shards");
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 use legw_autograd::{Graph, Var};
 use legw_data::{LmBatch, SynthPtb};
-use legw_nn::{Binding, Embedding, Linear, Lstm, LstmState, ParamSet};
+use legw_nn::{Binding, DropCtx, Dropout, Embedding, Linear, Lstm, LstmState, ParamSet};
 use legw_tensor::Tensor;
 use rand::Rng;
 
@@ -19,17 +19,23 @@ pub struct PtbLmConfig {
     pub hidden: usize,
     /// Number of LSTM layers (paper: 2).
     pub layers: usize,
+    /// Dropout keep probability on the embedding output and the pre-head
+    /// activation (`1.0` disables dropout, matching the historical model).
+    /// Masks come from counter-based per-row streams ([`DropCtx`]), so
+    /// training with dropout stays deterministic and shard-count-invariant
+    /// under the data-parallel executor.
+    pub keep: f32,
 }
 
 impl PtbLmConfig {
     /// A scaled-down PTB-small analogue.
     pub fn small(vocab: usize) -> Self {
-        Self { vocab, embed: 48, hidden: 48, layers: 2 }
+        Self { vocab, embed: 48, hidden: 48, layers: 2, keep: 1.0 }
     }
 
     /// A scaled-down PTB-large analogue.
     pub fn large(vocab: usize) -> Self {
-        Self { vocab, embed: 96, hidden: 96, layers: 2 }
+        Self { vocab, embed: 96, hidden: 96, layers: 2, keep: 1.0 }
     }
 }
 
@@ -87,6 +93,10 @@ pub struct PtbLm {
     embedding: Embedding,
     lstm: Lstm,
     head: Linear,
+    /// Present when `cfg.keep < 1.0`; applied to each timestep's embedding
+    /// output (mask stream site `2t`) and pre-head activation (site
+    /// `2t + 1`), the paper's standard non-recurrent LSTM-LM placement.
+    drop: Option<Dropout>,
 }
 
 impl PtbLm {
@@ -97,6 +107,7 @@ impl PtbLm {
             embedding: Embedding::new(ps, rng, "lm.embed", cfg.vocab, cfg.embed),
             lstm: Lstm::new(ps, rng, "lm.lstm", cfg.embed, cfg.hidden, cfg.layers),
             head: Linear::new(ps, rng, "lm.head", cfg.hidden, cfg.vocab, true),
+            drop: (cfg.keep < 1.0).then(|| Dropout::new(cfg.keep)),
         }
     }
 
@@ -105,7 +116,8 @@ impl PtbLm {
         &self.cfg
     }
 
-    /// Builds the tape for one BPTT window. Returns graph/binding, the mean
+    /// Builds the tape for one BPTT window without dropout (evaluation, or
+    /// training a `keep = 1.0` model). Returns graph/binding, the mean
     /// per-token loss variable, the mean NLL (nats/token) as f64, and the
     /// detached state to carry into the next window.
     pub fn forward_loss(
@@ -114,8 +126,25 @@ impl PtbLm {
         batch: &LmBatch,
         state: &LmState,
     ) -> (Graph, Binding, Var, f64, LmState) {
+        self.forward_loss_with(ps, batch, state, None)
+    }
+
+    /// [`PtbLm::forward_loss`] with an optional dropout context. `Some`
+    /// enables the training-mode masks (a no-op for `keep = 1.0` models);
+    /// `None` is the evaluation path.
+    pub fn forward_loss_with(
+        &self,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+        drop: Option<&DropCtx>,
+    ) -> (Graph, Binding, Var, f64, LmState) {
         let mut g = Graph::new();
         let mut bd = Binding::new();
+        let dropout = match (&self.drop, drop) {
+            (Some(d), Some(ctx)) => Some((d, ctx)),
+            _ => None,
+        };
         let states: Vec<LstmState> = state
             .0
             .iter()
@@ -125,14 +154,25 @@ impl PtbLm {
         let xs: Vec<Var> = batch
             .inputs
             .iter()
-            .map(|ids| self.embedding.forward(&mut g, &mut bd, ps, ids))
+            .enumerate()
+            .map(|(t, ids)| {
+                let e = self.embedding.forward(&mut g, &mut bd, ps, ids);
+                match dropout {
+                    Some((d, ctx)) => d.forward_train(&mut g, e, ctx, 2 * t as u64),
+                    None => e,
+                }
+            })
             .collect();
         let (outputs, final_states) = self.lstm.forward_seq(&mut g, &mut bd, ps, &xs, states);
 
         let t_len = outputs.len();
         let mut total: Option<Var> = None;
-        for (out, tgt) in outputs.iter().zip(&batch.targets) {
-            let logits = self.head.forward(&mut g, &mut bd, ps, *out);
+        for (t, (out, tgt)) in outputs.iter().zip(&batch.targets).enumerate() {
+            let h = match dropout {
+                Some((d, ctx)) => d.forward_train(&mut g, *out, ctx, 2 * t as u64 + 1),
+                None => *out,
+            };
+            let logits = self.head.forward(&mut g, &mut bd, ps, h);
             let step_loss = g.softmax_cross_entropy(logits, tgt);
             total = Some(match total {
                 Some(acc) => g.add(acc, step_loss),
@@ -178,7 +218,7 @@ mod tests {
     fn tiny() -> (ParamSet, PtbLm, SynthPtb) {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = PtbLmConfig { vocab: 30, embed: 12, hidden: 12, layers: 2 };
+        let cfg = PtbLmConfig { vocab: 30, embed: 12, hidden: 12, layers: 2, keep: 1.0 };
         let m = PtbLm::new(&mut ps, &mut rng, cfg);
         let d = SynthPtb::generate(4, 30, 4, 4000, 800);
         (ps, m, d)
@@ -228,6 +268,23 @@ mod tests {
             }
         }
         assert!(last < first * 0.98, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn dropout_masks_apply_only_with_context() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = PtbLmConfig { vocab: 30, embed: 12, hidden: 12, layers: 2, keep: 0.7 };
+        let m = PtbLm::new(&mut ps, &mut rng, cfg);
+        let d = SynthPtb::generate(4, 30, 4, 4000, 800);
+        let w = d.batches(true, 4, 6);
+        let s0 = LmState::zeros(m.config(), 4);
+        let ctx = DropCtx { seed: 1, step: 0, row0: 0 };
+        let (_, _, _, nll_eval, _) = m.forward_loss(&ps, &w[0], &s0);
+        let (_, _, _, nll_train, _) = m.forward_loss_with(&ps, &w[0], &s0, Some(&ctx));
+        assert_ne!(nll_eval, nll_train, "masks must perturb the training loss");
+        let (_, _, _, nll_replay, _) = m.forward_loss_with(&ps, &w[0], &s0, Some(&ctx));
+        assert_eq!(nll_train, nll_replay, "same stream key replays the same masks");
     }
 
     #[test]

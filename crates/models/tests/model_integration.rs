@@ -22,7 +22,7 @@ fn every_architecture_checkpoints_losslessly() {
 
     // PTB LM
     let mut ps = ParamSet::new();
-    let cfg = PtbLmConfig { vocab: 40, embed: 12, hidden: 12, layers: 2 };
+    let cfg = PtbLmConfig { vocab: 40, embed: 12, hidden: 12, layers: 2, keep: 1.0 };
     let _ = PtbLm::new(&mut ps, &mut rng, cfg);
     let blob = checkpoint::save(&ps);
     let mut ps2 = ParamSet::new();
@@ -67,7 +67,7 @@ fn lm_eval_is_independent_of_eval_batch_split() {
     // the validation NLL must not depend on how many tracks we split the
     // stream into beyond stream-truncation effects
     let data = SynthPtb::generate(6, 40, 6, 8_000, 4_000);
-    let cfg = PtbLmConfig { vocab: 40, embed: 12, hidden: 12, layers: 2 };
+    let cfg = PtbLmConfig { vocab: 40, embed: 12, hidden: 12, layers: 2, keep: 1.0 };
     let mut rng = StdRng::seed_from_u64(8);
     let mut ps = ParamSet::new();
     let model = PtbLm::new(&mut ps, &mut rng, cfg);

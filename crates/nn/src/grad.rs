@@ -91,6 +91,23 @@ impl GradBuffer {
         }
     }
 
+    /// In-place pairwise combine consuming the right operand — the merge
+    /// step of the streaming tree reduction (`legw::exec`). Arithmetic is
+    /// identical to [`GradBuffer::merge`] (`dst += src`, slot-wise, same
+    /// per-element order), but `other`'s tensors are *moved* into empty
+    /// slots instead of cloned, so a reduction chain reuses the shard
+    /// buffers' allocations instead of copying them level by level.
+    pub fn absorb(&mut self, other: GradBuffer) {
+        assert_eq!(self.slots.len(), other.slots.len(), "grad buffer arity mismatch");
+        for (dst, src) in self.slots.iter_mut().zip(other.slots) {
+            match (dst.as_mut(), src) {
+                (Some(d), Some(s)) => d.axpy(1.0, &s),
+                (None, Some(s)) => *dst = Some(s),
+                (_, None) => {}
+            }
+        }
+    }
+
     /// Adds every filled slot into the matching `ParamSet` gradient.
     pub fn apply(&self, ps: &mut ParamSet) {
         assert_eq!(self.slots.len(), ps.len(), "grad buffer arity mismatch");
@@ -191,6 +208,28 @@ mod tests {
         x.merge(&y);
         assert_eq!(x.get(a).unwrap().as_slice(), &[1.5, 2.0]);
         assert_eq!(x.get(b).unwrap().as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn absorb_is_bitwise_merge() {
+        let (ps, a, b) = two_param_set();
+        let build = || {
+            let mut x = GradBuffer::for_params(&ps);
+            let mut y = GradBuffer::for_params(&ps);
+            x.accumulate(a, &Tensor::from_vec(vec![0.1, 0.7], &[2]));
+            y.accumulate(a, &Tensor::from_vec(vec![0.3, 1.9], &[2]));
+            y.accumulate(b, &Tensor::from_vec(vec![7.0], &[1]));
+            (x, y)
+        };
+        let (mut m, my) = build();
+        m.merge(&my);
+        let (mut s, sy) = build();
+        s.absorb(sy);
+        for id in [a, b] {
+            let mv = m.get(id).unwrap().as_slice();
+            let sv = s.get(id).unwrap().as_slice();
+            assert!(mv.iter().zip(sv).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
     }
 
     #[test]

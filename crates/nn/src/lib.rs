@@ -45,7 +45,7 @@ mod param;
 
 pub use attention::BahdanauAttention;
 pub use conv::{BatchNorm2d, Conv2d};
-pub use dropout::Dropout;
+pub use dropout::{CellRng, DropCtx, Dropout};
 pub use embedding::Embedding;
 pub use grad::GradBuffer;
 pub use linear::Linear;

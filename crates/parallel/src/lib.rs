@@ -15,7 +15,10 @@
 //!   [`par_tiles_2d`] — the data-parallel helpers the tensor kernels are
 //!   built on (the last one is the 2-D grid launch used by blocked GEMM).
 //! * [`global`] — a process-wide lazily initialised pool (size taken from
-//!   `LEGW_THREADS` or the machine's available parallelism).
+//!   [`set_default_threads`] if called before first use, otherwise the
+//!   machine's available parallelism). This crate reads no environment
+//!   variables: `LEGW_THREADS` is parsed exactly once, in
+//!   `legw::exec::ExecConfig::from_env`, which installs the budget here.
 //! * [`current`] / [`with_pool`] — thread-local pool scoping so nested
 //!   parallelism (e.g. data-parallel shard workers in the training
 //!   executor) can give each outer worker its own small intra-op pool
@@ -52,23 +55,33 @@ pub use scope::{current, with_pool, PoolHandle};
 use std::sync::OnceLock;
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// Returns the process-wide thread pool, creating it on first use.
 ///
-/// The pool size is `LEGW_THREADS` if set to a positive integer, otherwise
-/// [`std::thread::available_parallelism`], otherwise 4.
+/// The pool size is the value installed by [`set_default_threads`] (if any),
+/// otherwise [`std::thread::available_parallelism`], otherwise 4.
 pub fn global() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
 }
 
-/// The thread count [`global`] will use (before the pool is created).
+/// Installs the worker-thread budget [`global`] (and [`default_threads`])
+/// will report. First caller wins; calls after the global pool has been
+/// created (or after an earlier install) have no effect. Returns whether
+/// this call's value took.
+///
+/// This is how the executor's `ExecConfig` — the single place `LEGW_THREADS`
+/// is parsed — propagates the configured budget down to the kernel pool
+/// without this crate touching the environment.
+pub fn set_default_threads(threads: usize) -> bool {
+    DEFAULT_THREADS.set(threads.max(1)).is_ok()
+}
+
+/// The thread count [`global`] will use (before the pool is created):
+/// the [`set_default_threads`] value, else the machine's parallelism.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("LEGW_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    if let Some(&n) = DEFAULT_THREADS.get() {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

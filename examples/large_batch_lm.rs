@@ -17,7 +17,7 @@ use legw_repro::schedules::{scale_with, BaselineSchedule, Legw, ScalingRule, War
 
 fn main() {
     let data = SynthPtb::generate(11, 64, 8, 40_000, 6_000);
-    let cfg = PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2 };
+    let cfg = PtbLmConfig { vocab: 64, embed: 32, hidden: 32, layers: 2, keep: 1.0 };
     let baseline = BaselineSchedule::exponential(8, 1.0, 0.1, 3.0, 2.0, 0.4);
 
     println!(

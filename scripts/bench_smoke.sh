@@ -20,4 +20,12 @@ cd "$(dirname "$0")/.."
 
 FILTER="${1:-}"
 cargo bench --package legw-bench --bench kernels -- --quick ${FILTER:+"$FILTER"}
-exec cargo bench --package legw-bench --bench training_step -- --quick ${FILTER:+"$FILTER"}
+cargo bench --package legw-bench --bench training_step -- --quick ${FILTER:+"$FILTER"}
+
+# Always cover the straggler case: streaming vs post-barrier reduction with
+# one late shard — overlap_on should beat overlap_off (tracked in
+# BENCH_train_step.json as straggler_s8_overlap_{on,off}). A blank filter
+# already ran it above.
+if [[ -n "$FILTER" && "$FILTER" != *straggler* ]]; then
+  cargo bench --package legw-bench --bench training_step -- --quick reduce_straggler
+fi

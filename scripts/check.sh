@@ -18,6 +18,14 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+# Shard matrix: the executor equivalence and streaming-reduction suites
+# must hold whatever shard count the environment asks for (the trainers
+# read it via ExecConfig::from_env at their composition roots).
+for s in 1 2 4; do
+  echo "== LEGW_SHARDS=$s cargo test -q -p legw --test shard_equivalence --test reduce_sched_orders"
+  LEGW_SHARDS=$s cargo test -q -p legw --test shard_equivalence --test reduce_sched_orders
+done
+
 if [[ "${1:-}" != "fast" ]]; then
   echo "== cargo clippy --workspace -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings

@@ -50,7 +50,7 @@ fn fixed_lr_at_large_batch_underperforms_legw() {
 #[test]
 fn linear_scaling_without_warmup_destabilises_lm() {
     let data = SynthPtb::generate(23, 64, 8, 60_000, 6_000);
-    let cfg = PtbLmConfig { vocab: 64, embed: 24, hidden: 24, layers: 2 };
+    let cfg = PtbLmConfig { vocab: 64, embed: 24, hidden: 24, layers: 2, keep: 1.0 };
     let baseline = BaselineSchedule::constant(8, 1.0, 0.1, 3.0);
     let batch = 64; // 8x: linear rule asks for lr 8.0
     let legw = Legw::scale_to(&baseline, batch);
