@@ -60,8 +60,9 @@ pub struct ExecConfig {
     /// Total worker-thread budget shared by all shards. `None` leaves the
     /// kernel pool at its default (machine parallelism). Installed via
     /// [`legw_parallel::set_default_threads`], so the first `Executor`
-    /// built in a process decides; later values are ignored once the
-    /// global pool exists.
+    /// built in a process decides; a later, *different* value is ignored
+    /// once the global budget is fixed, and [`Executor::new`] warns on
+    /// stderr when that happens.
     pub threads: Option<usize>,
     /// Stream the gradient tree-reduce as shards complete (default) rather
     /// than running it after the all-shards barrier. Same bits either way;
@@ -99,15 +100,40 @@ impl ExecConfig {
     /// (positive integer, default machine parallelism) and
     /// `LEGW_REDUCE_OVERLAP` (`0`/`false`/`off`/`no` disable, default on).
     ///
+    /// A variable that is *set* but malformed (unparsable, zero, or an
+    /// unrecognised boolean) falls back to the default **with a warning on
+    /// stderr** — a typo in an experiment script must not silently demote
+    /// the run to serial.
+    ///
     /// This is the **only** place the library consults these variables —
     /// call it at the composition root (trainers, binaries) and pass the
     /// config down explicitly.
     pub fn from_env() -> Self {
         fn positive(key: &str) -> Option<usize> {
-            std::env::var(key).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+            let raw = std::env::var(key).ok()?;
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    eprintln!(
+                        "legw: ignoring {key}={raw:?} (expected a positive integer); \
+                         falling back to the default"
+                    );
+                    None
+                }
+            }
         }
         let reduce_overlap = match std::env::var("LEGW_REDUCE_OVERLAP") {
-            Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off" | "no"),
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "false" | "off" | "no" => false,
+                "1" | "true" | "on" | "yes" | "" => true,
+                other => {
+                    eprintln!(
+                        "legw: ignoring LEGW_REDUCE_OVERLAP={other:?} (expected \
+                         0/false/off/no or 1/true/on/yes); keeping streaming reduction on"
+                    );
+                    true
+                }
+            },
             Err(_) => true,
         };
         Self {
@@ -176,12 +202,21 @@ pub struct Executor {
 impl Executor {
     /// Builds an executor from an explicit configuration. A `threads`
     /// budget, if set, is installed as the kernel pool's default before
-    /// any pool is sized. `shards == 1` builds the serial executor: no
+    /// any pool is sized; the default is process-global and sticks at its
+    /// first value, so if an earlier `Executor` (or pool use) already fixed
+    /// a *different* budget this one cannot take effect and a warning is
+    /// printed to stderr. `shards == 1` builds the serial executor: no
     /// extra threads, every step bit-identical to the historical
     /// single-tape path.
     pub fn new(config: ExecConfig) -> Self {
         if let Some(t) = config.threads {
-            legw_parallel::set_default_threads(t);
+            if !legw_parallel::set_default_threads(t) && default_threads() != t {
+                eprintln!(
+                    "legw: ExecConfig.threads = {t} ignored: the process-global kernel \
+                     thread budget is already fixed at {}",
+                    default_threads()
+                );
+            }
         }
         let shards = config.shards.max(1);
         let overlap = config.reduce_overlap;

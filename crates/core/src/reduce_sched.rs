@@ -29,6 +29,11 @@
 //! axpy sweeps of the merges themselves run *outside* the lock, on the
 //! thread that completed the enabling shard. Disjoint pairs can merge
 //! concurrently; a chain up the tree runs sequentially on one thread.
+//! Crucially, a partial that finds no ready partner is parked in the *same*
+//! critical section that made that observation: whichever of two partner
+//! subtrees reaches the lock second is guaranteed to see the other's
+//! published partial and perform their merge, so no merge can be stranded
+//! by both sides parking.
 //!
 //! The completion order is fully injectable — [`ReduceScheduler::complete`]
 //! is a plain method call — which is how the adversarial-order tests drive
@@ -129,13 +134,15 @@ impl ReduceScheduler {
         loop {
             // Decide the next merge under the lock; claimed operands leave
             // their slots so no other thread can initiate the same merge.
+            // When no partner is ready the partial is parked *inside the
+            // same critical section* — check-then-park must be atomic, or
+            // two threads carrying partner subtrees could each observe the
+            // other as absent and both park, stranding their merge.
             enum Act {
                 /// Merge `carry += right` (we are the left parent).
                 Right(GradBuffer, usize),
                 /// Merge `left += carry` and keep climbing from `new_pos`.
                 Left(GradBuffer, usize),
-                /// Nothing ready: park the partial and hand off.
-                Park,
             }
             let act = {
                 let mut st = self.state.lock().unwrap();
@@ -149,7 +156,9 @@ impl ReduceScheduler {
                         st.merges += 1;
                         Act::Right(st.slots[q].take().expect("width>0 implies slot"), full)
                     } else {
-                        Act::Park
+                        st.slots[pos] = Some(carry);
+                        st.width[pos] = width;
+                        return;
                     }
                 } else if pos > 0 {
                     // `carry` is the full right subtree at stride
@@ -163,12 +172,16 @@ impl ReduceScheduler {
                         st.merges += 1;
                         Act::Left(st.slots[q].take().expect("width>0 implies slot"), q)
                     } else {
-                        Act::Park
+                        st.slots[pos] = Some(carry);
+                        st.width[pos] = width;
+                        return;
                     }
                 } else {
                     // pos == 0 and no in-range partner: the root is done.
                     debug_assert_eq!(width, self.n);
-                    Act::Park
+                    st.slots[pos] = Some(carry);
+                    st.width[pos] = width;
+                    return;
                 }
             };
             match act {
@@ -181,12 +194,6 @@ impl ReduceScheduler {
                     carry = left;
                     width += pos - q;
                     pos = q;
-                }
-                Act::Park => {
-                    let mut st = self.state.lock().unwrap();
-                    st.slots[pos] = Some(carry);
-                    st.width[pos] = width;
-                    return;
                 }
             }
         }

@@ -93,6 +93,41 @@ proptest! {
     }
 }
 
+/// Genuinely concurrent completions: one OS thread per leaf, all released
+/// by a barrier so partner subtrees race to the scheduler lock. Guards the
+/// check-then-park atomicity of [`ReduceScheduler::complete`] — a lost
+/// merge shows up as a `finish` panic or a bit mismatch. The single-thread
+/// order tests above cannot exercise this.
+#[test]
+fn concurrent_completions_from_real_threads_match_serial_reference() {
+    use std::sync::{Arc, Barrier};
+    for n in [2usize, 3, 4, 7, 8] {
+        let (ps, ids) = params();
+        let reference = bits(&tree_reduce(make_leaves(&ps, &ids, n)), &ids);
+        for round in 0..200 {
+            let sched = Arc::new(ReduceScheduler::new(n));
+            let start = Arc::new(Barrier::new(n));
+            let handles: Vec<_> = make_leaves(&ps, &ids, n)
+                .into_iter()
+                .enumerate()
+                .map(|(i, buf)| {
+                    let sched = Arc::clone(&sched);
+                    let start = Arc::clone(&start);
+                    std::thread::spawn(move || {
+                        start.wait();
+                        sched.complete(i, buf);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let sched = Arc::try_unwrap(sched).ok().expect("all threads joined");
+            assert_eq!(reference, bits(&sched.finish(), &ids), "n={n} round={round}");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Executor streaming vs post-barrier: byte-equal for all four workloads.
 
