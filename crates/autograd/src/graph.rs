@@ -48,6 +48,15 @@ pub(crate) enum Op {
     ConcatCols(Vec<Var>, Vec<usize>),
     /// Columns `[start, end)` of a 2-D tensor.
     SliceCols(Var, usize, usize),
+    /// Concatenate 2-D tensors along rows; row counts cached. The
+    /// sequence-hoisted LSTM path uses this to pack T per-step `[B, in]`
+    /// inputs into one `[T·B, in]` block.
+    ConcatRows(Vec<Var>, Vec<usize>),
+    /// Rows `[start, end)` of a 2-D tensor — a row-slice *view* of a larger
+    /// matrix (e.g. `W_x`/`W_h` halves of the fused LSTM kernel, which stay
+    /// one `ParamId` with one checkpoint layout). Backward scatters into the
+    /// full-size gradient.
+    SliceRows(Var, usize, usize),
     /// Sum of all elements → `[1]`.
     SumAll(Var),
     /// Mean of all elements → `[1]`.
@@ -81,23 +90,46 @@ pub(crate) enum Op {
     /// (pushed immediately after); the shared backward rule runs when the
     /// sweep visits `h'`, so this node only acts if `h'` got no gradient.
     LstmCellC { h_out: Var },
+    /// Sequence-hoisted LSTM input projection:
+    /// `x_pack [T·B, in] · w_x [in, 4H] + bias [4H]` in ONE GEMM for the
+    /// whole sequence. Backward is closed-form with one big GEMM each for
+    /// `dW_x` and `dX_pack` (plus a column sum for the bias).
+    LstmPreactSeq { x_pack: Var, w_x: Var, bias: Var },
+    /// One timestep of the hoisted recurrence:
+    /// `out = seq[t·B..(t+1)·B, ·] + h · w_h` — a row-block copy of the
+    /// hoisted pre-activation block plus the small recurrent product,
+    /// computed with the accumulate (beta=1) GEMM store. Backward scatters
+    /// `dSeq` rows directly into the seq node's gradient slot.
+    LstmRecurStep { seq: Var, h: Var, w_h: Var, t: usize, batch: usize },
 }
 
 /// Label value marking a position to exclude from the cross-entropy mean
 /// (padding in seq2seq batches).
 pub const IGNORE_INDEX: usize = usize::MAX;
 
-/// A reverse-mode tape. Create one per forward pass (allocation is reused
-/// between steps only via the allocator; the struct itself is cheap).
+/// A reverse-mode tape. Create one per forward pass, or keep one around
+/// and [`Graph::reset`] it between passes so the node `Vec` allocation is
+/// reused (real training tapes run to thousands of nodes).
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
 }
 
+/// Initial node capacity: a PTB training tape records a few thousand nodes,
+/// so starting at 1024 avoids most of the early regrowth copies.
+const INITIAL_NODES: usize = 1024;
+
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(256) }
+        Self { nodes: Vec::with_capacity(INITIAL_NODES) }
+    }
+
+    /// Clears the tape for reuse by the next forward pass, keeping the
+    /// node `Vec`'s capacity (values/grads drop here, returning their
+    /// buffers to the tensor pool).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     /// Number of recorded nodes.

@@ -123,6 +123,34 @@ impl Graph {
         self.push(v, rg, Op::SliceCols(a, start, end))
     }
 
+    /// Concatenates 2-D variables along rows (equal column counts). The
+    /// hoisted LSTM path packs T per-step `[B, n]` inputs into one
+    /// `[T·B, n]` block with this.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let cols = tensors[0].dim(1);
+        let row_counts: Vec<usize> = tensors
+            .iter()
+            .map(|t| {
+                assert_eq!(t.ndim(), 2, "concat_rows expects 2-D parts");
+                assert_eq!(t.dim(1), cols, "concat_rows column mismatch");
+                t.dim(0)
+            })
+            .collect();
+        let v = Tensor::concat_outer(&tensors);
+        let rg = parts.iter().any(|&p| self.requires(p));
+        self.push(v, rg, Op::ConcatRows(parts.to_vec(), row_counts))
+    }
+
+    /// Extracts rows `[start, end)` of a 2-D variable (e.g. the `W_x` or
+    /// `W_h` half of the fused `[(in+hid), 4H]` LSTM kernel).
+    pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).rows(start, end);
+        let rg = self.requires(a);
+        self.push(v, rg, Op::SliceRows(a, start, end))
+    }
+
     // ------------------------------------------------------------ reductions
 
     /// Sum of all elements → scalar.
@@ -234,6 +262,24 @@ impl Graph {
                 }
                 self.accumulate(*a, Tensor::from_vec(dx, &[m, n]));
             }
+            Op::ConcatRows(parts, row_counts) => {
+                let mut off = 0;
+                let parts = parts.clone();
+                let row_counts = row_counts.clone();
+                for (p, rc) in parts.iter().zip(row_counts.iter()) {
+                    let piece = up.rows(off, off + rc);
+                    self.accumulate(*p, piece);
+                    off += rc;
+                }
+            }
+            Op::SliceRows(a, start, end) => {
+                let xv = self.value(*a);
+                let (m, n) = (xv.dim(0), xv.dim(1));
+                let (start, end) = (*start, *end);
+                let mut dx = vec![0.0f32; m * n];
+                dx[start * n..end * n].copy_from_slice(up.as_slice());
+                self.accumulate(*a, Tensor::from_vec(dx, &[m, n]));
+            }
             Op::SumAll(a) => {
                 let g = Tensor::full(self.value(*a).shape(), up.item());
                 self.accumulate(*a, g);
@@ -253,7 +299,10 @@ impl Graph {
             | Op::MaxPool2x2 { .. }
             | Op::GlobalAvgPool { .. }
             | Op::BatchNorm { .. } => self.backward_conv(op, v, up),
-            Op::LstmCell { .. } | Op::LstmCellC { .. } => self.backward_lstm(op, v, up),
+            Op::LstmCell { .. }
+            | Op::LstmCellC { .. }
+            | Op::LstmPreactSeq { .. }
+            | Op::LstmRecurStep { .. } => self.backward_lstm(op, v, up),
         }
     }
 }
@@ -352,6 +401,40 @@ mod tests {
                 g.sum_all(sq)
             },
         );
+    }
+
+    #[test]
+    fn concat_rows_slice_rows_grads() {
+        grad_check(
+            &[
+                Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]),
+                Tensor::from_vec(vec![7., 8., 9.], &[1, 3]),
+                Tensor::from_vec(vec![-1., 0.5, 2., 1., -2., 0.25], &[2, 3]),
+            ],
+            |g, vs| {
+                let cat = g.concat_rows(&[vs[0], vs[1], vs[2]]);
+                let sl = g.slice_rows(cat, 1, 4);
+                let sq = g.mul(sl, sl);
+                g.sum_all(sq)
+            },
+        );
+    }
+
+    #[test]
+    fn concat_rows_matches_values_and_scatter() {
+        // Forward packs rows in order; backward routes each part its rows.
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]));
+        let b = g.param(Tensor::from_vec(vec![5., 6.], &[1, 2]));
+        let cat = g.concat_rows(&[a, b]);
+        assert_eq!(g.value(cat).shape(), &[3, 2]);
+        assert_eq!(g.value(cat).as_slice(), &[1., 2., 3., 4., 5., 6.]);
+        // Loss = sum of the last row only: a gets zero grad, b gets ones.
+        let tail = g.slice_rows(cat, 2, 3);
+        let s = g.sum_all(tail);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[0., 0., 0., 0.]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1., 1.]);
     }
 
     #[test]

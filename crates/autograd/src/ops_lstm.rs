@@ -45,6 +45,44 @@ impl Graph {
         (h, c)
     }
 
+    /// Sequence-hoisted LSTM input projection: computes the ENTIRE
+    /// sequence's pre-activation input half
+    /// `x_pack [T·B, in] · w_x [in, 4H] + bias [4H]`
+    /// as one GEMM accumulated onto the row-tiled bias (the beta=1 store
+    /// variant). Element-wise this equals `add_bias(matmul(x_pack, w_x),
+    /// bias)` bitwise — f32 addition commutes — but records ONE node and
+    /// runs closed-form backward GEMMs over all timesteps at once.
+    pub fn lstm_preact_seq(&mut self, x_pack: Var, w_x: Var, bias: Var) -> Var {
+        let xv = self.value(x_pack);
+        let wv = self.value(w_x);
+        assert_eq!(xv.ndim(), 2, "lstm_preact_seq x_pack must be 2-D");
+        assert_eq!(xv.dim(1), wv.dim(0), "lstm_preact_seq inner dims");
+        assert_eq!(self.value(bias).shape(), &[wv.dim(1)], "lstm_preact_seq bias shape");
+        let mut v = Tensor::repeat_rows(self.value(bias), xv.dim(0));
+        v.matmul_acc(xv, wv);
+        let rg = self.requires(x_pack) || self.requires(w_x) || self.requires(bias);
+        self.push(v, rg, Op::LstmPreactSeq { x_pack, w_x, bias })
+    }
+
+    /// One timestep of the hoisted recurrence: copies rows
+    /// `[t·batch, (t+1)·batch)` of the hoisted block `seq` and accumulates
+    /// the small recurrent product `h [B, hid] · w_h [hid, 4H]` into the
+    /// copy with the beta=1 GEMM — no concat, no separate add pass. The
+    /// result is the full pre-activation for step `t`, ready for
+    /// [`Graph::lstm_cell`].
+    pub fn lstm_recur_step(&mut self, seq: Var, t: usize, batch: usize, h: Var, w_h: Var) -> Var {
+        let sv = self.value(seq);
+        assert!( (t + 1) * batch <= sv.dim(0), "lstm_recur_step rows out of range");
+        assert_eq!(self.value(h).dim(0), batch, "lstm_recur_step h batch");
+        assert_eq!(self.value(h).dim(1), self.value(w_h).dim(0), "lstm_recur_step inner dims");
+        assert_eq!(self.value(w_h).dim(1), sv.dim(1), "lstm_recur_step width");
+        let mut v = sv.rows(t * batch, (t + 1) * batch);
+        let (hv, wv) = (self.value(h).clone(), self.value(w_h).clone());
+        v.matmul_acc(&hv, &wv);
+        let rg = self.requires(seq) || self.requires(h) || self.requires(w_h);
+        self.push(v, rg, Op::LstmRecurStep { seq, h, w_h, t, batch })
+    }
+
     pub(crate) fn backward_lstm(&mut self, op: &Op, _v: Var, up: &Tensor) {
         match op {
             Op::LstmCell { preact, c_prev, gates, tanh_c, c_out } => {
@@ -75,6 +113,44 @@ impl Graph {
                     lstm_cell_backward(&gates, &tanh_c, self.value(c_prev), None, Some(up));
                 self.accumulate(preact, dpre);
                 self.accumulate(c_prev, dcp);
+            }
+            Op::LstmPreactSeq { x_pack, w_x, bias } => {
+                // `up` is dL/dPreact for ALL timesteps' rows at once, so
+                // the weight and input gradients are one big GEMM each:
+                // dX = dP·W_xᵀ, dW_x = X_packᵀ·dP, db = Σ_rows dP.
+                let dx = up.matmul_t(self.value(*w_x));
+                let dw = self.value(*x_pack).t_matmul(up);
+                let db = up.sum_axis(0);
+                self.accumulate(*x_pack, dx);
+                self.accumulate(*w_x, dw);
+                self.accumulate(*bias, db);
+            }
+            Op::LstmRecurStep { seq, h, w_h, t, batch } => {
+                // dh = up·W_hᵀ and dW_h = hᵀ·up stay per-step (the
+                // recurrence is inherently sequential in h).
+                let dh = up.matmul_t(self.value(*w_h));
+                let dwh = self.value(*h).t_matmul(up);
+                self.accumulate(*h, dh);
+                self.accumulate(*w_h, dwh);
+                // dSeq: `up` flows unchanged into rows [t·B, (t+1)·B) of
+                // the hoisted block. Going through `accumulate` would build
+                // a full [T·B, 4H] zero tensor per step — O(T²) over the
+                // sweep — so add the row block into the seq grad slot
+                // directly. Sound for the same reason the generic path is:
+                // every consumer of `seq` (these recur-step nodes) has a
+                // higher index, so the sweep has not yet visited `seq`.
+                if self.nodes[seq.0].requires_grad {
+                    if self.nodes[seq.0].grad.is_none() {
+                        let z = self.nodes[seq.0].value.zeros_like();
+                        self.nodes[seq.0].grad = Some(z);
+                    }
+                    let cols = up.dim(1);
+                    let g = self.nodes[seq.0].grad.as_mut().unwrap();
+                    let dst = &mut g.as_mut_slice()[t * batch * cols..(t + 1) * batch * cols];
+                    for (d, &s) in dst.iter_mut().zip(up.as_slice()) {
+                        *d += s;
+                    }
+                }
             }
             _ => unreachable!("backward_lstm on non-LSTM op"),
         }
@@ -227,6 +303,157 @@ mod tests {
         {
             assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }
+    }
+
+    /// `lstm_preact_seq` must match the unfused `add_bias(matmul(x, w), b)`
+    /// chain bitwise (f32 addition commutes, and the accumulate-GEMM store
+    /// computes the identical per-element sum), with identical gradients.
+    #[test]
+    fn preact_seq_matches_matmul_add_bias() {
+        for &(rows, ind, hid4) in &[(1usize, 1usize, 4usize), (6, 5, 12), (13, 7, 20), (24, 28, 512)] {
+            let x0 = seeded(rows as u64 * 3 + ind as u64, &[rows, ind]);
+            let w0 = seeded(rows as u64 * 7 + hid4 as u64, &[ind, hid4]);
+            let b0 = seeded(rows as u64 + 11, &[hid4]);
+
+            let mut gh = Graph::new();
+            let (xh, wh, bh) = (gh.param(x0.clone()), gh.param(w0.clone()), gh.param(b0.clone()));
+            let ph = gh.lstm_preact_seq(xh, wh, bh);
+            let th = gh.tanh(ph);
+            let lh = gh.sum_all(th);
+            gh.backward(lh);
+
+            let mut gu = Graph::new();
+            let (xu, wu, bu) = (gu.param(x0), gu.param(w0), gu.param(b0));
+            let mm = gu.matmul(xu, wu);
+            let pu = gu.add_bias(mm, bu);
+            let tu = gu.tanh(pu);
+            let lu = gu.sum_all(tu);
+            gu.backward(lu);
+
+            assert_eq!(
+                gh.value(ph).as_slice(),
+                gu.value(pu).as_slice(),
+                "preact forward mismatch at [{rows},{ind}]·[{ind},{hid4}]"
+            );
+            for (name, vh, vu) in [("x", xh, xu), ("w", wh, wu), ("b", bh, bu)] {
+                let a = gh.grad(vh).unwrap().as_slice();
+                let w = gu.grad(vu).unwrap().as_slice();
+                for (p, q) in a.iter().zip(w) {
+                    assert!((p - q).abs() <= 1e-5 * (1.0 + q.abs()), "{name} grad: {p} vs {q}");
+                }
+            }
+        }
+    }
+
+    /// Finite-difference check straight through the hoisted projection op.
+    #[test]
+    fn preact_seq_finite_difference_check() {
+        grad_check(
+            &[seeded(61, &[6, 3]), seeded(62, &[3, 8]), seeded(63, &[8])],
+            |g, vs| {
+                let p = g.lstm_preact_seq(vs[0], vs[1], vs[2]);
+                let t = g.tanh(p);
+                g.sum_all(t)
+            },
+        );
+    }
+
+    /// A full hoisted two-step recurrence (preact_seq + recur_step +
+    /// lstm_cell) must match the stepwise reference chain
+    /// (slice_rows of the pack + matmul + add) within 1e-5 relative, with
+    /// matching parameter gradients — including the dSeq row-scatter path,
+    /// which accumulates directly into the seq node's gradient slot.
+    #[test]
+    fn recur_step_chain_matches_stepwise_reference() {
+        let (t_len, b, ind, hid) = (3usize, 2usize, 3usize, 5usize);
+        let x0 = seeded(71, &[t_len * b, ind]);
+        let wx0 = seeded(72, &[ind, 4 * hid]);
+        let wh0 = seeded(73, &[hid, 4 * hid]);
+        let b0 = seeded(74, &[4 * hid]);
+        let h0 = Tensor::zeros(&[b, hid]);
+        let c0 = Tensor::zeros(&[b, hid]);
+
+        let run = |hoisted: bool| -> (Vec<f32>, Vec<Vec<f32>>) {
+            let mut g = Graph::new();
+            let x = g.param(x0.clone());
+            let wx = g.param(wx0.clone());
+            let wh = g.param(wh0.clone());
+            let bias = g.param(b0.clone());
+            let mut h = g.input(h0.clone());
+            let mut c = g.input(c0.clone());
+            let mut hs = Vec::new();
+            if hoisted {
+                let seq = g.lstm_preact_seq(x, wx, bias);
+                for t in 0..t_len {
+                    let pre = g.lstm_recur_step(seq, t, b, h, wh);
+                    let (h2, c2) = g.lstm_cell(pre, c);
+                    h = h2;
+                    c = c2;
+                    hs.push(h2);
+                }
+            } else {
+                for t in 0..t_len {
+                    let xt = g.slice_rows(x, t * b, (t + 1) * b);
+                    let xw = g.matmul(xt, wx);
+                    let hw = g.matmul(h, wh);
+                    let s = g.add(xw, hw);
+                    let pre = g.add_bias(s, bias);
+                    let (h2, c2) = g.lstm_cell(pre, c);
+                    h = h2;
+                    c = c2;
+                    hs.push(h2);
+                }
+            }
+            let all = g.concat_rows(&hs);
+            let sq = g.mul(all, all);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            (
+                g.value(all).as_slice().to_vec(),
+                [x, wx, wh, bias].iter().map(|&v| g.grad(v).unwrap().as_slice().to_vec()).collect(),
+            )
+        };
+        let (vh, gh) = run(true);
+        let (vu, gu) = run(false);
+        for (a, w) in vh.iter().zip(&vu) {
+            assert!((a - w).abs() <= 1e-5 * (1.0 + w.abs()), "forward: {a} vs {w}");
+        }
+        for (name, (ga, gw)) in ["x", "wx", "wh", "bias"].iter().zip(gh.iter().zip(&gu)) {
+            for (p, q) in ga.iter().zip(gw) {
+                assert!((p - q).abs() <= 1e-5 * (1.0 + q.abs()), "{name} grad: {p} vs {q}");
+            }
+        }
+    }
+
+    /// Finite-difference check through the full hoisted recurrence,
+    /// exercising preact_seq, recur_step, and the fused cell together.
+    #[test]
+    fn recur_step_finite_difference_check() {
+        let (t_len, b, ind, hid) = (2usize, 2usize, 2usize, 3usize);
+        grad_check(
+            &[
+                seeded(81, &[t_len * b, ind]),
+                seeded(82, &[ind, 4 * hid]),
+                seeded(83, &[hid, 4 * hid]),
+                seeded(84, &[4 * hid]),
+            ],
+            |g, vs| {
+                let seq = g.lstm_preact_seq(vs[0], vs[1], vs[3]);
+                let mut h = g.input(Tensor::zeros(&[b, hid]));
+                let mut c = g.input(Tensor::zeros(&[b, hid]));
+                let mut hs = Vec::new();
+                for t in 0..t_len {
+                    let pre = g.lstm_recur_step(seq, t, b, h, vs[2]);
+                    let (h2, c2) = g.lstm_cell(pre, c);
+                    h = h2;
+                    c = c2;
+                    hs.push(h2);
+                }
+                let all = g.concat_rows(&hs);
+                let sq = g.mul(all, all);
+                g.sum_all(sq)
+            },
+        );
     }
 
     /// Chained steps: the cell state threads through two fused cells, so

@@ -163,6 +163,43 @@ fn bench_lstm_cell(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sequence-hoisted forward (one `[T·B, in]` input-projection GEMM +
+/// per-step accumulate-GEMM recurrence) vs the retained stepwise path on
+/// the paper's MNIST cell over a 28-step sequence.
+fn bench_lstm_seq_hoisting(c: &mut Criterion) {
+    use legw_nn::{Binding, LstmCell, ParamSet};
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ps = ParamSet::new();
+    let cell = LstmCell::new(&mut ps, &mut rng, "bench_seq", 128, 128);
+    let (t_len, batch) = (28usize, 64usize);
+    let xs: Vec<Tensor> = (0..t_len).map(|_| rnd(&mut rng, &[batch, 128])).collect();
+
+    let mut g = c.benchmark_group("lstm_seq_128x128_b64_t28");
+    g.bench_function("forward_hoisted", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut bd = Binding::new();
+            let vars: Vec<_> = xs.iter().map(|x| graph.input(x.clone())).collect();
+            let s0 = cell.zero_state(&mut graph, batch);
+            let (hs, _) = cell.forward_seq(&mut graph, &mut bd, &ps, &vars, s0);
+            black_box(graph.value(*hs.last().unwrap()).as_slice()[0])
+        });
+    });
+    g.bench_function("forward_stepwise", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut bd = Binding::new();
+            let mut s = cell.zero_state(&mut graph, batch);
+            for x in &xs {
+                let xi = graph.input(x.clone());
+                s = cell.step(&mut graph, &mut bd, &ps, xi, s);
+            }
+            black_box(graph.value(s.h).as_slice()[0])
+        });
+    });
+    g.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let x = rnd(&mut rng, &[16, 8, 16, 16]);
@@ -199,6 +236,7 @@ fn all(c: &mut Criterion) {
     bench_gemm_shapes(c);
     bench_pool_ablation(c);
     bench_lstm_cell(c);
+    bench_lstm_seq_hoisting(c);
     bench_conv(c);
     bench_optimizers(c);
 }

@@ -17,8 +17,8 @@
 
 use legw::exec::{ExecConfig, Executor, Reduce, ShardOut};
 use legw::{MnistStep, Seq2SeqStep};
-use legw_data::{SynthMnist, SynthTranslation};
-use legw_models::{MnistLstm, Seq2Seq, Seq2SeqConfig};
+use legw_data::{SynthMnist, SynthPtb, SynthTranslation};
+use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, Seq2Seq, Seq2SeqConfig};
 use legw_nn::{GradBuffer, ParamSet};
 use legw_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
@@ -79,6 +79,11 @@ fn main() {
             g.value(loss).item() as f64
         });
         cases.push(Case { name: "mnist_b256_forward".into(), secs });
+        let secs = time_median(9, || {
+            let (g, _, loss, _) = model.forward_loss_stepwise(&ps, &bx, &by);
+            g.value(loss).item() as f64
+        });
+        cases.push(Case { name: "mnist_b256_forward_stepwise".into(), secs });
         let secs = median_portion(9, || {
             let (mut g, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
             let t0 = Instant::now();
@@ -108,6 +113,28 @@ fn main() {
             });
             cases.push(Case { name: format!("mnist_b256_shards{shards}"), secs });
         }
+    }
+
+    // PTB LM at batch 256: isolates the sequence-hoisted LSTM forward
+    // against the retained stepwise twin (same tape otherwise).
+    {
+        let data = SynthPtb::generate(7, 64, 4, 40_000, 2_000);
+        let cfg = PtbLmConfig::small(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ps = ParamSet::new();
+        let model = PtbLm::new(&mut ps, &mut rng, cfg);
+        let window = data.batches(true, 256, 10).remove(0);
+        let state = LmState::zeros(&cfg, 256);
+        let secs = time_median(9, || {
+            let (_, _, _, nll, _) = model.forward_loss(&ps, &window, &state);
+            nll
+        });
+        cases.push(Case { name: "ptb_b256_forward".into(), secs });
+        let secs = time_median(9, || {
+            let (_, _, _, nll, _) = model.forward_loss_stepwise(&ps, &window, &state);
+            nll
+        });
+        cases.push(Case { name: "ptb_b256_forward_stepwise".into(), secs });
     }
 
     // Seq2seq with attention at batch 256.

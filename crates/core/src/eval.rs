@@ -57,10 +57,14 @@ impl Executor {
         let correct: u64 = self
             .map_shards(&groups, |_, g| {
                 let mut c = 0u64;
+                // One tape per shard, reset between chunks: reset() keeps
+                // the node Vec's capacity, so only the first chunk pays
+                // the allocation growth.
+                let mut graph = legw_autograd::Graph::new();
                 for r in &chunks[g.start..g.end] {
                     let idx: Vec<usize> = (r.start..r.end).collect();
                     let (batch, labels) = data.gather(&idx);
-                    let mut graph = legw_autograd::Graph::new();
+                    graph.reset();
                     let mut bd = legw_nn::Binding::new();
                     let logits = model.forward(&mut graph, &mut bd, ps, &batch);
                     let acc = metrics::accuracy(graph.value(logits), &labels);
@@ -95,10 +99,12 @@ impl Executor {
         let counts = self.map_shards(&groups, |_, g| {
             let mut m = model.clone();
             let (mut c1, mut ck) = (0u64, 0u64);
+            // One tape per shard, reset between chunks (capacity reuse).
+            let mut graph = legw_autograd::Graph::new();
             for r in &chunks[g.start..g.end] {
                 let idx: Vec<usize> = (r.start..r.end).collect();
                 let (batch, labels) = data.gather(&idx);
-                let mut graph = legw_autograd::Graph::new();
+                graph.reset();
                 let mut bd = legw_nn::Binding::new();
                 let logits = m.forward(&mut graph, &mut bd, ps, &batch, false);
                 let lv = graph.value(logits);

@@ -42,7 +42,7 @@ use crate::reduce_sched::{tree_reduce, ReduceScheduler};
 use legw_nn::GradBuffer;
 use legw_parallel::{default_threads, with_pool, ThreadPool};
 use std::ops::Range;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Executor configuration: how many shards each batch is split into, the
 /// total worker-thread budget, and whether gradient reduction streams
@@ -231,18 +231,6 @@ impl Executor {
             shard_pool: Some(ThreadPool::new(shards)),
             intra: (0..shards).map(|_| Arc::new(ThreadPool::new(intra_threads))).collect(),
         }
-    }
-
-    /// The process-wide executor, configured from the environment on first
-    /// use.
-    #[deprecated(
-        note = "build an Executor from an explicit ExecConfig (e.g. \
-                Executor::new(ExecConfig::from_env())) at the composition \
-                root instead of relying on process-global state"
-    )]
-    pub fn global() -> &'static Executor {
-        static GLOBAL: OnceLock<Executor> = OnceLock::new();
-        GLOBAL.get_or_init(|| Executor::new(ExecConfig::from_env()))
     }
 
     /// Maximum number of shards a batch is split into.

@@ -1,0 +1,119 @@
+//! End-to-end equivalence of the sequence-hoisted LSTM path: short
+//! training curves driven through the data-parallel executor (which runs
+//! the hoisted forward) must agree with the retained stepwise serial
+//! reference at every shard count.
+//!
+//! The hoisting reassociates each cell GEMM's k-sum at the input/hidden
+//! boundary (`x·W_x + h·W_h` instead of one `[x‖h]·W` product), so losses
+//! match within fp tolerance rather than bitwise; the tolerance here is
+//! loose enough to absorb a few steps of compounding but far below any
+//! real divergence.
+
+use legw::{ExecConfig, Executor, MnistStep, PtbStep};
+use legw_data::{SynthMnist, SynthPtb};
+use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig};
+use legw_nn::ParamSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: usize = 6;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn sgd_apply(ps: &mut ParamSet, lr: f32) {
+    for (_, p) in ps.iter_mut() {
+        let gr = p.grad.clone();
+        p.value.axpy(-lr, &gr);
+        p.grad.fill_(0.0);
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + b.abs())
+}
+
+/// MNIST-LSTM: a fixed-batch SGD curve through the executor's hoisted
+/// forward matches the stepwise serial curve at shards {1, 2, 4}.
+#[test]
+fn mnist_hoisted_training_curve_matches_stepwise_serial() {
+    let data = SynthMnist::generate(41, 64, 16);
+    let (bx, by) = data.train.gather(&(0..32).collect::<Vec<_>>());
+    let mut ps0 = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = MnistLstm::new(&mut ps0, &mut rng, 12, 12);
+
+    // stepwise serial reference curve
+    let mut ref_curve = Vec::with_capacity(STEPS);
+    {
+        let mut ps = ps0.clone();
+        for _ in 0..STEPS {
+            let (mut g, bd, loss, _) = model.forward_loss_stepwise(&ps, &bx, &by);
+            ref_curve.push(g.value(loss).item() as f64);
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            sgd_apply(&mut ps, 0.2);
+        }
+    }
+
+    for shards in SHARD_COUNTS {
+        let mut ps = ps0.clone();
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        for (t, &r) in ref_curve.iter().enumerate() {
+            let (out, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps);
+            assert!(!out.diverged);
+            assert!(
+                close(out.loss, r, 1e-4),
+                "shards={shards} step {t}: hoisted {} vs stepwise {r}",
+                out.loss
+            );
+            sgd_apply(&mut ps, 0.2);
+        }
+    }
+}
+
+/// PTB LM: a stateful truncated-BPTT curve (state carried across windows)
+/// through the executor's hoisted forward matches the stepwise serial
+/// curve at shards {1, 2, 4}.
+#[test]
+fn ptb_hoisted_training_curve_matches_stepwise_serial() {
+    let data = SynthPtb::generate(43, 30, 4, 4000, 800);
+    let cfg = PtbLmConfig { vocab: 30, embed: 12, hidden: 12, layers: 2, keep: 1.0 };
+    let mut ps0 = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(19);
+    let model = PtbLm::new(&mut ps0, &mut rng, cfg);
+    let windows = data.batches(true, 8, 6);
+    assert!(windows.len() >= STEPS);
+
+    // stepwise serial reference curve
+    let mut ref_curve = Vec::with_capacity(STEPS);
+    {
+        let mut ps = ps0.clone();
+        let mut state = LmState::zeros(&cfg, 8);
+        for w in windows.iter().take(STEPS) {
+            let (mut g, bd, loss, nll, next) = model.forward_loss_stepwise(&ps, w, &state);
+            ref_curve.push(nll);
+            g.backward(loss);
+            bd.write_grads(&g, &mut ps);
+            sgd_apply(&mut ps, 0.5);
+            state = next;
+        }
+    }
+
+    for shards in SHARD_COUNTS {
+        let mut ps = ps0.clone();
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let mut state = LmState::zeros(&cfg, 8);
+        for (t, w) in windows.iter().take(STEPS).enumerate() {
+            let step = PtbStep { model: &model, window: w, state: &state, drop: None };
+            let (out, states) = exec.step(&step, &mut ps);
+            assert!(!out.diverged);
+            assert!(
+                close(out.loss, ref_curve[t], 1e-4),
+                "shards={shards} step {t}: hoisted {} vs stepwise {}",
+                out.loss,
+                ref_curve[t]
+            );
+            state = PtbStep::merge_states(states);
+            sgd_apply(&mut ps, 0.5);
+        }
+    }
+}

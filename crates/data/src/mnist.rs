@@ -122,6 +122,26 @@ impl SynthMnist {
             })
             .collect()
     }
+
+    /// [`SynthMnist::row_steps`] packed into ONE timestep-major block
+    /// `[28·B, 28]`: rows `[t·B, (t+1)·B)` are step `t`. This is the input
+    /// layout the sequence-hoisted LSTM path consumes — all 28 steps'
+    /// projections become a single GEMM — built with one copy instead of
+    /// 28 per-step tensors.
+    pub fn row_steps_packed(batch: &Tensor) -> Tensor {
+        assert_eq!(batch.ndim(), 2);
+        assert_eq!(batch.dim(1), SIDE * SIDE);
+        let b = batch.dim(0);
+        let src = batch.as_slice();
+        let mut packed = Vec::with_capacity(b * SIDE * SIDE);
+        for t in 0..SIDE {
+            for s in 0..b {
+                let off = s * SIDE * SIDE + t * SIDE;
+                packed.extend_from_slice(&src[off..off + SIDE]);
+            }
+        }
+        Tensor::from_vec(packed, &[SIDE * b, SIDE])
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +221,21 @@ mod tests {
         let expect = &batch.as_slice()[1 * 784 + t * 28..1 * 784 + t * 28 + 28];
         let got: Vec<f32> = (0..28).map(|j| steps[t].at2(1, j)).collect();
         assert_eq!(&got[..], expect);
+    }
+
+    #[test]
+    fn row_steps_packed_matches_per_step_tensors() {
+        let d = SynthMnist::generate(4, 10, 5);
+        let (batch, _) = d.train.gather(&[0, 1, 2]);
+        let steps = SynthMnist::row_steps(&batch);
+        let packed = SynthMnist::row_steps_packed(&batch);
+        assert_eq!(packed.shape(), &[28 * 3, 28]);
+        for (t, step) in steps.iter().enumerate() {
+            assert_eq!(
+                &packed.as_slice()[t * 3 * 28..(t + 1) * 3 * 28],
+                step.as_slice(),
+                "packed rows for step {t} must equal the per-step tensor"
+            );
+        }
     }
 }

@@ -34,7 +34,34 @@ impl MnistLstm {
 
     /// Runs the forward pass on a gathered batch `[B, 784]`, returning the
     /// logits variable.
+    ///
+    /// Sequence-hoisted: the 28 timesteps enter as ONE timestep-major
+    /// `[28·B, 28]` block, so the projection + tanh run once over the whole
+    /// sequence and the LSTM's input half collapses into a single GEMM
+    /// ([`LstmCell::forward_seq_packed`]); only the small recurrent product
+    /// stays inside the time loop. Matches the retained
+    /// [`MnistLstm::forward_stepwise`] to ~1e-5 relative.
     pub fn forward(&self, g: &mut Graph, bd: &mut Binding, ps: &ParamSet, batch: &Tensor) -> Var {
+        let b = batch.dim(0);
+        let x = g.input(SynthMnist::row_steps_packed(batch));
+        let p = self.proj.forward(g, bd, ps, x);
+        let p = g.tanh(p);
+        let state = self.cell.zero_state(g, b);
+        let (_hs, st) = self.cell.forward_seq_packed(g, bd, ps, p, 28, b, state);
+        self.classifier.forward(g, bd, ps, st.h)
+    }
+
+    /// The pre-hoisting reference forward: per step, one input clone, one
+    /// projection GEMM, and one full `[B, proj+hid]` cell step. Kept for
+    /// cross-checks and back-to-back benchmarking against
+    /// [`MnistLstm::forward`].
+    pub fn forward_stepwise(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        batch: &Tensor,
+    ) -> Var {
         let steps = SynthMnist::row_steps(batch);
         let b = batch.dim(0);
         let mut state = self.cell.zero_state(g, b);
@@ -63,16 +90,35 @@ impl MnistLstm {
         (g, bd, loss, lv)
     }
 
+    /// [`MnistLstm::forward_loss`] over the stepwise reference path —
+    /// the cross-check / benchmark twin.
+    pub fn forward_loss_stepwise(
+        &self,
+        ps: &ParamSet,
+        batch: &Tensor,
+        labels: &[usize],
+    ) -> (Graph, Binding, Var, Tensor) {
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let logits = self.forward_stepwise(&mut g, &mut bd, ps, batch);
+        let loss = g.softmax_cross_entropy(logits, labels);
+        let lv = g.value(logits).clone();
+        (g, bd, loss, lv)
+    }
+
     /// Top-1 accuracy over a dataset, evaluated in chunks of `chunk`.
     pub fn evaluate(&self, ps: &ParamSet, data: &Classification, chunk: usize) -> f64 {
         let mut correct = 0.0;
         let mut total = 0usize;
         let n = data.len();
         let mut i = 0;
+        // One tape reused across chunks: reset() keeps the node Vec's
+        // capacity, so only the first chunk pays the growth.
+        let mut g = Graph::new();
         while i < n {
             let idx: Vec<usize> = (i..(i + chunk).min(n)).collect();
             let (batch, labels) = data.gather(&idx);
-            let mut g = Graph::new();
+            g.reset();
             let mut bd = Binding::new();
             let logits = self.forward(&mut g, &mut bd, ps, &batch);
             correct += metrics::accuracy(g.value(logits), &labels) * labels.len() as f64;
@@ -142,6 +188,40 @@ mod tests {
             best < losses[0] * 0.92,
             "loss must decrease on a fixed batch: {losses:?}"
         );
+    }
+
+    /// Hoisted forward/loss/grads vs the retained stepwise reference:
+    /// within 1e-5 relative (the hoisting reassociates the cell GEMM's
+    /// k-sum at the input/hidden boundary).
+    #[test]
+    fn hoisted_forward_matches_stepwise_reference() {
+        let (ps, m, d) = tiny();
+        let (batch, labels) = d.train.gather(&[0, 1, 2, 3, 4]);
+        let run = |hoisted: bool, ps: &ParamSet| -> (Tensor, f32, Vec<(String, Tensor)>) {
+            let (mut g, bd, loss, logits) = if hoisted {
+                m.forward_loss(ps, &batch, &labels)
+            } else {
+                m.forward_loss_stepwise(ps, &batch, &labels)
+            };
+            let lv = g.value(loss).item();
+            g.backward(loss);
+            let mut ps2 = ps.clone();
+            bd.write_grads(&g, &mut ps2);
+            let grads =
+                ps2.iter().map(|(_, p)| (p.name.clone(), p.grad.clone())).collect();
+            (logits, lv, grads)
+        };
+        let (lh, lossh, gh) = run(true, &ps);
+        let (lu, lossu, gu) = run(false, &ps);
+        assert!((lossh - lossu).abs() <= 1e-5 * (1.0 + lossu.abs()));
+        for (a, b) in lh.as_slice().iter().zip(lu.as_slice()) {
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "logits: {a} vs {b}");
+        }
+        for ((name, ga), (_, gb)) in gh.iter().zip(&gu) {
+            for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{name} grad: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

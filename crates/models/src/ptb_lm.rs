@@ -131,13 +131,37 @@ impl PtbLm {
 
     /// [`PtbLm::forward_loss`] with an optional dropout context. `Some`
     /// enables the training-mode masks (a no-op for `keep = 1.0` models);
-    /// `None` is the evaluation path.
+    /// `None` is the evaluation path. Runs the sequence-hoisted LSTM path
+    /// ([`Lstm::forward_seq`]).
     pub fn forward_loss_with(
         &self,
         ps: &ParamSet,
         batch: &LmBatch,
         state: &LmState,
         drop: Option<&DropCtx>,
+    ) -> (Graph, Binding, Var, f64, LmState) {
+        self.forward_loss_inner(ps, batch, state, drop, false)
+    }
+
+    /// [`PtbLm::forward_loss`] over the retained stepwise LSTM reference
+    /// ([`Lstm::forward_seq_stepwise`]) — the cross-check / benchmark twin
+    /// of the hoisted path.
+    pub fn forward_loss_stepwise(
+        &self,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+    ) -> (Graph, Binding, Var, f64, LmState) {
+        self.forward_loss_inner(ps, batch, state, None, true)
+    }
+
+    fn forward_loss_inner(
+        &self,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+        drop: Option<&DropCtx>,
+        stepwise: bool,
     ) -> (Graph, Binding, Var, f64, LmState) {
         let mut g = Graph::new();
         let mut bd = Binding::new();
@@ -163,7 +187,11 @@ impl PtbLm {
                 }
             })
             .collect();
-        let (outputs, final_states) = self.lstm.forward_seq(&mut g, &mut bd, ps, &xs, states);
+        let (outputs, final_states) = if stepwise {
+            self.lstm.forward_seq_stepwise(&mut g, &mut bd, ps, &xs, states)
+        } else {
+            self.lstm.forward_seq(&mut g, &mut bd, ps, &xs, states)
+        };
 
         let t_len = outputs.len();
         let mut total: Option<Var> = None;
@@ -268,6 +296,45 @@ mod tests {
             }
         }
         assert!(last < first * 0.98, "loss should fall: {first} → {last}");
+    }
+
+    /// Hoisted vs stepwise LSTM path through the full LM: loss, carried
+    /// state, and every parameter gradient within 1e-5 relative.
+    #[test]
+    fn hoisted_window_matches_stepwise_reference() {
+        let (ps, m, d) = tiny();
+        let windows = d.batches(true, 5, 7);
+        let s0 = LmState::zeros(m.config(), 5);
+        let run = |hoisted: bool| -> (f64, LmState, Vec<(String, Tensor)>) {
+            let (mut g, bd, loss, nll, carried) = if hoisted {
+                m.forward_loss(&ps, &windows[0], &s0)
+            } else {
+                m.forward_loss_stepwise(&ps, &windows[0], &s0)
+            };
+            g.backward(loss);
+            let mut ps2 = ps.clone();
+            bd.write_grads(&g, &mut ps2);
+            let grads = ps2.iter().map(|(_, p)| (p.name.clone(), p.grad.clone())).collect();
+            (nll, carried, grads)
+        };
+        let (nh, ch, gh) = run(true);
+        let (nu, cu, gu) = run(false);
+        assert!((nh - nu).abs() <= 1e-5 * (1.0 + nu.abs()), "nll: {nh} vs {nu}");
+        for ((h1, c1), (h2, c2)) in ch.0.iter().zip(&cu.0) {
+            for (a, b) in h1
+                .as_slice()
+                .iter()
+                .zip(h2.as_slice())
+                .chain(c1.as_slice().iter().zip(c2.as_slice()))
+            {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "state: {a} vs {b}");
+            }
+        }
+        for ((name, ga), (_, gb)) in gh.iter().zip(&gu) {
+            for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{name} grad: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -78,7 +78,46 @@ impl Seq2Seq {
         &self.cfg
     }
 
+    /// Sequence-hoisted encoder: all three LSTM layers run through
+    /// [`LstmCell::forward_seq`], so each layer's input projection is one
+    /// `[T·B, in] × [in, 4H]` GEMM. The backward direction packs the
+    /// sequence in reversed time order and un-reverses its outputs — the
+    /// recurrence itself is direction-agnostic. Matches the retained
+    /// [`Seq2Seq::encode_stepwise`] to ~1e-5 relative (the hoisting splits
+    /// each cell GEMM's k-sum at the input/hidden boundary).
     fn encode(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        src: &[Vec<usize>],
+    ) -> Encoded {
+        let b = src[0].len();
+        let t_len = src.len();
+        let embeds: Vec<Var> =
+            src.iter().map(|ids| self.embedding.forward(g, bd, ps, ids)).collect();
+
+        // bidirectional first layer
+        let s = self.enc_fwd.zero_state(g, b);
+        let (fwd_states, _) = self.enc_fwd.forward_seq(g, bd, ps, &embeds, s);
+        let rev: Vec<Var> = embeds.iter().rev().copied().collect();
+        let s = self.enc_bwd.zero_state(g, b);
+        let (mut bwd_states, _) = self.enc_bwd.forward_seq(g, bd, ps, &rev, s);
+        bwd_states.reverse();
+
+        // unidirectional top layer over the concatenated bi outputs
+        let cats: Vec<Var> = (0..t_len)
+            .map(|t| g.concat_cols(&[fwd_states[t], bwd_states[t]]))
+            .collect();
+        let s = self.enc_top.zero_state(g, b);
+        let (states, top) = self.enc_top.forward_seq(g, bd, ps, &cats, s);
+        let proj = self.attention.project_encoder(g, bd, ps, &states);
+        Encoded { states, proj, last: top }
+    }
+
+    /// The pre-hoisting per-step encoder, kept as the cross-check twin of
+    /// [`Seq2Seq::encode`].
+    fn encode_stepwise(
         &self,
         g: &mut Graph,
         bd: &mut Binding,
@@ -165,9 +204,34 @@ impl Seq2Seq {
         batch: &TranslationBatch,
         step_scale: Option<&[f32]>,
     ) -> (Graph, Binding, Var, f64) {
+        self.forward_loss_inner(ps, batch, step_scale, false)
+    }
+
+    /// [`Seq2Seq::forward_loss`] over the retained stepwise encoder
+    /// ([`Seq2Seq::encode_stepwise`]) — the cross-check / benchmark twin of
+    /// the hoisted path. The attention-coupled decoder is per-step in both.
+    pub fn forward_loss_stepwise(
+        &self,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+    ) -> (Graph, Binding, Var, f64) {
+        self.forward_loss_inner(ps, batch, None, true)
+    }
+
+    fn forward_loss_inner(
+        &self,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+        step_scale: Option<&[f32]>,
+        stepwise_enc: bool,
+    ) -> (Graph, Binding, Var, f64) {
         let mut g = Graph::new();
         let mut bd = Binding::new();
-        let enc = self.encode(&mut g, &mut bd, ps, &batch.src);
+        let enc = if stepwise_enc {
+            self.encode_stepwise(&mut g, &mut bd, ps, &batch.src)
+        } else {
+            self.encode(&mut g, &mut bd, ps, &batch.src)
+        };
         let mut s0 = self.dec0.zero_state(&mut g, batch.batch_size());
         let mut s1 = LstmState { h: enc.last.h, c: enc.last.c };
 
@@ -300,6 +364,34 @@ mod tests {
         let bleu = m.evaluate_bleu(&ps, &d, 8);
         assert!((0.0..=100.0).contains(&bleu));
         assert!(bleu < 30.0, "untrained BLEU suspiciously high: {bleu}");
+    }
+
+    /// Hoisted vs stepwise encoder through the full teacher-forced pass:
+    /// loss and every parameter gradient within 1e-5 relative.
+    #[test]
+    fn hoisted_encoder_matches_stepwise_reference() {
+        let (ps, m, d) = tiny();
+        let batch = &d.batches(true, 6)[0];
+        let run = |hoisted: bool| -> (f64, Vec<(String, legw_tensor::Tensor)>) {
+            let (mut g, bd, loss, nll) = if hoisted {
+                m.forward_loss(&ps, batch)
+            } else {
+                m.forward_loss_stepwise(&ps, batch)
+            };
+            g.backward(loss);
+            let mut ps2 = ps.clone();
+            bd.write_grads(&g, &mut ps2);
+            let grads = ps2.iter().map(|(_, p)| (p.name.clone(), p.grad.clone())).collect();
+            (nll, grads)
+        };
+        let (nh, gh) = run(true);
+        let (nu, gu) = run(false);
+        assert!((nh - nu).abs() <= 1e-5 * (1.0 + nu.abs()), "nll: {nh} vs {nu}");
+        for ((name, ga), (_, gb)) in gh.iter().zip(&gu) {
+            for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{name} grad: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,72 @@ impl LstmCell {
         LstmState { h: hh, c }
     }
 
+    /// Sequence-hoisted input projection: consumes a packed `[T·B, in]`
+    /// input block (timestep-major rows, i.e. rows `[t·B, (t+1)·B)` are
+    /// step `t`) and computes EVERY timestep's pre-activation input half
+    /// `x_t · W_x + b` in one `[T·B, in] × [in, 4H]` GEMM — the
+    /// cuDNN-style hoisting of the non-recurrent work out of the time
+    /// loop. `W_x` is a row-slice view of the fused kernel (same
+    /// `ParamId`, same checkpoint layout).
+    pub fn preact_seq(&self, g: &mut Graph, bd: &mut Binding, ps: &ParamSet, x_pack: Var) -> Var {
+        assert_eq!(g.value(x_pack).dim(1), self.in_dim, "preact_seq input width");
+        let w = bd.bind(g, ps, self.w);
+        let b = bd.bind(g, ps, self.b);
+        let w_x = g.slice_rows(w, 0, self.in_dim);
+        g.lstm_preact_seq(x_pack, w_x, b)
+    }
+
+    /// Runs the whole sequence through this cell on the hoisted path:
+    /// one big input-projection GEMM via [`LstmCell::preact_seq`], then per
+    /// timestep only the small recurrent `[B, hid] × [hid, 4H]` product,
+    /// accumulated into the hoisted block's row slice (beta=1 GEMM store),
+    /// feeding the fused cell op. Returns each step's `h` and the final
+    /// state.
+    ///
+    /// Numerical note: `x·W_x + h·W_h` splits the stepwise path's single
+    /// `[x,h]·W` k-sum at the `in_dim` boundary, so results match the
+    /// stepwise reference to ~1e-5 relative, not bitwise.
+    pub fn forward_seq_packed(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        x_pack: Var,
+        t_len: usize,
+        batch: usize,
+        state: LstmState,
+    ) -> (Vec<Var>, LstmState) {
+        assert_eq!(g.value(x_pack).dim(0), t_len * batch, "preact_seq packed rows");
+        let seq = self.preact_seq(g, bd, ps, x_pack);
+        let w = bd.bind(g, ps, self.w); // same node preact_seq bound (deduped)
+        let w_h = g.slice_rows(w, self.in_dim, self.in_dim + self.hidden);
+        let mut st = state;
+        let mut hs = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let pre = g.lstm_recur_step(seq, t, batch, st.h, w_h);
+            let (h, c) = g.lstm_cell(pre, st.c);
+            st = LstmState { h, c };
+            hs.push(h);
+        }
+        (hs, st)
+    }
+
+    /// [`LstmCell::forward_seq_packed`] for callers holding per-step
+    /// variables: packs `xs[t] = [B, in]` into one `[T·B, in]` block first.
+    pub fn forward_seq(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        xs: &[Var],
+        state: LstmState,
+    ) -> (Vec<Var>, LstmState) {
+        assert!(!xs.is_empty(), "forward_seq over an empty sequence");
+        let batch = g.value(xs[0]).dim(0);
+        let x_pack = g.concat_rows(xs);
+        self.forward_seq_packed(g, bd, ps, x_pack, xs.len(), batch, state)
+    }
+
     /// The reference per-gate implementation the fused [`LstmCell::step`]
     /// replaced: ~8 separate elementwise tape ops with derived backward.
     /// Kept for gradient cross-checks against the fused kernel.
@@ -196,7 +262,51 @@ impl Lstm {
     ///
     /// `state` is threaded through (truncated-BPTT callers pass the
     /// detached final state of the previous window).
+    ///
+    /// This is the sequence-hoisted path: it walks LAYER-major (each layer
+    /// consumes all T of the layer below's outputs), so every layer packs
+    /// its whole input sequence and issues ONE `[T·B, in] × [in, 4H]` GEMM
+    /// for the non-recurrent half, leaving only the small `[B, hid] ×
+    /// [hid, 4H]` product inside the time loop
+    /// ([`LstmCell::forward_seq_packed`]). Layer-major and time-major
+    /// orders compute the same recurrence — layer `l` at step `t` depends
+    /// only on layer `l−1` step `t` and its own step `t−1`. Results match
+    /// the retained [`Lstm::forward_seq_stepwise`] reference to ~1e-5
+    /// relative (the hoisting splits the `[x,h]·W` k-sum at the `in_dim`
+    /// boundary), which the cross-check tests pin down.
     pub fn forward_seq(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        xs: &[Var],
+        mut state: Vec<LstmState>,
+    ) -> (Vec<Var>, Vec<LstmState>) {
+        assert_eq!(state.len(), self.cells.len(), "one state per layer");
+        if xs.is_empty() {
+            return (Vec::new(), state);
+        }
+        let batch = g.value(xs[0]).dim(0);
+        let t_len = xs.len();
+        let mut layer_in: Vec<Var> = xs.to_vec();
+        for (l, cell) in self.cells.iter().enumerate() {
+            let x_pack = g.concat_rows(&layer_in);
+            let (hs, st) = cell.forward_seq_packed(g, bd, ps, x_pack, t_len, batch, state[l]);
+            state[l] = st;
+            layer_in = if l >= self.residual_from {
+                hs.iter().zip(layer_in.iter()).map(|(&h, &inp)| g.add(h, inp)).collect()
+            } else {
+                hs
+            };
+        }
+        (layer_in, state)
+    }
+
+    /// The pre-hoisting time-major reference: per step, per layer, one
+    /// `concat_cols([x, h])` copy and a full `[B, in+hid] × [(in+hid), 4H]`
+    /// GEMM ([`LstmCell::step`]). Kept for cross-checks against the hoisted
+    /// [`Lstm::forward_seq`] and for back-to-back benchmarking.
+    pub fn forward_seq_stepwise(
         &self,
         g: &mut Graph,
         bd: &mut Binding,
@@ -385,6 +495,109 @@ mod tests {
             seed in 0u64..500,
         ) {
             assert_fused_matches_unfused(batch, in_dim, hidden, seed);
+        }
+    }
+
+    /// The hoisted sequence path vs the stepwise reference over a full
+    /// stack: per-step outputs, final states, and every parameter gradient
+    /// must agree within 1e-5 relative (not bitwise — hoisting splits the
+    /// `[x,h]·W` k-sum at the `in_dim` boundary).
+    fn assert_hoisted_matches_stepwise(
+        batch: usize,
+        t_len: usize,
+        in_dim: usize,
+        hidden: usize,
+        layers: usize,
+        residual_from: usize,
+        seed: u64,
+    ) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lstm = if residual_from == usize::MAX {
+            Lstm::new(&mut ps, &mut rng, "eq", in_dim, hidden, layers)
+        } else {
+            Lstm::with_residuals(&mut ps, &mut rng, "eq", in_dim, hidden, layers, residual_from)
+        };
+        let xs0: Vec<Tensor> = (0..t_len)
+            .map(|_| Tensor::rand_uniform(&mut rng, &[batch, in_dim], -1.0, 1.0))
+            .collect();
+        let h0 = Tensor::rand_uniform(&mut rng, &[batch, hidden], -0.8, 0.8);
+        let c0 = Tensor::rand_uniform(&mut rng, &[batch, hidden], -0.8, 0.8);
+
+        let run = |hoisted: bool| -> (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<Vec<f32>>) {
+            let mut g = Graph::new();
+            let mut bd = Binding::new();
+            let s0: Vec<LstmState> = (0..layers)
+                .map(|_| LstmState { h: g.input(h0.clone()), c: g.input(c0.clone()) })
+                .collect();
+            let xs: Vec<Var> = xs0.iter().map(|x| g.input(x.clone())).collect();
+            let (outs, s_fin) = if hoisted {
+                lstm.forward_seq(&mut g, &mut bd, &ps, &xs, s0)
+            } else {
+                lstm.forward_seq_stepwise(&mut g, &mut bd, &ps, &xs, s0)
+            };
+            let out_vals: Vec<Vec<f32>> =
+                outs.iter().map(|&o| g.value(o).as_slice().to_vec()).collect();
+            let state_vals: Vec<Vec<f32>> = s_fin
+                .iter()
+                .flat_map(|s| [g.value(s.h).as_slice().to_vec(), g.value(s.c).as_slice().to_vec()])
+                .collect();
+            let all = g.concat_rows(&outs);
+            let sq = g.mul(all, all);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            let mut ps2 = ps.clone();
+            bd.write_grads(&g, &mut ps2);
+            let grads: Vec<Vec<f32>> = lstm
+                .cells
+                .iter()
+                .flat_map(|c| {
+                    [ps2.get(c.w).grad.as_slice().to_vec(), ps2.get(c.b).grad.as_slice().to_vec()]
+                })
+                .collect();
+            (out_vals, state_vals, grads)
+        };
+        let (oh, sh, gh) = run(true);
+        let (ou, su, gu) = run(false);
+        let check = |tag: &str, a: &[Vec<f32>], b: &[Vec<f32>]| {
+            for (va, vb) in a.iter().zip(b) {
+                for (x, y) in va.iter().zip(vb) {
+                    assert!(
+                        (x - y).abs() <= 1e-5 * (1.0 + y.abs()),
+                        "{tag} mismatch at B={batch} T={t_len} in={in_dim} H={hidden} \
+                         L={layers}: {x} vs {y}"
+                    );
+                }
+            }
+        };
+        check("output", &oh, &ou);
+        check("state", &sh, &su);
+        check("grad", &gh, &gu);
+    }
+
+    #[test]
+    fn hoisted_matches_stepwise_at_boundary_shapes() {
+        assert_hoisted_matches_stepwise(1, 1, 1, 1, 1, usize::MAX, 43); // all-ones corner
+        assert_hoisted_matches_stepwise(1, 3, 4, 3, 1, usize::MAX, 47); // H non-multiple-of-8
+        assert_hoisted_matches_stepwise(5, 4, 7, 13, 2, usize::MAX, 53); // ragged stack
+        assert_hoisted_matches_stepwise(4, 6, 6, 6, 3, 1, 59); // residuals on
+        assert_hoisted_matches_stepwise(8, 8, 16, 16, 2, usize::MAX, 61); // aligned
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// Random-shape sweep of hoisted-vs-stepwise stack equivalence,
+        /// including non-multiple-of-8 widths.
+        #[test]
+        fn hoisted_matches_stepwise_sweep(
+            batch in 1usize..7,
+            t_len in 1usize..6,
+            in_dim in 1usize..10,
+            hidden in 1usize..18,
+            layers in 1usize..3,
+            seed in 0u64..500,
+        ) {
+            assert_hoisted_matches_stepwise(batch, t_len, in_dim, hidden, layers, usize::MAX, seed);
         }
     }
 

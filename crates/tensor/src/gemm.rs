@@ -70,8 +70,10 @@ pub(crate) fn gemm(
     k: usize,
     n: usize,
 ) -> Buffer {
-    let mut out = Buffer::zeroed(m * n);
-    gemm_into(&current(), trans_a, trans_b, a, b, m, k, n, &mut out);
+    // The non-accumulating kernel overwrites every output element, so the
+    // buffer can start dirty — no memset on the hot path.
+    let mut out = Buffer::dirty(m * n);
+    gemm_into(&current(), trans_a, trans_b, a, b, m, k, n, &mut out, false);
     out
 }
 
@@ -86,9 +88,15 @@ impl OutPtr {
     }
 }
 
-/// [`gemm`] with an explicit pool and output slice (test and bench hook —
-/// lets single- vs multi-threaded execution be compared without touching
-/// the global pool).
+/// [`gemm`] with an explicit pool, output slice, and store mode.
+///
+/// With `acc = false` the kernel computes `C = A·B` (beta = 0: every output
+/// element is overwritten, so `out` may hold garbage on entry). With
+/// `acc = true` it computes `C += A·B` (beta = 1), which is what the
+/// sequence-hoisted LSTM recurrent step uses to fold `h·W_h` into the
+/// pre-computed input-projection block. Also the test and bench hook — lets
+/// single- vs multi-threaded execution be compared without touching the
+/// global pool.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_into(
     pool: &ThreadPool,
@@ -100,11 +108,17 @@ pub(crate) fn gemm_into(
     k: usize,
     n: usize,
     out: &mut [f32],
+    acc: bool,
 ) {
     assert_eq!(a.len(), m * k, "gemm A size");
     assert_eq!(b.len(), k * n, "gemm B size");
     assert_eq!(out.len(), m * n, "gemm C size");
     if m == 0 || n == 0 || k == 0 {
+        // An empty reduction still has defined beta semantics: beta = 0
+        // must leave C = 0, beta = 1 leaves C untouched.
+        if !acc {
+            out.iter_mut().for_each(|x| *x = 0.0);
+        }
         return;
     }
     let lda = if trans_a { m } else { k };
@@ -125,9 +139,12 @@ pub(crate) fn gemm_into(
                 let kb = KC.min(k - k0);
                 pack_a(apack, a, trans_a, lda, i0, mb, k0, kb);
                 pack_b(bpack, b, trans_b, ldb, k0, kb, j0, nb);
+                // Only the first k-block of a beta=0 GEMM overwrites; later
+                // k-blocks always accumulate partial sums.
+                let acc_block = acc || k0 > 0;
                 // SAFETY: this (ti, tj) task exclusively owns output rows
                 // i0..i0+mb × columns j0..j0+nb; tiles are disjoint.
-                unsafe { macro_kernel(apack, bpack, mb, nb, kb, base.get(), n, i0, j0) };
+                unsafe { macro_kernel(apack, bpack, mb, nb, kb, base.get(), n, i0, j0, acc_block) };
             }
         });
     };
@@ -261,7 +278,9 @@ fn microkernel(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
 }
 
 /// Runs the microkernel over every micro-tile of one packed (mb×nb) block
-/// and accumulates into `out` (row stride `ldc`, block origin `(i0, j0)`).
+/// and stores into `out` (row stride `ldc`, block origin `(i0, j0)`):
+/// `C += tile` when `acc`, `C = tile` otherwise (the beta=1/beta=0 store
+/// variants — only the store loop differs, the compute path is shared).
 ///
 /// # Safety
 /// The caller must own output rows `i0..i0+mb` × columns `j0..j0+nb` of the
@@ -277,6 +296,7 @@ unsafe fn macro_kernel(
     ldc: usize,
     i0: usize,
     j0: usize,
+    acc: bool,
 ) {
     for jp in 0..nb.div_ceil(NR) {
         let bp = &bpack[jp * kb * NR..(jp + 1) * kb * NR];
@@ -284,15 +304,19 @@ unsafe fn macro_kernel(
         for ip in 0..mb.div_ceil(MR) {
             let ap = &apack[ip * kb * MR..(ip + 1) * kb * MR];
             let rows = MR.min(mb - ip * MR);
-            let mut acc = [[0.0f32; NR]; MR];
-            microkernel(kb, ap, bp, &mut acc);
+            let mut tile = [[0.0f32; NR]; MR];
+            microkernel(kb, ap, bp, &mut tile);
             for r in 0..rows {
                 let dst = std::slice::from_raw_parts_mut(
                     out.add((i0 + ip * MR + r) * ldc + j0 + jp * NR),
                     cols,
                 );
-                for (d, &v) in dst.iter_mut().zip(acc[r][..cols].iter()) {
-                    *d += v;
+                if acc {
+                    for (d, &v) in dst.iter_mut().zip(tile[r][..cols].iter()) {
+                        *d += v;
+                    }
+                } else {
+                    dst.copy_from_slice(&tile[r][..cols]);
                 }
             }
         }
@@ -386,8 +410,9 @@ mod tests {
         let a = lcg(m as u64 * 31 + k as u64, m * k);
         let b = lcg(n as u64 * 17 + k as u64 + 1, k * n);
         let want = naive(trans_a, trans_b, &a, &b, m, k, n);
-        let mut got = vec![0.0f32; m * n];
-        gemm_into(pool, trans_a, trans_b, &a, &b, m, k, n, &mut got);
+        // Poison the output: beta=0 must fully overwrite it.
+        let mut got = vec![f32::NAN; m * n];
+        gemm_into(pool, trans_a, trans_b, &a, &b, m, k, n, &mut got, false);
         for (i, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
             assert!(
                 (g - w).abs() <= 1e-3 * (1.0 + w.abs()),
@@ -478,8 +503,8 @@ mod tests {
         let p4 = ThreadPool::new(4);
         let mut o1 = vec![0.0f32; m * n];
         let mut o4 = vec![0.0f32; m * n];
-        gemm_into(&p1, false, false, &a, &b, m, k, n, &mut o1);
-        gemm_into(&p4, false, false, &a, &b, m, k, n, &mut o4);
+        gemm_into(&p1, false, false, &a, &b, m, k, n, &mut o1, false);
+        gemm_into(&p4, false, false, &a, &b, m, k, n, &mut o4, false);
         let want = naive(false, false, &a, &b, m, k, n);
         for (got, w) in o1.iter().chain(o4.iter()).zip(want.iter().chain(want.iter())) {
             assert!((got - w).abs() <= 1e-3 * (1.0 + w.abs()));
@@ -502,10 +527,59 @@ mod tests {
             let b = lcg(2 + n as u64 + 13 * k as u64, k * n);
             let want = naive(trans_a, trans_b, &a, &b, m, k, n);
             let mut got = vec![0.0f32; m * n];
-            gemm_into(&pool, trans_a, trans_b, &a, &b, m, k, n, &mut got);
+            gemm_into(&pool, trans_a, trans_b, &a, &b, m, k, n, &mut got, false);
             for (g, w) in got.iter().zip(want.iter()) {
                 prop_assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
             }
         }
+
+        #[test]
+        fn prop_accumulate_equals_init_plus_product(
+            mi in 0usize..8, ki in 0usize..8, ni in 0usize..8,
+            threads in 1usize..5,
+        ) {
+            let dims = [1usize, MR - 1, MR, MR + 1, 2 * MR + 3, MC - 1, MC, MC + 1];
+            let (m, k, n) = (dims[mi], dims[ki], dims[ni]);
+            let pool = ThreadPool::new(threads);
+            let a = lcg(3 + m as u64 + 7 * k as u64, m * k);
+            let b = lcg(4 + n as u64 + 13 * k as u64, k * n);
+            let init = lcg(5 + (m * n) as u64, m * n);
+            let mut got = init.clone();
+            gemm_into(&pool, false, false, &a, &b, m, k, n, &mut got, true);
+            let prod = naive(false, false, &a, &b, m, k, n);
+            for ((g, c0), p) in got.iter().zip(init.iter()).zip(prod.iter()) {
+                let w = c0 + p;
+                prop_assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_spans_k_blocks() {
+        // k > KC: the first k-block must respect beta=1 and later k-blocks
+        // must not re-trigger an overwrite.
+        let pool = ThreadPool::new(2);
+        let (m, k, n) = (MR + 3, 2 * KC + 5, NR + 1);
+        let a = lcg(21, m * k);
+        let b = lcg(22, k * n);
+        let init = lcg(23, m * n);
+        let mut got = init.clone();
+        gemm_into(&pool, false, false, &a, &b, m, k, n, &mut got, true);
+        let prod = naive(false, false, &a, &b, m, k, n);
+        for ((g, c0), p) in got.iter().zip(init.iter()).zip(prod.iter()) {
+            let w = c0 + p;
+            assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn empty_k_beta_semantics() {
+        // k = 0: beta=0 zeroes C, beta=1 leaves C untouched.
+        let pool = ThreadPool::new(1);
+        let mut c = vec![7.0f32; 12];
+        gemm_into(&pool, false, false, &[], &[], 3, 0, 4, &mut c, true);
+        assert!(c.iter().all(|&x| x == 7.0));
+        gemm_into(&pool, false, false, &[], &[], 3, 0, 4, &mut c, false);
+        assert!(c.iter().all(|&x| x == 0.0));
     }
 }

@@ -36,6 +36,7 @@
 //! ```
 
 mod conv;
+pub mod fastmath;
 mod gemm;
 mod init;
 mod lstm_cell;

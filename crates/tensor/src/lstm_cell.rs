@@ -13,15 +13,19 @@
 //! c' = σ(f)∘c + σ(i)∘tanh(ĝ)        h' = σ(o)∘tanh(c')
 //! ```
 //!
-//! The per-element arithmetic matches the unfused op chain exactly (same
-//! stable sigmoid, `f32::tanh`, and mul/mul/add order; rustc does not
-//! contract `a*b + c*d` into FMA), so fusing is bit-identical to the
-//! separate-op path — the shard-equivalence and determinism guarantees
-//! carry over unchanged.
+//! The per-element arithmetic matches the unfused op chain exactly (the
+//! same [`crate::fastmath`] rational sigmoid/tanh scalars and the same
+//! mul/mul/add order; rustc does not contract `a*b + c*d` into FMA), so
+//! fusing is bit-identical to the separate-op path — the
+//! shard-equivalence and determinism guarantees carry over unchanged.
+//! Because those scalars are branch-free straight-line polynomials, the
+//! per-row gate loop below auto-vectorises instead of issuing five libm
+//! calls per hidden unit.
 //!
 //! Both kernels are row-parallel on [`legw_parallel::current`], so they
 //! respect the executor's thread-local per-shard pool override.
 
+use crate::fastmath::{fast_sigmoid, fast_tanh};
 use crate::pool::Buffer;
 use crate::tensor::Tensor;
 use crate::PAR_THRESHOLD;
@@ -39,18 +43,6 @@ pub struct LstmCellFwd {
     pub gates: Tensor,
     /// `tanh(c')`, shape `[B, H]`.
     pub tanh_c: Tensor,
-}
-
-/// Numerically stable logistic sigmoid — identical to `Tensor::sigmoid`
-/// so the fused cell is bit-compatible with the unfused op chain.
-#[inline(always)]
-fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
 }
 
 /// Shared pointer for disjoint row-range writes from the parallel loop.
@@ -87,12 +79,12 @@ fn fwd_rows(
             )
         };
         for j in 0..hid {
-            let i = sigmoid(pa_r[j]);
-            let f = sigmoid(pa_r[hid + j]);
-            let g = pa_r[2 * hid + j].tanh();
-            let o = sigmoid(pa_r[3 * hid + j]);
+            let i = fast_sigmoid(pa_r[j]);
+            let f = fast_sigmoid(pa_r[hid + j]);
+            let g = fast_tanh(pa_r[2 * hid + j]);
+            let o = fast_sigmoid(pa_r[3 * hid + j]);
             let c = f * cp_r[j] + i * g;
-            let tc = c.tanh();
+            let tc = fast_tanh(c);
             g_r[j] = i;
             g_r[hid + j] = f;
             g_r[2 * hid + j] = g;
@@ -298,7 +290,7 @@ mod tests {
                 let g = ga[r * 4 * hid + 2 * hid + j];
                 let c = f * c_prev.as_slice()[r * hid + j] + i * g;
                 assert_eq!(c.to_bits(), fwd.c.as_slice()[r * hid + j].to_bits());
-                assert_eq!(c.tanh().to_bits(), tc[r * hid + j].to_bits());
+                assert_eq!(fast_tanh(c).to_bits(), tc[r * hid + j].to_bits());
             }
         }
     }

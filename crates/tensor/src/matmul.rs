@@ -29,6 +29,43 @@ impl Tensor {
         )
     }
 
+    /// Accumulating matrix product `self += a @ b` (the GEMM beta = 1 store
+    /// variant). `self` is `[m,n]`, `a` is `[m,k]`, `b` is `[k,n]`; `k = 0`
+    /// is a no-op. The sequence-hoisted LSTM path uses this to fold each
+    /// timestep's recurrent `h·W_h` product into the pre-computed
+    /// input-projection block without a temporary + add pass.
+    ///
+    /// # Panics
+    /// If any operand is not 2-D or the dimensions disagree.
+    pub fn matmul_acc(&mut self, a: &Tensor, b: &Tensor) {
+        assert_eq!(self.ndim(), 2, "matmul_acc out must be 2-D, got {:?}", self.shape());
+        assert_eq!(a.ndim(), 2, "matmul_acc lhs must be 2-D, got {:?}", a.shape());
+        assert_eq!(b.ndim(), 2, "matmul_acc rhs must be 2-D, got {:?}", b.shape());
+        let (m, k) = (a.dim(0), a.dim(1));
+        let (k2, n) = (b.dim(0), b.dim(1));
+        assert_eq!(k, k2, "matmul_acc inner dims: {:?} @ {:?}", a.shape(), b.shape());
+        assert_eq!(
+            (self.dim(0), self.dim(1)),
+            (m, n),
+            "matmul_acc out dims: {:?} += {:?} @ {:?}",
+            self.shape(),
+            a.shape(),
+            b.shape()
+        );
+        gemm::gemm_into(
+            &current(),
+            false,
+            false,
+            a.as_slice(),
+            b.as_slice(),
+            m,
+            k,
+            n,
+            self.as_mut_slice(),
+            true,
+        );
+    }
+
     /// `selfᵀ @ rhs` for `[k,m]ᵀ @ [k,n] = [m,n]` without materialising the
     /// transpose (used for weight gradients `xᵀ · δ`).
     pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
@@ -204,6 +241,30 @@ mod tests {
         rng_tensor(1, &[2, 3]).matmul(&rng_tensor(2, &[4, 2]));
     }
 
+    #[test]
+    fn matmul_acc_equals_matmul_plus_add() {
+        // Includes odd / non-multiple-of-8 extents and a parallel-sized case.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (8, 8, 8), (9, 7, 13), (65, 93, 101)] {
+            let c0 = rng_tensor(40 + m as u64, &[m, n]);
+            let a = rng_tensor(41 + k as u64, &[m, k]);
+            let b = rng_tensor(42 + n as u64, &[k, n]);
+            let mut c = c0.clone();
+            c.matmul_acc(&a, &b);
+            assert_close(&c, &c0.add(&a.matmul(&b)), 1e-4);
+        }
+    }
+
+    // NOTE: `Shape` rejects zero-sized dimensions, so the k = 0 (empty
+    // reduction) beta semantics are covered at the slice level by
+    // `gemm::tests::empty_k_beta_semantics` instead of through `Tensor`.
+
+    #[test]
+    #[should_panic(expected = "out dims")]
+    fn matmul_acc_bad_out_shape_panics() {
+        let mut c = rng_tensor(51, &[3, 3]);
+        c.matmul_acc(&rng_tensor(52, &[2, 4]), &rng_tensor(53, &[4, 3]));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]
@@ -211,6 +272,16 @@ mod tests {
             let a = rng_tensor(seed, &[m, k]);
             let b = rng_tensor(seed + 1, &[k, n]);
             assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+        }
+
+        #[test]
+        fn prop_matmul_acc_matches_matmul_add(m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000) {
+            let c0 = rng_tensor(seed, &[m, n]);
+            let a = rng_tensor(seed + 1, &[m, k]);
+            let b = rng_tensor(seed + 2, &[k, n]);
+            let mut c = c0.clone();
+            c.matmul_acc(&a, &b);
+            assert_close(&c, &c0.add(&a.matmul(&b)), 1e-4);
         }
 
         #[test]

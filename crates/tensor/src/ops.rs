@@ -193,21 +193,18 @@ impl Tensor {
         unary_op(self, f32::abs)
     }
 
-    /// Logistic sigmoid `1/(1+e^{-x})`, numerically stable on both tails.
+    /// Logistic sigmoid `1/(1+e^{-x})` via the branch-free rational
+    /// kernel in [`crate::fastmath`] — saturates to exact `0`/`1` on the
+    /// tails and auto-vectorises (no per-element libm call).
     pub fn sigmoid(&self) -> Tensor {
-        unary_op(self, |x| {
-            if x >= 0.0 {
-                1.0 / (1.0 + (-x).exp())
-            } else {
-                let e = x.exp();
-                e / (1.0 + e)
-            }
-        })
+        unary_op(self, crate::fastmath::fast_sigmoid)
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent via the branch-free rational kernel in
+    /// [`crate::fastmath`] (within a few ulp of `f32::tanh`, exact `±1`
+    /// saturation, auto-vectorises).
     pub fn tanh(&self) -> Tensor {
-        unary_op(self, f32::tanh)
+        unary_op(self, crate::fastmath::fast_tanh)
     }
 
     /// Rectified linear unit `max(x, 0)`.

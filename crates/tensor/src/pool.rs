@@ -45,8 +45,11 @@ thread_local! {
     static POOL: RefCell<FreeList> = RefCell::new(FreeList::default());
 }
 
-/// Takes a zeroed, `len`-long vector — recycled if the pool has a fit.
-fn take_zeroed(len: usize) -> Vec<f32> {
+/// Takes a `len`-long vector — recycled if the pool has a fit. With
+/// `zero`, recycled contents are cleared; without it, the prefix keeps
+/// whatever the previous owner wrote (only the grown tail is zero-filled,
+/// which `Vec::resize` guarantees), so callers must overwrite every element.
+fn take(len: usize, zero: bool) -> Vec<f32> {
     let reused = POOL
         .try_with(|p| {
             let mut p = p.borrow_mut();
@@ -71,12 +74,19 @@ fn take_zeroed(len: usize) -> Vec<f32> {
         .flatten();
     match reused {
         Some(mut b) => {
-            b.clear();
+            if zero {
+                b.clear();
+            }
             b.resize(len, 0.0);
             b
         }
         None => vec![0.0; len],
     }
+}
+
+/// Takes a zeroed, `len`-long vector — recycled if the pool has a fit.
+fn take_zeroed(len: usize) -> Vec<f32> {
+    take(len, true)
 }
 
 /// Offers a vector back to the pool (dropped if over budget or too small).
@@ -117,6 +127,13 @@ impl Buffer {
     /// A zeroed buffer of `len` elements, recycled from the pool if possible.
     pub(crate) fn zeroed(len: usize) -> Self {
         Buffer { data: take_zeroed(len) }
+    }
+
+    /// A `len`-element buffer whose contents are unspecified (stale pool data
+    /// or zeros). For kernels that overwrite every element before the buffer
+    /// escapes — skips the memset that [`Buffer::zeroed`] pays.
+    pub(crate) fn dirty(len: usize) -> Self {
+        Buffer { data: take(len, false) }
     }
 
     /// A buffer of `len` copies of `value`.

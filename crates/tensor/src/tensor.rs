@@ -189,6 +189,20 @@ impl Tensor {
         Tensor::from_vec(self.data[start * cols..end * cols].to_vec(), &[end - start, cols])
     }
 
+    /// Tiles a 1-D `[n]` vector into a `[rows, n]` matrix (every row a copy
+    /// of `v`). Used to broadcast a bias into a block that a GEMM then
+    /// accumulates onto.
+    pub fn repeat_rows(v: &Tensor, rows: usize) -> Tensor {
+        assert_eq!(v.ndim(), 1, "repeat_rows expects a vector, got {:?}", v.shape);
+        let n = v.dim(0);
+        let mut out = Buffer::dirty(rows * n);
+        let src = v.as_slice();
+        for r in 0..rows {
+            out[r * n..(r + 1) * n].copy_from_slice(src);
+        }
+        Tensor::from_buffer(out, &[rows, n])
+    }
+
     /// Copies the index range `[start, end)` of the leading axis, for any
     /// rank ≥ 1 (the N-dimensional generalisation of [`Tensor::rows`]).
     pub fn slice_outer(&self, start: usize, end: usize) -> Tensor {
@@ -389,6 +403,16 @@ mod tests {
         let mid = a.rows(1, 3);
         assert_eq!(mid.shape(), &[2, 3]);
         assert_eq!(mid.as_slice(), &[3., 4., 5., 6., 7., 8.]);
+    }
+
+    #[test]
+    fn repeat_rows_tiles_vector() {
+        let v = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let m = Tensor::repeat_rows(&v, 4);
+        assert_eq!(m.shape(), &[4, 3]);
+        for r in 0..4 {
+            assert_eq!(&m.as_slice()[r * 3..(r + 1) * 3], &[1., 2., 3.]);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 #   scripts/bench_smoke.sh                 # kernel + training-step benches
 #   scripts/bench_smoke.sh gemm_shapes     # just the GEMM shape sweep
 #   scripts/bench_smoke.sh lstm_cell       # fused vs unfused LSTM cell op
+#   scripts/bench_smoke.sh lstm_seq        # hoisted vs stepwise sequence path
 #   LEGW_THREADS=1 scripts/bench_smoke.sh  # pin the worker pool
 #   LEGW_SHARDS=4 scripts/bench_smoke.sh sharded   # executor shard sweep
 #
