@@ -34,8 +34,9 @@ pub(crate) enum Op {
     Matmul(Var, Var),
     /// Multiply by a constant scalar.
     Scale(Var, f32),
-    /// Add a constant scalar.
-    AddScalar(Var),
+    /// Add a constant scalar (the constant is carried so a captured plan can
+    /// re-execute the op; the backward never needs it).
+    AddScalar(Var, f32),
     /// Logistic sigmoid (output cached in `value`).
     Sigmoid(Var),
     /// Hyperbolic tangent (output cached in `value`).
@@ -79,7 +80,9 @@ pub(crate) enum Op {
     GlobalAvgPool { x: Var, hw: usize },
     /// Per-channel batch normalisation over `(N,H,W)` with affine params.
     /// Caches `x_hat`, the per-channel `inv_std`, and the normalised count.
-    BatchNorm { x: Var, gamma: Var, beta: Var, x_hat: Tensor, inv_std: Tensor },
+    /// `eps` is carried so a captured plan can re-derive `inv_std` from the
+    /// replayed batch statistics; the tape backward uses the cached tensor.
+    BatchNorm { x: Var, gamma: Var, beta: Var, x_hat: Tensor, inv_std: Tensor, eps: f32 },
     /// Fused LSTM cell — the `h'` output of the tape's first two-output op
     /// ([`Graph::lstm_cell`]). Carries the closed-form backward and its
     /// cached intermediates: the activated gates `[σ(i)|σ(f)|tanh(ĝ)|σ(o)]`
@@ -113,6 +116,10 @@ pub const IGNORE_INDEX: usize = usize::MAX;
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    /// Leaves recorded via [`Graph::input`], in creation order — the
+    /// positional input signature a captured [`crate::Plan`] replays
+    /// against.
+    pub(crate) inputs: Vec<Var>,
 }
 
 /// Initial node capacity: a PTB training tape records a few thousand nodes,
@@ -122,7 +129,7 @@ const INITIAL_NODES: usize = 1024;
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(INITIAL_NODES) }
+        Self { nodes: Vec::with_capacity(INITIAL_NODES), inputs: Vec::new() }
     }
 
     /// Clears the tape for reuse by the next forward pass, keeping the
@@ -130,6 +137,7 @@ impl Graph {
     /// buffers to the tensor pool).
     pub fn reset(&mut self) {
         self.nodes.clear();
+        self.inputs.clear();
     }
 
     /// Number of recorded nodes.
@@ -153,7 +161,16 @@ impl Graph {
 
     /// Records a constant input leaf (receives no gradient).
     pub fn input(&mut self, value: Tensor) -> Var {
-        self.push(value, false, Op::Leaf)
+        let v = self.push(value, false, Op::Leaf);
+        self.inputs.push(v);
+        v
+    }
+
+    /// Every [`Graph::input`] leaf in creation order. A plan captured with
+    /// these as [`crate::CaptureSpec::inputs`] replays on fresh tensors
+    /// supplied in the same order.
+    pub fn input_vars(&self) -> &[Var] {
+        &self.inputs
     }
 
     /// Records a parameter leaf (participates in backward).

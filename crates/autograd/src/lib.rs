@@ -40,8 +40,10 @@ mod ops_basic;
 mod ops_conv;
 mod ops_loss;
 mod ops_lstm;
+mod plan;
 
-pub use graph::{Graph, Var};
+pub use graph::{Graph, Var, IGNORE_INDEX};
+pub use plan::{CaptureSpec, Feeds, Plan, PlanStats};
 
 #[cfg(test)]
 mod lib_tests {

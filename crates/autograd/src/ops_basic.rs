@@ -71,7 +71,7 @@ impl Graph {
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let v = self.value(a).add_scalar(c);
         let rg = self.requires(a);
-        self.push(v, rg, Op::AddScalar(a))
+        self.push(v, rg, Op::AddScalar(a, c))
     }
 
     // ----------------------------------------------------------- activations
@@ -220,7 +220,7 @@ impl Graph {
                 self.accumulate(*b, db);
             }
             Op::Scale(a, c) => self.accumulate(*a, up.scale(*c)),
-            Op::AddScalar(a) => self.accumulate(*a, up.clone()),
+            Op::AddScalar(a, _) => self.accumulate(*a, up.clone()),
             Op::Sigmoid(a) => {
                 let y = &self.nodes[v.0].value;
                 let d = y.map(|p| p * (1.0 - p)).mul(up);

@@ -187,6 +187,7 @@ impl Graph {
                 beta,
                 x_hat,
                 inv_std: Tensor::from_vec(inv_std, &[c]),
+                eps,
             },
         )
     }
@@ -302,7 +303,7 @@ impl Graph {
                 }
                 self.accumulate(*x, Tensor::from_vec(dx, xv.shape()));
             }
-            Op::BatchNorm { x, gamma, beta, x_hat, inv_std } => {
+            Op::BatchNorm { x, gamma, beta, x_hat, inv_std, eps: _ } => {
                 let xv = self.value(*x).clone();
                 let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
                 let hw = h * w;

@@ -1,0 +1,3354 @@
+//! Compiled execution plans: freeze one recorded step into a replayable
+//! schedule with preplanned buffers.
+//!
+//! [`Plan::capture`] walks a finished tape once and compiles it into two
+//! static instruction lists (forward and backward) whose operands are
+//! resolved *locations* — caller-supplied inputs/params, captured
+//! constants, plan-owned output tensors, or slots of a preplanned arena.
+//! A liveness pass over the 2N-position schedule (forward node `i` at
+//! position `i`, its backward at `2N-1-i`) assigns every intermediate
+//! value and gradient to an arena slot, reusing slots the moment their
+//! interval ends, so the arena's footprint is the exact peak live set.
+//!
+//! [`Plan::replay_forward`] / [`Plan::replay_backward_loss`] then re-run
+//! the step on new data with no tape recording, no shape checks, and no
+//! per-node allocation: every instruction writes into storage that was
+//! sized at capture. The interpreters mirror the tape kernels
+//! operation-for-operation (same loop order, same rounding chains, same
+//! f64 accumulators), so a replayed step is bitwise identical to
+//! rebuilding the tape — except where a plan intentionally splits a
+//! graph (documented at the call sites) and f32 reassociation bounds the
+//! difference at ~1e-5.
+//!
+//! Dynamic per-step data — embedding ids, cross-entropy labels, dropout
+//! masks — is fed at replay time through [`Feeds`]; everything
+//! shape-changing invalidates the plan (callers key plans by shape and
+//! fall back to the tape on unseen shapes).
+
+use crate::graph::{Graph, Op, Var, IGNORE_INDEX};
+use legw_tensor::fastmath::{fast_sigmoid, fast_tanh};
+use legw_tensor::{
+    col2im_into, gemm_into, im2col_into, lstm_cell_backward_into, lstm_cell_forward_into,
+    Conv2dGeom, Tensor,
+};
+use std::collections::HashMap;
+
+/// What to capture from a tape: which leaves are per-step inputs, which
+/// are parameters (gradient targets), and what the step produces.
+pub struct CaptureSpec<'a> {
+    /// Non-parameter leaves whose values change every step (fed at replay,
+    /// in this order). Must have `requires_grad == false`.
+    pub inputs: &'a [Var],
+    /// Parameter leaves (gradients exposed via [`Plan::param_grad`], in
+    /// this order). Must have `requires_grad == true`. Every
+    /// `requires_grad` leaf on the tape must be listed here.
+    pub params: &'a [Var],
+    /// Scalar loss node — when set, [`Plan::replay_backward_loss`] seeds
+    /// the sweep with `dL/dL = 1` exactly like [`Graph::backward`].
+    pub loss: Option<Var>,
+    /// Non-leaf nodes whose values the caller reads after each replay
+    /// (and, in seed mode, the roots [`Plan::replay_backward`] seeds).
+    pub outputs: &'a [Var],
+}
+
+/// Per-replay dynamic data, in op-encounter (node) order per kind.
+/// Leave a field empty to reuse the values captured from the tape.
+#[derive(Default)]
+pub struct Feeds<'a> {
+    /// One id list per `Embedding` op.
+    pub ids: &'a [&'a [usize]],
+    /// One label list per `SoftmaxCrossEntropy` op.
+    pub labels: &'a [&'a [usize]],
+    /// One mask per `Dropout` op (same shape as captured).
+    pub masks: &'a [&'a Tensor],
+}
+
+/// Compile-time footprint report of a captured plan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanStats {
+    /// Tape nodes covered by the plan.
+    pub nodes: usize,
+    /// Forward / backward instruction counts.
+    pub fwd_instrs: usize,
+    pub bwd_instrs: usize,
+    /// Physical arena slots and their total size in bytes.
+    pub arena_slots: usize,
+    pub arena_bytes: usize,
+    /// Exact peak of simultaneously-live arena bytes over the schedule
+    /// (equals `arena_bytes` unless slot sizes fragment the free list).
+    pub peak_live_bytes: usize,
+    /// Bytes of op-private state buffers (gates, probs, im2col columns…).
+    pub state_bytes: usize,
+    /// Bytes of the shared scratch buffers (add-mode GEMM detours\n    /// plus the f64 column-sum accumulators).
+    pub scratch_bytes: usize,
+}
+
+// ---------------------------------------------------------------- locations
+
+/// Where an instruction reads a value from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    /// Caller input `k` of this replay.
+    In(u32),
+    /// Caller parameter `k` of this replay.
+    Par(u32),
+    /// Tensor captured from the tape (non-input, non-param leaf).
+    Const(u32),
+    /// Arena slot (value or gradient of an intermediate).
+    Slot(u32),
+    /// Plan-owned output tensor.
+    Out(u32),
+}
+
+/// Where an instruction writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dst {
+    Slot(u32),
+    Out(u32),
+    /// Gradient tensor of parameter `k`.
+    ParGrad(u32),
+}
+
+/// First contribution to a gradient stores; later ones add — mirroring
+/// `Graph::accumulate`'s store-then-axpy behaviour bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Store,
+    Add,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EwKind {
+    Add,
+    Sub,
+    Mul,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum UnKind {
+    Sigmoid,
+    Tanh,
+    Relu,
+    Scale(f32),
+    AddScalar(f32),
+}
+
+// ------------------------------------------------------------- instructions
+
+/// One replay instruction. Dimensions are baked at capture; operands are
+/// resolved [`Loc`]s / [`Dst`]s. Forward instructions always overwrite
+/// their destination; backward ones carry a [`Mode`].
+enum Instr {
+    // ---- forward
+    Ew { kind: EwKind, a: Loc, b: Loc, dst: Dst, n: usize },
+    Unary { kind: UnKind, a: Loc, dst: Dst, n: usize },
+    AddBias { x: Loc, bias: Loc, dst: Dst, rows: usize, cols: usize },
+    RowScale { x: Loc, s: Loc, dst: Dst, rows: usize, cols: usize },
+    /// `dst (+)= op(a) · op(b)`; `Mode::Add` detours through scratch so the
+    /// elementwise add matches the tape's separate-GEMM-then-axpy bitwise.
+    Gemm { ta: bool, tb: bool, a: Loc, b: Loc, m: usize, k: usize, n: usize, dst: Dst, mode: Mode },
+    ConcatColsF { parts: Vec<(Loc, usize)>, dst: Dst, rows: usize, total: usize },
+    SliceColsF { x: Loc, dst: Dst, rows: usize, cols: usize, start: usize, end: usize },
+    /// Contiguous block copy: ConcatRows parts and SliceRows forward.
+    CopyBlock { src: Loc, src_off: usize, dst: Dst, dst_off: usize, len: usize },
+    SumAllF { x: Loc, dst: Dst, n: usize, mean: bool },
+    DropoutF { x: Loc, mask: u32, dst: Dst, n: usize },
+    EmbedF { table: Loc, feed: u32, dst: Dst, vocab: usize, dim: usize, count: usize },
+    SoftmaxF { x: Loc, dst: Dst, m: usize, n: usize },
+    CeF { logits: Loc, probs: u32, labels: u32, rt: u32, dst: Dst, b: usize, v: usize },
+    ConvF { x: Loc, w: Loc, cols: u32, out2: u32, dst: Dst, geom: Conv2dGeom, batch: usize, oc: usize },
+    MaxPoolF { x: Loc, dst: Dst, am: u32, nc: usize, h: usize, w: usize },
+    GapF { x: Loc, dst: Dst, nc: usize, hw: usize },
+    BnF { x: Loc, gamma: Loc, beta: Loc, xhat: u32, rt: u32, dst: Dst, n: usize, c: usize, hw: usize, eps: f32 },
+    LstmF { preact: Loc, c_prev: Loc, gates: u32, tanh_c: u32, c_dst: Dst, h_dst: Dst, b: usize, hid: usize },
+    PreactSeqF { x: Loc, w: Loc, bias: Loc, dst: Dst, rows: usize, k: usize, n4: usize },
+    RecurStepF { seq: Loc, h: Loc, w_h: Loc, dst: Dst, t: usize, batch: usize, hid: usize, n4: usize },
+
+    // ---- backward
+    /// `dst (+)= up * c`; `c == 1.0` is the plain gradient copy.
+    ScaleG { up: Loc, dst: Dst, mode: Mode, n: usize, c: f32 },
+    MulG { up: Loc, other: Loc, dst: Dst, mode: Mode, n: usize },
+    DropoutG { up: Loc, mask: u32, dst: Dst, mode: Mode, n: usize },
+    SigmoidG { up: Loc, y: Loc, dst: Dst, mode: Mode, n: usize },
+    TanhG { up: Loc, y: Loc, dst: Dst, mode: Mode, n: usize },
+    ReluG { up: Loc, x: Loc, dst: Dst, mode: Mode, n: usize },
+    /// f64 column sums of `up [rows, cols]` → `dst [cols]` (AddBias /
+    /// LstmPreactSeq bias gradients).
+    ColSumG { up: Loc, dst: Dst, mode: Mode, rows: usize, cols: usize },
+    RowScaleDx { up: Loc, s: Loc, dst: Dst, mode: Mode, rows: usize, cols: usize },
+    RowScaleDs { up: Loc, x: Loc, dst: Dst, mode: Mode, rows: usize, cols: usize },
+    /// ConcatCols backward for one part: read a column block of `up`.
+    ColsBlockG { up: Loc, dst: Dst, mode: Mode, rows: usize, up_cols: usize, off: usize, width: usize },
+    /// SliceCols backward: scatter `up [rows, end-start]` into a wider
+    /// gradient, reproducing the tape's zero padding (and its zero-adds).
+    ColsScatterG { up: Loc, dst: Dst, mode: Mode, rows: usize, dst_cols: usize, start: usize, end: usize },
+    /// Contiguous row-block gradient: ConcatRows part (read a block of
+    /// `up`) or SliceRows (scatter into a zero-padded block when
+    /// `zero_rest`).
+    BlockG { up: Loc, up_off: usize, dst: Dst, dst_off: usize, len: usize, dst_len: usize, zero_rest: bool, mode: Mode },
+    SumAllG { up: Loc, dst: Dst, mode: Mode, n: usize, mean: bool },
+    EmbedG { up: Loc, feed: u32, dst: Dst, mode: Mode, vocab: usize, dim: usize, count: usize },
+    SoftmaxG { up: Loc, y: Loc, dst: Dst, mode: Mode, m: usize, n: usize },
+    CeG { up: Loc, probs: u32, labels: u32, rt: u32, dst: Dst, mode: Mode, b: usize, v: usize },
+    ConvG { up: Loc, w: Loc, cols: u32, out2: u32, dw: Option<(Dst, Mode)>, dx: Option<(Dst, Mode)>, geom: Conv2dGeom, batch: usize, oc: usize },
+    MaxPoolG { up: Loc, dst: Dst, mode: Mode, am: u32, x_len: usize, out_len: usize },
+    GapG { up: Loc, dst: Dst, mode: Mode, nc: usize, hw: usize },
+    BnG { up: Loc, gamma: Loc, xhat: u32, rt: u32, dg: Option<(Dst, Mode)>, dbt: Option<(Dst, Mode)>, dx: Option<(Dst, Mode)>, n: usize, c: usize, hw: usize },
+    LstmG { gates: u32, tanh_c: u32, c_prev: Loc, dh: Option<Loc>, dc: Option<Loc>, dpre: (Dst, Mode), dcp: (Dst, Mode), b: usize, hid: usize },
+    /// LstmRecurStep's dSeq row scatter: `seq_grad[tB..(t+1)B] += up`,
+    /// zeroing the whole block first on the step that creates it.
+    RecurSeqG { up: Loc, dst: Dst, zero_first: bool, t: usize, batch: usize, cols: usize, dst_len: usize },
+}
+
+// ------------------------------------------------------- runtime containers
+
+/// Per-BatchNorm runtime scratch: f64 accumulators sized `[C]` plus the
+/// f32 batch statistics exposed for running-average updates.
+struct BnRt {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+    sum_up: Vec<f64>,
+    sum_up_xh: Vec<f64>,
+    mean_f32: Vec<f32>,
+    var_f32: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+/// The static program: instruction lists plus seed bookkeeping.
+struct Prog {
+    fwd: Vec<Instr>,
+    bwd: Vec<Instr>,
+    /// Loss-mode: the loss node's gradient slot (seeded with 1.0).
+    loss_grad: Option<Dst>,
+    /// Seed-mode: per `spec.outputs` entry, the gradient slot seeded by
+    /// [`Plan::replay_backward`] (`None` for non-differentiable outputs).
+    seed_targets: Vec<Option<(Dst, usize)>>,
+}
+
+/// All mutable replay storage, preallocated at capture.
+struct Store {
+    slots: Vec<Vec<f32>>,
+    outs: Vec<Tensor>,
+    pargrads: Vec<Tensor>,
+    consts: Vec<Tensor>,
+    states: Vec<Vec<f32>>,
+    scratch: Vec<f32>,
+    /// f64 accumulators for `ColSumG`, sized to the widest column-sum.
+    colsum: Vec<f64>,
+    ids: Vec<Vec<usize>>,
+    labels: Vec<Vec<usize>>,
+    masks: Vec<Tensor>,
+    argmax: Vec<Vec<u32>>,
+    ce_active: Vec<usize>,
+    bn: Vec<BnRt>,
+    /// 1-element tensor used to displace an output/pargrad tensor while an
+    /// instruction writes it (an `Arc` clone, so displacement never
+    /// allocates).
+    placeholder: Tensor,
+}
+
+/// A captured, replayable training/inference step.
+///
+/// Created by [`Plan::capture`]; replays are driven by
+/// [`Plan::replay_forward`] followed by [`Plan::replay_backward_loss`]
+/// (loss mode) or [`Plan::replay_backward`] (seed mode). At steady state a
+/// replay performs **zero** buffer-pool allocations: every destination was
+/// sized at capture.
+pub struct Plan {
+    prog: Prog,
+    st: Store,
+    in_shapes: Vec<Vec<usize>>,
+    par_shapes: Vec<Vec<usize>>,
+    /// Per `spec.outputs` entry, the index into `st.outs`.
+    out_of_k: Vec<u32>,
+    loss_out: Option<u32>,
+    /// Per param, whether any gradient statically flows to it.
+    par_grad_present: Vec<bool>,
+    stats: PlanStats,
+}
+
+impl Plan {
+    /// Compiles the recorded tape into a plan. Returns `None` when the
+    /// graph cannot be captured (a `requires_grad` leaf missing from
+    /// `spec.params`, a leaf listed as output, a non-scalar or
+    /// non-differentiable loss…): callers fall back to the tape.
+    ///
+    /// Call after the forward pass — running `backward` first is fine
+    /// (the sweep restores every op it visits).
+    pub fn capture(g: &Graph, spec: &CaptureSpec) -> Option<Plan> {
+        Capturer::run(g, spec)
+    }
+
+    /// Re-executes the forward schedule on new data. `inputs` / `params`
+    /// are in `spec` order and must match the captured shapes.
+    pub fn replay_forward(&mut self, inputs: &[&Tensor], params: &[&Tensor], feeds: &Feeds) {
+        self.check_bindings(inputs, params);
+        self.load_feeds(feeds);
+        // Split borrows: the program is read-only while the store mutates.
+        let (prog, st) = (&self.prog, &mut self.st);
+        for ins in &prog.fwd {
+            exec(ins, st, inputs, params);
+        }
+    }
+
+    /// Runs the backward schedule seeded with `dL/dL = 1` (loss mode).
+    /// `inputs` / `params` must be the same tensors passed to the
+    /// preceding [`Plan::replay_forward`].
+    ///
+    /// # Panics
+    /// If the plan was captured without `spec.loss`.
+    pub fn replay_backward_loss(&mut self, inputs: &[&Tensor], params: &[&Tensor]) {
+        let seed = self.prog.loss_grad.expect("replay_backward_loss on a plan without a loss");
+        // The single backward schedule also serves seed mode, so the other
+        // outputs' seed slots take part in it — zero them (an unseeded
+        // output contributes nothing; `0.0 + x` differs from the tape only
+        // on the sign of a `-0.0`, documented in the module header).
+        for target in &self.prog.seed_targets {
+            if let Some((dst, _)) = target {
+                if *dst != seed {
+                    let s = self.st.dst_is_slot(*dst);
+                    self.st.slots[s].fill(0.0);
+                }
+            }
+        }
+        {
+            let s = self.st.dst_is_slot(seed);
+            debug_assert_eq!(self.st.slots[s].len(), 1);
+            self.st.slots[s][0] = 1.0;
+        }
+        let (prog, st) = (&self.prog, &mut self.st);
+        for ins in &prog.bwd {
+            exec(ins, st, inputs, params);
+        }
+    }
+
+    /// Runs the backward schedule from explicit per-output seed gradients
+    /// (seed mode), one per `spec.outputs` entry, mirroring
+    /// `Graph::backward_seeded` run for every output. Seeds for
+    /// non-differentiable outputs are ignored.
+    pub fn replay_backward(&mut self, inputs: &[&Tensor], params: &[&Tensor], seeds: &[&Tensor]) {
+        assert_eq!(
+            seeds.len(),
+            self.prog.seed_targets.len(),
+            "one seed per captured output"
+        );
+        let seeded: Vec<Dst> = self
+            .prog
+            .seed_targets
+            .iter()
+            .flatten()
+            .map(|(d, _)| *d)
+            .collect();
+        if let Some(lg) = self.prog.loss_grad {
+            // A plan captured with both a loss and seedable outputs shares
+            // one backward schedule; in seed mode the loss is unseeded.
+            if !seeded.contains(&lg) {
+                let s = self.st.dst_is_slot(lg);
+                self.st.slots[s].fill(0.0);
+            }
+        }
+        for (seed, target) in seeds.iter().zip(&self.prog.seed_targets) {
+            if let Some((dst, n)) = target {
+                assert_eq!(seed.numel(), *n, "seed shape mismatch");
+                let s = self.st.dst_is_slot(*dst);
+                self.st.slots[s].copy_from_slice(seed.as_slice());
+            }
+        }
+        let (prog, st) = (&self.prog, &mut self.st);
+        for ins in &prog.bwd {
+            exec(ins, st, inputs, params);
+        }
+    }
+
+    /// Forward + loss-seeded backward in one call — the common training
+    /// step.
+    pub fn replay_step(&mut self, inputs: &[&Tensor], params: &[&Tensor], feeds: &Feeds) {
+        self.replay_forward(inputs, params, feeds);
+        self.replay_backward_loss(inputs, params);
+    }
+
+    /// The loss value of the last replay (loss-mode plans).
+    pub fn loss(&self) -> f32 {
+        let k = self.loss_out.expect("loss() on a plan without a loss") as usize;
+        self.st.outs[k].as_slice()[0]
+    }
+
+    /// Output `k` (in `spec.outputs` order) of the last replay. The
+    /// returned tensor shares the plan's buffer (`Arc` clone); the next
+    /// replay copies-on-write if the caller still holds it.
+    pub fn output(&self, k: usize) -> Tensor {
+        self.st.outs[self.out_of_k[k] as usize].clone()
+    }
+
+    /// Gradient of parameter `k` after the last backward replay, or `None`
+    /// when no gradient flows to it statically (the tape would yield a
+    /// zero tensor via `leaf_grads`).
+    pub fn param_grad(&self, k: usize) -> Option<&Tensor> {
+        if self.par_grad_present[k] {
+            Some(&self.st.pargrads[k])
+        } else {
+            None
+        }
+    }
+
+    /// Number of captured parameters / outputs.
+    pub fn num_params(&self) -> usize {
+        self.par_shapes.len()
+    }
+    pub fn num_outputs(&self) -> usize {
+        self.out_of_k.len()
+    }
+
+    /// Batch statistics `(mean, var)` of BatchNorm op `i` (node order)
+    /// from the last forward replay — what a layer's running averages
+    /// consume.
+    pub fn bn_batch_stats(&self, i: usize) -> (&[f32], &[f32]) {
+        let rt = &self.st.bn[i];
+        (&rt.mean_f32, &rt.var_f32)
+    }
+    pub fn num_batch_norms(&self) -> usize {
+        self.st.bn.len()
+    }
+
+    /// Footprint of the compiled schedule.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    fn check_bindings(&self, inputs: &[&Tensor], params: &[&Tensor]) {
+        assert_eq!(inputs.len(), self.in_shapes.len(), "input count mismatch");
+        assert_eq!(params.len(), self.par_shapes.len(), "param count mismatch");
+        for (t, s) in inputs.iter().zip(&self.in_shapes) {
+            assert_eq!(t.shape(), &s[..], "input shape drifted from capture");
+        }
+        for (t, s) in params.iter().zip(&self.par_shapes) {
+            assert_eq!(t.shape(), &s[..], "param shape drifted from capture");
+        }
+    }
+
+    fn load_feeds(&mut self, feeds: &Feeds) {
+        let st = &mut self.st;
+        assert!(
+            feeds.ids.is_empty() || feeds.ids.len() == st.ids.len(),
+            "feed all {} embedding id lists or none",
+            st.ids.len()
+        );
+        for (dst, src) in st.ids.iter_mut().zip(feeds.ids) {
+            assert_eq!(dst.len(), src.len(), "embedding id count is shape-static");
+            dst.copy_from_slice(src);
+        }
+        assert!(
+            feeds.labels.is_empty() || feeds.labels.len() == st.labels.len(),
+            "feed all {} label lists or none",
+            st.labels.len()
+        );
+        for (dst, src) in st.labels.iter_mut().zip(feeds.labels) {
+            assert_eq!(dst.len(), src.len(), "label count is shape-static");
+            dst.copy_from_slice(src);
+        }
+        assert!(
+            feeds.masks.is_empty() || feeds.masks.len() == st.masks.len(),
+            "feed all {} dropout masks or none",
+            st.masks.len()
+        );
+        for (dst, src) in st.masks.iter_mut().zip(feeds.masks) {
+            assert_eq!(dst.shape(), src.shape(), "dropout mask shape is static");
+            *dst = (*src).clone();
+        }
+    }
+}
+
+// ------------------------------------------------------------- interpreter
+
+/// A destination buffer temporarily moved out of the [`Store`] so sources
+/// can be read from it while the destination is written — all safe code,
+/// no aliasing.
+enum DstBuf {
+    V(Vec<f32>),
+    T(Tensor),
+}
+
+impl DstBuf {
+    fn s(&mut self) -> &mut [f32] {
+        match self {
+            DstBuf::V(v) => v.as_mut_slice(),
+            DstBuf::T(t) => t.as_mut_slice(),
+        }
+    }
+}
+
+impl BnRt {
+    fn empty() -> Self {
+        BnRt {
+            mean: Vec::new(),
+            var: Vec::new(),
+            sum_up: Vec::new(),
+            sum_up_xh: Vec::new(),
+            mean_f32: Vec::new(),
+            var_f32: Vec::new(),
+            inv_std: Vec::new(),
+        }
+    }
+}
+
+impl Store {
+    fn read<'a>(&'a self, loc: Loc, inputs: &'a [&'a Tensor], params: &'a [&'a Tensor]) -> &'a [f32] {
+        match loc {
+            Loc::In(i) => inputs[i as usize].as_slice(),
+            Loc::Par(i) => params[i as usize].as_slice(),
+            Loc::Const(i) => self.consts[i as usize].as_slice(),
+            Loc::Slot(i) => &self.slots[i as usize],
+            Loc::Out(i) => self.outs[i as usize].as_slice(),
+        }
+    }
+
+    fn take(&mut self, d: Dst) -> DstBuf {
+        match d {
+            Dst::Slot(i) => DstBuf::V(std::mem::take(&mut self.slots[i as usize])),
+            Dst::Out(i) => {
+                DstBuf::T(std::mem::replace(&mut self.outs[i as usize], self.placeholder.clone()))
+            }
+            Dst::ParGrad(i) => DstBuf::T(std::mem::replace(
+                &mut self.pargrads[i as usize],
+                self.placeholder.clone(),
+            )),
+        }
+    }
+
+    fn put(&mut self, d: Dst, b: DstBuf) {
+        match (d, b) {
+            (Dst::Slot(i), DstBuf::V(v)) => self.slots[i as usize] = v,
+            (Dst::Out(i), DstBuf::T(t)) => self.outs[i as usize] = t,
+            (Dst::ParGrad(i), DstBuf::T(t)) => self.pargrads[i as usize] = t,
+            _ => unreachable!("dst kind changed between take and put"),
+        }
+    }
+
+    fn take_state(&mut self, i: u32) -> Vec<f32> {
+        std::mem::take(&mut self.states[i as usize])
+    }
+
+    fn put_state(&mut self, i: u32, v: Vec<f32>) {
+        self.states[i as usize] = v;
+    }
+
+    fn dst_is_slot(&self, d: Dst) -> usize {
+        match d {
+            Dst::Slot(i) => i as usize,
+            _ => panic!("gradient seed target must be an arena slot"),
+        }
+    }
+}
+
+/// Store-or-add `f(i)` over `dst`: `Mode::Store` writes the contribution,
+/// `Mode::Add` does `dst[i] += f(i)` — the exact elementwise chain of
+/// `Graph::accumulate`'s store / axpy branches.
+fn apply(dst: &mut [f32], mode: Mode, f: impl Fn(usize) -> f32) {
+    match mode {
+        Mode::Store => {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = f(i);
+            }
+        }
+        Mode::Add => {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d += f(i);
+            }
+        }
+    }
+}
+
+/// Executes one instruction against the store. Elementwise loops run
+/// serially (bitwise equal to the tape's chunk-parallel maps, which apply a
+/// pure per-element function); GEMMs run on the ambient thread pool — the
+/// same engine the tape's `matmul` family uses.
+
+fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
+    match ins {
+        // ------------------------------------------------------------ forward
+        Instr::Ew { kind, a, b, dst, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let av = st.read(*a, inputs, params);
+                let bv = st.read(*b, inputs, params);
+                let o = buf.s();
+                debug_assert_eq!(o.len(), *n);
+                match kind {
+                    EwKind::Add => {
+                        for i in 0..*n {
+                            o[i] = av[i] + bv[i];
+                        }
+                    }
+                    EwKind::Sub => {
+                        for i in 0..*n {
+                            o[i] = av[i] - bv[i];
+                        }
+                    }
+                    EwKind::Mul => {
+                        for i in 0..*n {
+                            o[i] = av[i] * bv[i];
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::Unary { kind, a, dst, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let av = st.read(*a, inputs, params);
+                let o = buf.s();
+                debug_assert_eq!(o.len(), *n);
+                match kind {
+                    UnKind::Sigmoid => {
+                        for i in 0..*n {
+                            o[i] = fast_sigmoid(av[i]);
+                        }
+                    }
+                    UnKind::Tanh => {
+                        for i in 0..*n {
+                            o[i] = fast_tanh(av[i]);
+                        }
+                    }
+                    UnKind::Relu => {
+                        for i in 0..*n {
+                            o[i] = av[i].max(0.0);
+                        }
+                    }
+                    UnKind::Scale(c) => {
+                        for i in 0..*n {
+                            o[i] = av[i] * c;
+                        }
+                    }
+                    UnKind::AddScalar(c) => {
+                        for i in 0..*n {
+                            o[i] = av[i] + c;
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::AddBias { x, bias, dst, rows, cols } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let bv = st.read(*bias, inputs, params);
+                let o = buf.s();
+                for r in 0..*rows {
+                    for c in 0..*cols {
+                        o[r * *cols + c] = xv[r * *cols + c] + bv[c];
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::RowScale { x, s, dst, rows, cols } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let sv = st.read(*s, inputs, params);
+                let o = buf.s();
+                for r in 0..*rows {
+                    for c in 0..*cols {
+                        o[r * *cols + c] = xv[r * *cols + c] * sv[r];
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::Gemm { ta, tb, a, b, m, k, n, dst, mode } => {
+            let mut buf = st.take(*dst);
+            match mode {
+                Mode::Store => {
+                    let av = st.read(*a, inputs, params);
+                    let bv = st.read(*b, inputs, params);
+                    gemm_into(*ta, *tb, av, bv, *m, *k, *n, buf.s(), false);
+                }
+                Mode::Add => {
+                    // fresh product then elementwise add — the tape computes
+                    // the gradient GEMM into a new tensor and axpy-adds it,
+                    // and in-engine accumulation (acc=true) would reassociate
+                    let mut scr = std::mem::take(&mut st.scratch);
+                    {
+                        let av = st.read(*a, inputs, params);
+                        let bv = st.read(*b, inputs, params);
+                        let s = &mut scr[..*m * *n];
+                        gemm_into(*ta, *tb, av, bv, *m, *k, *n, s, false);
+                        for (d, &sv) in buf.s().iter_mut().zip(s.iter()) {
+                            *d += sv;
+                        }
+                    }
+                    st.scratch = scr;
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::ConcatColsF { parts, dst, rows, total } => {
+            let mut buf = st.take(*dst);
+            {
+                let o = buf.s();
+                let mut off = 0usize;
+                for (loc, w) in parts {
+                    let src = st.read(*loc, inputs, params);
+                    for r in 0..*rows {
+                        o[r * *total + off..r * *total + off + w]
+                            .copy_from_slice(&src[r * w..(r + 1) * w]);
+                    }
+                    off += w;
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::SliceColsF { x, dst, rows, cols, start, end } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let o = buf.s();
+                let w = *end - *start;
+                for r in 0..*rows {
+                    o[r * w..(r + 1) * w]
+                        .copy_from_slice(&xv[r * *cols + *start..r * *cols + *end]);
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::CopyBlock { src, src_off, dst, dst_off, len } => {
+            let mut buf = st.take(*dst);
+            {
+                let sv = st.read(*src, inputs, params);
+                buf.s()[*dst_off..*dst_off + *len]
+                    .copy_from_slice(&sv[*src_off..*src_off + *len]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::SumAllF { x, dst, n, mean } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let s = xv.iter().map(|&t| t as f64).sum::<f64>() as f32;
+                buf.s()[0] = if *mean { s / *n as f32 } else { s };
+            }
+            st.put(*dst, buf);
+        }
+        Instr::DropoutF { x, mask, dst, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let mv = st.masks[*mask as usize].as_slice();
+                let o = buf.s();
+                for i in 0..*n {
+                    o[i] = xv[i] * mv[i];
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::EmbedF { table, feed, dst, vocab, dim, count } => {
+            let mut buf = st.take(*dst);
+            {
+                let tv = st.read(*table, inputs, params);
+                let ids = &st.ids[*feed as usize];
+                debug_assert_eq!(ids.len(), *count);
+                let o = buf.s();
+                for (i, &id) in ids.iter().enumerate() {
+                    assert!(id < *vocab, "embedding id {id} out of vocab {vocab}");
+                    o[i * *dim..(i + 1) * *dim]
+                        .copy_from_slice(&tv[id * *dim..(id + 1) * *dim]);
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::SoftmaxF { x, dst, m, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                softmax_rows_into(xv, *m, *n, buf.s());
+            }
+            st.put(*dst, buf);
+        }
+        Instr::CeF { logits, probs, labels, rt, dst, b, v } => {
+            let mut pv = st.take_state(*probs);
+            let mut buf = st.take(*dst);
+            let mut active = 0usize;
+            {
+                let lv = st.read(*logits, inputs, params);
+                let lab = &st.labels[*labels as usize];
+                debug_assert_eq!(lab.len(), *b);
+                softmax_rows_into(lv, *b, *v, &mut pv);
+                let mut total = 0.0f64;
+                for (i, &y) in lab.iter().enumerate() {
+                    if y == IGNORE_INDEX {
+                        continue;
+                    }
+                    assert!(y < *v, "label {y} out of vocab {v}");
+                    total -= (pv[i * *v + y].max(1e-30) as f64).ln();
+                    active += 1;
+                }
+                buf.s()[0] = if active == 0 { 0.0 } else { (total / active as f64) as f32 };
+            }
+            st.put(*dst, buf);
+            st.put_state(*probs, pv);
+            st.ce_active[*rt as usize] = active;
+        }
+        Instr::ConvF { x, w, cols, out2, dst, geom, batch, oc } => {
+            let mut colv = st.take_state(*cols);
+            let mut o2 = st.take_state(*out2);
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let wv = st.read(*w, inputs, params);
+                im2col_into(xv, *batch, geom, &mut colv);
+                let (oh, ow) = (geom.oh(), geom.ow());
+                let rows = *batch * oh * ow;
+                let ckk = geom.c * geom.kh * geom.kw;
+                gemm_into(false, true, &colv, wv, rows, ckk, *oc, &mut o2, false);
+                // permute [N·OH·OW, OC] → [N,OC,OH,OW]
+                let o = buf.s();
+                for ni in 0..*batch {
+                    for y in 0..oh {
+                        for xx in 0..ow {
+                            let row = ((ni * oh + y) * ow + xx) * *oc;
+                            for oi in 0..*oc {
+                                o[((ni * *oc + oi) * oh + y) * ow + xx] = o2[row + oi];
+                            }
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+            st.put_state(*out2, o2);
+            st.put_state(*cols, colv);
+        }
+        Instr::MaxPoolF { x, dst, am, nc, h, w } => {
+            let mut amv = std::mem::take(&mut st.argmax[*am as usize]);
+            let mut buf = st.take(*dst);
+            {
+                let src = st.read(*x, inputs, params);
+                let (oh, ow) = (*h / 2, *w / 2);
+                let o = buf.s();
+                for nci in 0..*nc {
+                    let base = nci * *h * *w;
+                    for y in 0..oh {
+                        for xx in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut bidx = 0usize;
+                            for dy in 0..2 {
+                                for dxx in 0..2 {
+                                    let idx = base + (2 * y + dy) * *w + 2 * xx + dxx;
+                                    if src[idx] > best {
+                                        best = src[idx];
+                                        bidx = idx;
+                                    }
+                                }
+                            }
+                            let oidx = nci * oh * ow + y * ow + xx;
+                            o[oidx] = best;
+                            amv[oidx] = bidx as u32;
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+            st.argmax[*am as usize] = amv;
+        }
+        Instr::GapF { x, dst, nc, hw } => {
+            let mut buf = st.take(*dst);
+            {
+                let src = st.read(*x, inputs, params);
+                let o = buf.s();
+                for nci in 0..*nc {
+                    o[nci] = src[nci * *hw..(nci + 1) * *hw]
+                        .iter()
+                        .map(|&v| v as f64)
+                        .sum::<f64>() as f32
+                        / *hw as f32;
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::BnF { x, gamma, beta, xhat, rt, dst, n, c, hw, eps } => {
+            let mut xh = st.take_state(*xhat);
+            let mut r = std::mem::replace(&mut st.bn[*rt as usize], BnRt::empty());
+            let mut buf = st.take(*dst);
+            {
+                let src = st.read(*x, inputs, params);
+                let gm = st.read(*gamma, inputs, params);
+                let bt = st.read(*beta, inputs, params);
+                let (n, c, hw) = (*n, *c, *hw);
+                let m = (n * hw) as f64;
+                r.mean.iter_mut().for_each(|v| *v = 0.0);
+                r.var.iter_mut().for_each(|v| *v = 0.0);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        for &v in &src[base..base + hw] {
+                            r.mean[ci] += v as f64;
+                        }
+                    }
+                }
+                for mu in &mut r.mean {
+                    *mu /= m;
+                }
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        for &v in &src[base..base + hw] {
+                            let d = v as f64 - r.mean[ci];
+                            r.var[ci] += d * d;
+                        }
+                    }
+                }
+                for va in &mut r.var {
+                    *va /= m;
+                }
+                for ci in 0..c {
+                    r.inv_std[ci] = (1.0 / (r.var[ci] + *eps as f64).sqrt()) as f32;
+                    r.mean_f32[ci] = r.mean[ci] as f32;
+                    r.var_f32[ci] = r.var[ci] as f32;
+                }
+                let o = buf.s();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        let mu = r.mean[ci] as f32;
+                        let is = r.inv_std[ci];
+                        for k in 0..hw {
+                            let xhat_v = (src[base + k] - mu) * is;
+                            xh[base + k] = xhat_v;
+                            o[base + k] = gm[ci] * xhat_v + bt[ci];
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+            st.bn[*rt as usize] = r;
+            st.put_state(*xhat, xh);
+        }
+        Instr::LstmF { preact, c_prev, gates, tanh_c, c_dst, h_dst, b, hid } => {
+            let mut gv = st.take_state(*gates);
+            let mut tv = st.take_state(*tanh_c);
+            let mut cb = st.take(*c_dst);
+            let mut hb = st.take(*h_dst);
+            {
+                let pv = st.read(*preact, inputs, params);
+                let cp = st.read(*c_prev, inputs, params);
+                lstm_cell_forward_into(pv, cp, *b, *hid, &mut gv, cb.s(), &mut tv, hb.s());
+            }
+            st.put(*h_dst, hb);
+            st.put(*c_dst, cb);
+            st.put_state(*tanh_c, tv);
+            st.put_state(*gates, gv);
+        }
+        Instr::PreactSeqF { x, w, bias, dst, rows, k, n4 } => {
+            let mut buf = st.take(*dst);
+            {
+                let xv = st.read(*x, inputs, params);
+                let wv = st.read(*w, inputs, params);
+                let bv = st.read(*bias, inputs, params);
+                let o = buf.s();
+                for r in 0..*rows {
+                    o[r * *n4..(r + 1) * *n4].copy_from_slice(bv);
+                }
+                gemm_into(false, false, xv, wv, *rows, *k, *n4, o, true);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::RecurStepF { seq, h, w_h, dst, t, batch, hid, n4 } => {
+            let mut buf = st.take(*dst);
+            {
+                let sv = st.read(*seq, inputs, params);
+                let hv = st.read(*h, inputs, params);
+                let wv = st.read(*w_h, inputs, params);
+                let o = buf.s();
+                o.copy_from_slice(&sv[*t * *batch * *n4..(*t + 1) * *batch * *n4]);
+                gemm_into(false, false, hv, wv, *batch, *hid, *n4, o, true);
+            }
+            st.put(*dst, buf);
+        }
+
+        // ----------------------------------------------------------- backward
+        Instr::ScaleG { up, dst, mode, n, c } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                debug_assert_eq!(us.len(), *n);
+                apply(buf.s(), *mode, |i| us[i] * c);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::MulG { up, other, dst, mode, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let ov = st.read(*other, inputs, params);
+                debug_assert_eq!(us.len(), *n);
+                apply(buf.s(), *mode, |i| us[i] * ov[i]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::DropoutG { up, mask, dst, mode, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let mv = st.masks[*mask as usize].as_slice();
+                debug_assert_eq!(us.len(), *n);
+                apply(buf.s(), *mode, |i| us[i] * mv[i]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::SigmoidG { up, y, dst, mode, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let yv = st.read(*y, inputs, params);
+                debug_assert_eq!(us.len(), *n);
+                apply(buf.s(), *mode, |i| (yv[i] * (1.0 - yv[i])) * us[i]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::TanhG { up, y, dst, mode, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let yv = st.read(*y, inputs, params);
+                debug_assert_eq!(us.len(), *n);
+                apply(buf.s(), *mode, |i| (1.0 - yv[i] * yv[i]) * us[i]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::ReluG { up, x, dst, mode, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let xv = st.read(*x, inputs, params);
+                debug_assert_eq!(us.len(), *n);
+                apply(buf.s(), *mode, |i| (if xv[i] > 0.0 { 1.0 } else { 0.0 }) * us[i]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::ColSumG { up, dst, mode, rows, cols } => {
+            // Row-major sweep with per-column f64 accumulators: each column
+            // still sums its rows in ascending order (bitwise-identical to a
+            // column-at-a-time loop and to the tape's `sum_axis(0)`), but the
+            // upstream matrix is read contiguously instead of strided.
+            let mut buf = st.take(*dst);
+            let mut acc = std::mem::take(&mut st.colsum);
+            {
+                let us = st.read(*up, inputs, params);
+                let (rows, cols) = (*rows, *cols);
+                let acc = &mut acc[..cols];
+                acc.iter_mut().for_each(|a| *a = 0.0);
+                for i in 0..rows {
+                    let row = &us[i * cols..(i + 1) * cols];
+                    for (a, &x) in acc.iter_mut().zip(row) {
+                        *a += x as f64;
+                    }
+                }
+                apply(buf.s(), *mode, |j| acc[j] as f32);
+            }
+            st.colsum = acc;
+            st.put(*dst, buf);
+        }
+        Instr::RowScaleDx { up, s, dst, mode, rows, cols } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let sv = st.read(*s, inputs, params);
+                debug_assert_eq!(us.len(), *rows * *cols);
+                let cols = *cols;
+                apply(buf.s(), *mode, |i| us[i] * sv[i / cols]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::RowScaleDs { up, x, dst, mode, rows, cols } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let xv = st.read(*x, inputs, params);
+                debug_assert_eq!(buf.s().len(), *rows);
+                let cols = *cols;
+                // tape: up.mul(x) rounds each product to f32, sum_axis(1)
+                // then accumulates those f32 values in f64 per row
+                apply(buf.s(), *mode, |r| {
+                    let mut acc = 0.0f64;
+                    for j in 0..cols {
+                        acc += (us[r * cols + j] * xv[r * cols + j]) as f64;
+                    }
+                    acc as f32
+                });
+            }
+            st.put(*dst, buf);
+        }
+        Instr::ColsBlockG { up, dst, mode, rows, up_cols, off, width } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                debug_assert_eq!(buf.s().len(), *rows * *width);
+                let (up_cols, off, width) = (*up_cols, *off, *width);
+                apply(buf.s(), *mode, |i| us[(i / width) * up_cols + off + i % width]);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::ColsScatterG { up, dst, mode, rows, dst_cols, start, end } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                debug_assert_eq!(buf.s().len(), *rows * *dst_cols);
+                let (dst_cols, start, end) = (*dst_cols, *start, *end);
+                let w = end - start;
+                // outside the block the tape's dense gradient contributes
+                // literal zeros (its Add path runs `d += 0.0`)
+                apply(buf.s(), *mode, |i| {
+                    let (r, j) = (i / dst_cols, i % dst_cols);
+                    if j >= start && j < end {
+                        us[r * w + (j - start)]
+                    } else {
+                        0.0
+                    }
+                });
+            }
+            st.put(*dst, buf);
+        }
+        Instr::BlockG { up, up_off, dst, dst_off, len, dst_len, zero_rest, mode } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let o = buf.s();
+                debug_assert_eq!(o.len(), *dst_len);
+                let (up_off, dst_off, len) = (*up_off, *dst_off, *len);
+                match mode {
+                    Mode::Store => {
+                        if *zero_rest {
+                            o[..dst_off].fill(0.0);
+                            o[dst_off + len..].fill(0.0);
+                        }
+                        o[dst_off..dst_off + len]
+                            .copy_from_slice(&us[up_off..up_off + len]);
+                    }
+                    Mode::Add => {
+                        if *zero_rest {
+                            for d in &mut o[..dst_off] {
+                                *d += 0.0;
+                            }
+                            for d in &mut o[dst_off + len..] {
+                                *d += 0.0;
+                            }
+                        }
+                        for (d, &s) in o[dst_off..dst_off + len]
+                            .iter_mut()
+                            .zip(&us[up_off..up_off + len])
+                        {
+                            *d += s;
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::SumAllG { up, dst, mode, n, mean } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let g = if *mean { us[0] / *n as f32 } else { us[0] };
+                apply(buf.s(), *mode, |_| g);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::EmbedG { up, feed, dst, mode, vocab, dim, count } => {
+            let mut buf = st.take(*dst);
+            let mut scr = std::mem::take(&mut st.scratch);
+            {
+                let us = st.read(*up, inputs, params);
+                let ids = &st.ids[*feed as usize];
+                debug_assert_eq!(ids.len(), *count);
+                let (dim, total) = (*dim, *vocab * *dim);
+                match mode {
+                    Mode::Store => {
+                        let o = buf.s();
+                        o.fill(0.0);
+                        for (i, &id) in ids.iter().enumerate() {
+                            for j in 0..dim {
+                                o[id * dim + j] += us[i * dim + j];
+                            }
+                        }
+                    }
+                    Mode::Add => {
+                        let s = &mut scr[..total];
+                        s.fill(0.0);
+                        for (i, &id) in ids.iter().enumerate() {
+                            for j in 0..dim {
+                                s[id * dim + j] += us[i * dim + j];
+                            }
+                        }
+                        for (d, &sv) in buf.s().iter_mut().zip(s.iter()) {
+                            *d += sv;
+                        }
+                    }
+                }
+            }
+            st.scratch = scr;
+            st.put(*dst, buf);
+        }
+        Instr::SoftmaxG { up, y, dst, mode, m, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let yv = st.read(*y, inputs, params);
+                let (m, n) = (*m, *n);
+                let o = buf.s();
+                for i in 0..m {
+                    let mut dot = 0.0f32;
+                    for j in 0..n {
+                        dot += yv[i * n + j] * us[i * n + j];
+                    }
+                    match mode {
+                        Mode::Store => {
+                            for j in 0..n {
+                                o[i * n + j] = yv[i * n + j] * (us[i * n + j] - dot);
+                            }
+                        }
+                        Mode::Add => {
+                            for j in 0..n {
+                                o[i * n + j] += yv[i * n + j] * (us[i * n + j] - dot);
+                            }
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::CeG { up, probs, labels, rt, dst, mode, b, v } => {
+            let active = st.ce_active[*rt as usize];
+            if active == 0 {
+                // the tape skips the contribution entirely (whole subtree
+                // stays gradient-free); a Store destination still needs
+                // defined contents for downstream reads
+                if *mode == Mode::Store {
+                    let mut buf = st.take(*dst);
+                    buf.s().fill(0.0);
+                    st.put(*dst, buf);
+                }
+                return;
+            }
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let p = &st.states[*probs as usize];
+                let lab = &st.labels[*labels as usize];
+                let seed = us[0] / active as f32;
+                let (b, v) = (*b, *v);
+                let o = buf.s();
+                for i in 0..b {
+                    let y = lab[i];
+                    for j in 0..v {
+                        let val = if y == IGNORE_INDEX {
+                            0.0
+                        } else {
+                            let indicator = if j == y { 1.0 } else { 0.0 };
+                            seed * (p[i * v + j] - indicator)
+                        };
+                        match mode {
+                            Mode::Store => o[i * v + j] = val,
+                            Mode::Add => o[i * v + j] += val,
+                        }
+                    }
+                }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::ConvG { up, w, cols, out2, dw, dx, geom, batch, oc } => {
+            let (oh, ow) = (geom.oh(), geom.ow());
+            let rows = *batch * oh * ow;
+            let ckk = geom.c * geom.kh * geom.kw;
+            // up2 = from_nchw(up), reusing the forward's out2 buffer
+            let mut o2 = st.take_state(*out2);
+            {
+                let us = st.read(*up, inputs, params);
+                for ni in 0..*batch {
+                    for oi in 0..*oc {
+                        for y in 0..oh {
+                            for xx in 0..ow {
+                                o2[((ni * oh + y) * ow + xx) * *oc + oi] =
+                                    us[((ni * *oc + oi) * oh + y) * ow + xx];
+                            }
+                        }
+                    }
+                }
+            }
+            st.put_state(*out2, o2);
+            if let Some((d, mode)) = dw {
+                // dW = up2ᵀ · cols → [OC, CKK]
+                let mut buf = st.take(*d);
+                match mode {
+                    Mode::Store => {
+                        let up2 = &st.states[*out2 as usize];
+                        let colv = &st.states[*cols as usize];
+                        gemm_into(true, false, up2, colv, *oc, rows, ckk, buf.s(), false);
+                    }
+                    Mode::Add => {
+                        let mut scr = std::mem::take(&mut st.scratch);
+                        {
+                            let up2 = &st.states[*out2 as usize];
+                            let colv = &st.states[*cols as usize];
+                            let s = &mut scr[..*oc * ckk];
+                            gemm_into(true, false, up2, colv, *oc, rows, ckk, s, false);
+                            for (dv, &sv) in buf.s().iter_mut().zip(s.iter()) {
+                                *dv += sv;
+                            }
+                        }
+                        st.scratch = scr;
+                    }
+                }
+                st.put(*d, buf);
+            }
+            if let Some((d, mode)) = dx {
+                // dcols = up2 · W, overwriting the cols buffer (dW above was
+                // its last reader), then fold back to the input image
+                let mut colv = st.take_state(*cols);
+                {
+                    let up2 = &st.states[*out2 as usize];
+                    let wv = st.read(*w, inputs, params);
+                    gemm_into(false, false, up2, wv, rows, *oc, ckk, &mut colv, false);
+                }
+                st.put_state(*cols, colv);
+                let mut buf = st.take(*d);
+                match mode {
+                    Mode::Store => {
+                        let colv = &st.states[*cols as usize];
+                        col2im_into(colv, *batch, geom, buf.s());
+                    }
+                    Mode::Add => {
+                        let mut scr = std::mem::take(&mut st.scratch);
+                        {
+                            let colv = &st.states[*cols as usize];
+                            let x_len = *batch * geom.c * geom.h * geom.w;
+                            let s = &mut scr[..x_len];
+                            col2im_into(colv, *batch, geom, s);
+                            for (dv, &sv) in buf.s().iter_mut().zip(s.iter()) {
+                                *dv += sv;
+                            }
+                        }
+                        st.scratch = scr;
+                    }
+                }
+                st.put(*d, buf);
+            }
+        }
+        Instr::MaxPoolG { up, dst, mode, am, x_len, out_len } => {
+            let mut buf = st.take(*dst);
+            let mut scr = std::mem::take(&mut st.scratch);
+            {
+                let us = st.read(*up, inputs, params);
+                let amv = &st.argmax[*am as usize];
+                debug_assert_eq!(us.len(), *out_len);
+                match mode {
+                    Mode::Store => {
+                        let o = buf.s();
+                        o.fill(0.0);
+                        for (oi, &src_idx) in amv.iter().enumerate() {
+                            o[src_idx as usize] += us[oi];
+                        }
+                    }
+                    Mode::Add => {
+                        let s = &mut scr[..*x_len];
+                        s.fill(0.0);
+                        for (oi, &src_idx) in amv.iter().enumerate() {
+                            s[src_idx as usize] += us[oi];
+                        }
+                        for (d, &sv) in buf.s().iter_mut().zip(s.iter()) {
+                            *d += sv;
+                        }
+                    }
+                }
+            }
+            st.scratch = scr;
+            st.put(*dst, buf);
+        }
+        Instr::GapG { up, dst, mode, nc, hw } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                debug_assert_eq!(us.len(), *nc);
+                let inv = 1.0 / *hw as f32;
+                let hw = *hw;
+                apply(buf.s(), *mode, |i| us[i / hw] * inv);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::BnG { up, gamma, xhat, rt, dg, dbt, dx, n, c, hw } => {
+            let (n, c, hw) = (*n, *c, *hw);
+            let mut r = std::mem::replace(&mut st.bn[*rt as usize], BnRt::empty());
+            {
+                let us = st.read(*up, inputs, params);
+                let xh = &st.states[*xhat as usize];
+                r.sum_up.iter_mut().for_each(|v| *v = 0.0);
+                r.sum_up_xh.iter_mut().for_each(|v| *v = 0.0);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        for k in 0..hw {
+                            r.sum_up[ci] += us[base + k] as f64;
+                            r.sum_up_xh[ci] += (us[base + k] * xh[base + k]) as f64;
+                        }
+                    }
+                }
+            }
+            st.bn[*rt as usize] = r;
+            if let Some((d, mode)) = dg {
+                let mut buf = st.take(*d);
+                {
+                    let r = &st.bn[*rt as usize];
+                    apply(buf.s(), *mode, |ci| r.sum_up_xh[ci] as f32);
+                }
+                st.put(*d, buf);
+            }
+            if let Some((d, mode)) = dbt {
+                let mut buf = st.take(*d);
+                {
+                    let r = &st.bn[*rt as usize];
+                    apply(buf.s(), *mode, |ci| r.sum_up[ci] as f32);
+                }
+                st.put(*d, buf);
+            }
+            if let Some((d, mode)) = dx {
+                let mut buf = st.take(*d);
+                {
+                    let us = st.read(*up, inputs, params);
+                    let gm = st.read(*gamma, inputs, params);
+                    let r = &st.bn[*rt as usize];
+                    let xh = &st.states[*xhat as usize];
+                    let m = (n * hw) as f32;
+                    let o = buf.s();
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * hw;
+                            let coef = gm[ci] * r.inv_std[ci] / m;
+                            let su = r.sum_up[ci] as f32;
+                            let suxh = r.sum_up_xh[ci] as f32;
+                            match mode {
+                                Mode::Store => {
+                                    for k in 0..hw {
+                                        o[base + k] = coef
+                                            * (m * us[base + k] - su - xh[base + k] * suxh);
+                                    }
+                                }
+                                Mode::Add => {
+                                    for k in 0..hw {
+                                        o[base + k] += coef
+                                            * (m * us[base + k] - su - xh[base + k] * suxh);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                st.put(*d, buf);
+            }
+        }
+        Instr::LstmG { gates, tanh_c, c_prev, dh, dc, dpre, dcp, b, hid } => {
+            let mut scr = std::mem::take(&mut st.scratch);
+            {
+                let gv = &st.states[*gates as usize];
+                let tv = &st.states[*tanh_c as usize];
+                let cp = st.read(*c_prev, inputs, params);
+                let dh_s = (*dh).map(|l| st.read(l, inputs, params));
+                let dc_s = (*dc).map(|l| st.read(l, inputs, params));
+                let (spre, rest) = scr.split_at_mut(*b * 4 * *hid);
+                let scp = &mut rest[..*b * *hid];
+                lstm_cell_backward_into(gv, tv, cp, dh_s, dc_s, *b, *hid, spre, scp);
+            }
+            // preact first, then c_prev — the tape's accumulate order
+            let (d0, m0) = *dpre;
+            let mut buf = st.take(d0);
+            apply(buf.s(), m0, |i| scr[i]);
+            st.put(d0, buf);
+            let off = *b * 4 * *hid;
+            let (d1, m1) = *dcp;
+            let mut buf = st.take(d1);
+            apply(buf.s(), m1, |i| scr[off + i]);
+            st.put(d1, buf);
+            st.scratch = scr;
+        }
+        Instr::RecurSeqG { up, dst, zero_first, t, batch, cols, dst_len } => {
+            let mut buf = st.take(*dst);
+            {
+                let us = st.read(*up, inputs, params);
+                let o = buf.s();
+                debug_assert_eq!(o.len(), *dst_len);
+                if *zero_first {
+                    o.fill(0.0);
+                }
+                let blk = &mut o[*t * *batch * *cols..(*t + 1) * *batch * *cols];
+                for (d, &s) in blk.iter_mut().zip(us.iter()) {
+                    *d += s;
+                }
+            }
+            st.put(*dst, buf);
+        }
+    }
+}
+
+/// Row softmax into a caller slice — the serial kernel from
+/// `Tensor::softmax_rows`, reproduced exactly (forward values must match
+/// the tape bit for bit).
+fn softmax_rows_into(src: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let row = &src[i * n..(i + 1) * n];
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut z = 0.0f64;
+        for (o, &x) in orow.iter_mut().zip(row.iter()) {
+            let e = (x - mx).exp();
+            *o = e;
+            z += e as f64;
+        }
+        let inv = (1.0 / z) as f32;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- capture
+
+/// First contribution to a gradient destination stores, later ones add —
+/// the static image of `Graph::accumulate`'s `None`/`Some` branch.
+fn contribute(j: usize, contrib: &mut [usize], present: &mut [bool]) -> Mode {
+    present[j] = true;
+    let m = if contrib[j] == 0 { Mode::Store } else { Mode::Add };
+    contrib[j] += 1;
+    m
+}
+
+fn vl(loc: &mut Loc, f: &mut dyn FnMut(&mut u32)) {
+    if let Loc::Slot(v) = loc {
+        f(v)
+    }
+}
+
+fn vd(dst: &mut Dst, f: &mut dyn FnMut(&mut u32)) {
+    if let Dst::Slot(v) = dst {
+        f(v)
+    }
+}
+
+/// Applies `f` to every arena-slot id an instruction touches (reads and
+/// writes alike) — the one traversal behind both the liveness scan and the
+/// virtual→physical rewrite.
+fn visit_slots(ins: &mut Instr, f: &mut dyn FnMut(&mut u32)) {
+    match ins {
+        Instr::Ew { a, b, dst, .. } => {
+            vl(a, f);
+            vl(b, f);
+            vd(dst, f);
+        }
+        Instr::Unary { a, dst, .. } => {
+            vl(a, f);
+            vd(dst, f);
+        }
+        Instr::AddBias { x, bias, dst, .. } => {
+            vl(x, f);
+            vl(bias, f);
+            vd(dst, f);
+        }
+        Instr::RowScale { x, s, dst, .. } => {
+            vl(x, f);
+            vl(s, f);
+            vd(dst, f);
+        }
+        Instr::Gemm { a, b, dst, .. } => {
+            vl(a, f);
+            vl(b, f);
+            vd(dst, f);
+        }
+        Instr::ConcatColsF { parts, dst, .. } => {
+            for (p, _) in parts.iter_mut() {
+                vl(p, f);
+            }
+            vd(dst, f);
+        }
+        Instr::SliceColsF { x, dst, .. } => {
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::CopyBlock { src, dst, .. } => {
+            vl(src, f);
+            vd(dst, f);
+        }
+        Instr::SumAllF { x, dst, .. } => {
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::DropoutF { x, dst, .. } => {
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::EmbedF { table, dst, .. } => {
+            vl(table, f);
+            vd(dst, f);
+        }
+        Instr::SoftmaxF { x, dst, .. } => {
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::CeF { logits, dst, .. } => {
+            vl(logits, f);
+            vd(dst, f);
+        }
+        Instr::ConvF { x, w, dst, .. } => {
+            vl(x, f);
+            vl(w, f);
+            vd(dst, f);
+        }
+        Instr::MaxPoolF { x, dst, .. } => {
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::GapF { x, dst, .. } => {
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::BnF { x, gamma, beta, dst, .. } => {
+            vl(x, f);
+            vl(gamma, f);
+            vl(beta, f);
+            vd(dst, f);
+        }
+        Instr::LstmF { preact, c_prev, c_dst, h_dst, .. } => {
+            vl(preact, f);
+            vl(c_prev, f);
+            vd(c_dst, f);
+            vd(h_dst, f);
+        }
+        Instr::PreactSeqF { x, w, bias, dst, .. } => {
+            vl(x, f);
+            vl(w, f);
+            vl(bias, f);
+            vd(dst, f);
+        }
+        Instr::RecurStepF { seq, h, w_h, dst, .. } => {
+            vl(seq, f);
+            vl(h, f);
+            vl(w_h, f);
+            vd(dst, f);
+        }
+        Instr::ScaleG { up, dst, .. }
+        | Instr::DropoutG { up, dst, .. }
+        | Instr::ColSumG { up, dst, .. }
+        | Instr::ColsBlockG { up, dst, .. }
+        | Instr::ColsScatterG { up, dst, .. }
+        | Instr::BlockG { up, dst, .. }
+        | Instr::SumAllG { up, dst, .. }
+        | Instr::EmbedG { up, dst, .. }
+        | Instr::CeG { up, dst, .. }
+        | Instr::MaxPoolG { up, dst, .. }
+        | Instr::GapG { up, dst, .. }
+        | Instr::RecurSeqG { up, dst, .. } => {
+            vl(up, f);
+            vd(dst, f);
+        }
+        Instr::MulG { up, other, dst, .. } => {
+            vl(up, f);
+            vl(other, f);
+            vd(dst, f);
+        }
+        Instr::SigmoidG { up, y, dst, .. } | Instr::TanhG { up, y, dst, .. } => {
+            vl(up, f);
+            vl(y, f);
+            vd(dst, f);
+        }
+        Instr::ReluG { up, x, dst, .. } => {
+            vl(up, f);
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::RowScaleDx { up, s, dst, .. } => {
+            vl(up, f);
+            vl(s, f);
+            vd(dst, f);
+        }
+        Instr::RowScaleDs { up, x, dst, .. } => {
+            vl(up, f);
+            vl(x, f);
+            vd(dst, f);
+        }
+        Instr::SoftmaxG { up, y, dst, .. } => {
+            vl(up, f);
+            vl(y, f);
+            vd(dst, f);
+        }
+        Instr::ConvG { up, w, dw, dx, .. } => {
+            vl(up, f);
+            vl(w, f);
+            if let Some((d, _)) = dw {
+                vd(d, f);
+            }
+            if let Some((d, _)) = dx {
+                vd(d, f);
+            }
+        }
+        Instr::BnG { up, gamma, dg, dbt, dx, .. } => {
+            vl(up, f);
+            vl(gamma, f);
+            for o in [dg, dbt, dx] {
+                if let Some((d, _)) = o {
+                    vd(d, f);
+                }
+            }
+        }
+        Instr::LstmG { c_prev, dh, dc, dpre, dcp, .. } => {
+            vl(c_prev, f);
+            if let Some(l) = dh {
+                vl(l, f);
+            }
+            if let Some(l) = dc {
+                vl(l, f);
+            }
+            vd(&mut dpre.0, f);
+            vd(&mut dcp.0, f);
+        }
+    }
+}
+
+struct Capturer;
+
+impl Capturer {
+    fn run(g: &Graph, spec: &CaptureSpec) -> Option<Plan> {
+        let n = g.nodes.len();
+        if n == 0 {
+            return None;
+        }
+        let shape = |i: usize| g.nodes[i].value.shape();
+        let numel = |i: usize| g.nodes[i].value.numel();
+        let rg = |v: Var| g.nodes[v.0].requires_grad;
+
+        // ---- classify every leaf as input / param / captured constant
+        let mut val_loc: Vec<Option<Loc>> = vec![None; n];
+        for (k, &v) in spec.params.iter().enumerate() {
+            let node = &g.nodes[v.0];
+            if !matches!(node.op, Op::Leaf) || !node.requires_grad || val_loc[v.0].is_some() {
+                return None;
+            }
+            val_loc[v.0] = Some(Loc::Par(k as u32));
+        }
+        for (k, &v) in spec.inputs.iter().enumerate() {
+            let node = &g.nodes[v.0];
+            if !matches!(node.op, Op::Leaf) || node.requires_grad || val_loc[v.0].is_some() {
+                return None;
+            }
+            val_loc[v.0] = Some(Loc::In(k as u32));
+        }
+        let mut consts: Vec<Tensor> = Vec::new();
+        for (i, node) in g.nodes.iter().enumerate() {
+            if matches!(node.op, Op::Leaf) && val_loc[i].is_none() {
+                if node.requires_grad {
+                    return None; // its leaf_grads entry could not be served
+                }
+                val_loc[i] = Some(Loc::Const(consts.len() as u32));
+                consts.push(node.value.clone());
+            }
+        }
+
+        // ---- outputs get plan-owned tensors; the loss is a hidden output
+        let mut outs: Vec<Tensor> = Vec::new();
+        let mut out_of_node: HashMap<usize, u32> = HashMap::new();
+        let mut out_of_k: Vec<u32> = Vec::with_capacity(spec.outputs.len());
+        for &v in spec.outputs {
+            if matches!(g.nodes[v.0].op, Op::Leaf) || out_of_node.contains_key(&v.0) {
+                return None; // leaves aren't scheduled; duplicates would race
+            }
+            let k = outs.len() as u32;
+            out_of_node.insert(v.0, k);
+            outs.push(g.nodes[v.0].value.zeros_like());
+            out_of_k.push(k);
+        }
+        let mut loss_out: Option<u32> = None;
+        if let Some(l) = spec.loss {
+            let node = &g.nodes[l.0];
+            if node.value.numel() != 1 || !node.requires_grad || matches!(node.op, Op::Leaf) {
+                return None;
+            }
+            loss_out = Some(*out_of_node.entry(l.0).or_insert_with(|| {
+                outs.push(node.value.zeros_like());
+                (outs.len() - 1) as u32
+            }));
+        }
+        for (i, slot) in val_loc.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(match out_of_node.get(&i) {
+                    Some(&k) => Loc::Out(k),
+                    None => Loc::Slot(i as u32),
+                });
+            }
+        }
+        let val_loc: Vec<Loc> = val_loc.into_iter().map(|o| o.unwrap()).collect();
+        let vdst = |i: usize| -> Dst {
+            match val_loc[i] {
+                Loc::Out(k) => Dst::Out(k),
+                Loc::Slot(s) => Dst::Slot(s),
+                _ => unreachable!("forward destination must be a slot or output"),
+            }
+        };
+        // Virtual gradient ids: node i's gradient is slot N+i (param leaves
+        // go straight to their persistent gradient tensors instead).
+        let gdst = |i: usize| -> Dst {
+            match val_loc[i] {
+                Loc::Par(k) => Dst::ParGrad(k),
+                _ => Dst::Slot((n + i) as u32),
+            }
+        };
+        let gloc = |i: usize| -> Loc { Loc::Slot((n + i) as u32) };
+
+        // ---- forward emission (node i's instructions sit at position i)
+        let mut fwd: Vec<Instr> = Vec::new();
+        let mut fpos: Vec<usize> = Vec::new();
+        let mut state_sizes: Vec<usize> = Vec::new();
+        let mut ids: Vec<Vec<usize>> = Vec::new();
+        let mut labels: Vec<Vec<usize>> = Vec::new();
+        let mut masks: Vec<Tensor> = Vec::new();
+        let mut argmax_lens: Vec<usize> = Vec::new();
+        let mut bn_cs: Vec<usize> = Vec::new();
+        let mut aux: Vec<[u32; 4]> = vec![[0; 4]; n];
+        let mut scratch = 0usize;
+        for i in 0..n {
+            let before = fwd.len();
+            match &g.nodes[i].op {
+                Op::Leaf => {}
+                Op::Add(a, b) => fwd.push(Instr::Ew {
+                    kind: EwKind::Add,
+                    a: val_loc[a.0],
+                    b: val_loc[b.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::Sub(a, b) => fwd.push(Instr::Ew {
+                    kind: EwKind::Sub,
+                    a: val_loc[a.0],
+                    b: val_loc[b.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::Mul(a, b) => fwd.push(Instr::Ew {
+                    kind: EwKind::Mul,
+                    a: val_loc[a.0],
+                    b: val_loc[b.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::AddBias(x, b) => fwd.push(Instr::AddBias {
+                    x: val_loc[x.0],
+                    bias: val_loc[b.0],
+                    dst: vdst(i),
+                    rows: shape(x.0)[0],
+                    cols: shape(x.0)[1],
+                }),
+                Op::RowScale(x, s) => fwd.push(Instr::RowScale {
+                    x: val_loc[x.0],
+                    s: val_loc[s.0],
+                    dst: vdst(i),
+                    rows: shape(x.0)[0],
+                    cols: shape(x.0)[1],
+                }),
+                Op::Matmul(a, b) => fwd.push(Instr::Gemm {
+                    ta: false,
+                    tb: false,
+                    a: val_loc[a.0],
+                    b: val_loc[b.0],
+                    m: shape(a.0)[0],
+                    k: shape(a.0)[1],
+                    n: shape(b.0)[1],
+                    dst: vdst(i),
+                    mode: Mode::Store,
+                }),
+                Op::Scale(x, c) => fwd.push(Instr::Unary {
+                    kind: UnKind::Scale(*c),
+                    a: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::AddScalar(x, c) => fwd.push(Instr::Unary {
+                    kind: UnKind::AddScalar(*c),
+                    a: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::Sigmoid(x) => fwd.push(Instr::Unary {
+                    kind: UnKind::Sigmoid,
+                    a: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::Tanh(x) => fwd.push(Instr::Unary {
+                    kind: UnKind::Tanh,
+                    a: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::Relu(x) => fwd.push(Instr::Unary {
+                    kind: UnKind::Relu,
+                    a: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(i),
+                }),
+                Op::Reshape(x) => fwd.push(Instr::CopyBlock {
+                    src: val_loc[x.0],
+                    src_off: 0,
+                    dst: vdst(i),
+                    dst_off: 0,
+                    len: numel(i),
+                }),
+                Op::ConcatCols(parts, widths) => fwd.push(Instr::ConcatColsF {
+                    parts: parts
+                        .iter()
+                        .zip(widths)
+                        .map(|(p, &w)| (val_loc[p.0], w))
+                        .collect(),
+                    dst: vdst(i),
+                    rows: shape(i)[0],
+                    total: shape(i)[1],
+                }),
+                Op::SliceCols(x, start, end) => fwd.push(Instr::SliceColsF {
+                    x: val_loc[x.0],
+                    dst: vdst(i),
+                    rows: shape(x.0)[0],
+                    cols: shape(x.0)[1],
+                    start: *start,
+                    end: *end,
+                }),
+                Op::ConcatRows(parts, rcs) => {
+                    let cols = shape(i)[1];
+                    let mut off = 0usize;
+                    for (p, &rc) in parts.iter().zip(rcs) {
+                        fwd.push(Instr::CopyBlock {
+                            src: val_loc[p.0],
+                            src_off: 0,
+                            dst: vdst(i),
+                            dst_off: off * cols,
+                            len: rc * cols,
+                        });
+                        off += rc;
+                    }
+                }
+                Op::SliceRows(x, start, end) => {
+                    let cols = shape(x.0)[1];
+                    fwd.push(Instr::CopyBlock {
+                        src: val_loc[x.0],
+                        src_off: start * cols,
+                        dst: vdst(i),
+                        dst_off: 0,
+                        len: (end - start) * cols,
+                    });
+                }
+                Op::SumAll(x) => fwd.push(Instr::SumAllF {
+                    x: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(x.0),
+                    mean: false,
+                }),
+                Op::MeanAll(x) => fwd.push(Instr::SumAllF {
+                    x: val_loc[x.0],
+                    dst: vdst(i),
+                    n: numel(x.0),
+                    mean: true,
+                }),
+                Op::Dropout(x, mask) => {
+                    aux[i][0] = masks.len() as u32;
+                    masks.push(mask.clone());
+                    fwd.push(Instr::DropoutF {
+                        x: val_loc[x.0],
+                        mask: aux[i][0],
+                        dst: vdst(i),
+                        n: numel(i),
+                    });
+                }
+                Op::Embedding { table, ids: idv } => {
+                    aux[i][0] = ids.len() as u32;
+                    ids.push(idv.clone());
+                    fwd.push(Instr::EmbedF {
+                        table: val_loc[table.0],
+                        feed: aux[i][0],
+                        dst: vdst(i),
+                        vocab: shape(table.0)[0],
+                        dim: shape(table.0)[1],
+                        count: idv.len(),
+                    });
+                }
+                Op::SoftmaxRows(x) => fwd.push(Instr::SoftmaxF {
+                    x: val_loc[x.0],
+                    dst: vdst(i),
+                    m: shape(x.0)[0],
+                    n: shape(x.0)[1],
+                }),
+                Op::SoftmaxCrossEntropy { logits, labels: lab, .. } => {
+                    let (b, v) = (shape(logits.0)[0], shape(logits.0)[1]);
+                    aux[i][0] = state_sizes.len() as u32;
+                    state_sizes.push(b * v); // probs
+                    aux[i][1] = labels.len() as u32;
+                    labels.push(lab.clone());
+                    aux[i][2] = aux[i][1]; // one active-count per CE op
+                    fwd.push(Instr::CeF {
+                        logits: val_loc[logits.0],
+                        probs: aux[i][0],
+                        labels: aux[i][1],
+                        rt: aux[i][2],
+                        dst: vdst(i),
+                        b,
+                        v,
+                    });
+                }
+                Op::Conv2d { x, w, geom, batch, .. } => {
+                    let rows = batch * geom.oh() * geom.ow();
+                    let ckk = geom.c * geom.kh * geom.kw;
+                    let oc = shape(w.0)[0];
+                    aux[i][0] = state_sizes.len() as u32;
+                    state_sizes.push(rows * ckk); // im2col columns
+                    aux[i][1] = state_sizes.len() as u32;
+                    state_sizes.push(rows * oc); // row-major conv output
+                    fwd.push(Instr::ConvF {
+                        x: val_loc[x.0],
+                        w: val_loc[w.0],
+                        cols: aux[i][0],
+                        out2: aux[i][1],
+                        dst: vdst(i),
+                        geom: *geom,
+                        batch: *batch,
+                        oc,
+                    });
+                }
+                Op::MaxPool2x2 { x, argmax } => {
+                    let s = shape(x.0);
+                    aux[i][0] = argmax_lens.len() as u32;
+                    argmax_lens.push(argmax.len());
+                    fwd.push(Instr::MaxPoolF {
+                        x: val_loc[x.0],
+                        dst: vdst(i),
+                        am: aux[i][0],
+                        nc: s[0] * s[1],
+                        h: s[2],
+                        w: s[3],
+                    });
+                }
+                Op::GlobalAvgPool { x, hw } => fwd.push(Instr::GapF {
+                    x: val_loc[x.0],
+                    dst: vdst(i),
+                    nc: numel(i),
+                    hw: *hw,
+                }),
+                Op::BatchNorm { x, gamma, beta, eps, .. } => {
+                    let s = shape(x.0);
+                    aux[i][0] = state_sizes.len() as u32;
+                    state_sizes.push(numel(x.0)); // x_hat
+                    aux[i][1] = bn_cs.len() as u32;
+                    bn_cs.push(s[1]);
+                    fwd.push(Instr::BnF {
+                        x: val_loc[x.0],
+                        gamma: val_loc[gamma.0],
+                        beta: val_loc[beta.0],
+                        xhat: aux[i][0],
+                        rt: aux[i][1],
+                        dst: vdst(i),
+                        n: s[0],
+                        c: s[1],
+                        hw: s[2] * s[3],
+                        eps: *eps,
+                    });
+                }
+                // The c' sibling is written by the h' node's LstmF below.
+                Op::LstmCellC { .. } => {}
+                Op::LstmCell { preact, c_prev, c_out, .. } => {
+                    let (b, hid) = (shape(i)[0], shape(i)[1]);
+                    aux[i][0] = state_sizes.len() as u32;
+                    state_sizes.push(b * 4 * hid); // activated gates
+                    aux[i][1] = state_sizes.len() as u32;
+                    state_sizes.push(b * hid); // tanh(c')
+                    fwd.push(Instr::LstmF {
+                        preact: val_loc[preact.0],
+                        c_prev: val_loc[c_prev.0],
+                        gates: aux[i][0],
+                        tanh_c: aux[i][1],
+                        c_dst: vdst(c_out.0),
+                        h_dst: vdst(i),
+                        b,
+                        hid,
+                    });
+                }
+                Op::LstmPreactSeq { x_pack, w_x, bias } => fwd.push(Instr::PreactSeqF {
+                    x: val_loc[x_pack.0],
+                    w: val_loc[w_x.0],
+                    bias: val_loc[bias.0],
+                    dst: vdst(i),
+                    rows: shape(x_pack.0)[0],
+                    k: shape(x_pack.0)[1],
+                    n4: shape(w_x.0)[1],
+                }),
+                Op::LstmRecurStep { seq, h, w_h, t, batch } => fwd.push(Instr::RecurStepF {
+                    seq: val_loc[seq.0],
+                    h: val_loc[h.0],
+                    w_h: val_loc[w_h.0],
+                    dst: vdst(i),
+                    t: *t,
+                    batch: *batch,
+                    hid: shape(h.0)[1],
+                    n4: shape(w_h.0)[1],
+                }),
+            }
+            for _ in before..fwd.len() {
+                fpos.push(i);
+            }
+        }
+        let ce_n = labels.len();
+
+        // ---- seed bookkeeping (seeds land at schedule position N)
+        let mut grads_present = vec![false; n];
+        let mut contrib = vec![0usize; n];
+        let mut root_max: Option<usize> = None;
+        if let Some(l) = spec.loss {
+            grads_present[l.0] = true;
+            contrib[l.0] = 1;
+            root_max = Some(l.0);
+        }
+        let mut seed_targets: Vec<Option<(Dst, usize)>> = Vec::with_capacity(spec.outputs.len());
+        for &v in spec.outputs {
+            if g.nodes[v.0].requires_grad {
+                grads_present[v.0] = true;
+                if contrib[v.0] == 0 {
+                    contrib[v.0] = 1;
+                }
+                root_max = Some(root_max.map_or(v.0, |m| m.max(v.0)));
+                seed_targets.push(Some((Dst::Slot((n + v.0) as u32), numel(v.0))));
+            } else {
+                seed_targets.push(None);
+            }
+        }
+        let loss_grad: Option<Dst> = spec.loss.map(|l| Dst::Slot((n + l.0) as u32));
+        let mut seed_vids: Vec<u32> = Vec::new();
+        if let Some(Dst::Slot(v)) = loss_grad {
+            seed_vids.push(v);
+        }
+        for t in seed_targets.iter().flatten() {
+            if let (Dst::Slot(v), _) = t {
+                if !seed_vids.contains(v) {
+                    seed_vids.push(*v);
+                }
+            }
+        }
+
+        // ---- backward emission (node i's rule at position 2N-1-i)
+        let mut bwd: Vec<Instr> = Vec::new();
+        let mut bpos: Vec<usize> = Vec::new();
+        if let Some(rm) = root_max {
+            for i in (0..=rm).rev() {
+                if !grads_present[i] || !g.nodes[i].requires_grad {
+                    continue;
+                }
+                let before = bwd.len();
+                let up = gloc(i);
+                match &g.nodes[i].op {
+                    Op::Leaf => {}
+                    Op::Add(a, b) => {
+                        for &o in [a, b].iter() {
+                            if rg(*o) {
+                                bwd.push(Instr::ScaleG {
+                                    up,
+                                    dst: gdst(o.0),
+                                    mode: contribute(o.0, &mut contrib, &mut grads_present),
+                                    n: numel(o.0),
+                                    c: 1.0,
+                                });
+                            }
+                        }
+                    }
+                    Op::Sub(a, b) => {
+                        for (&o, c) in [a, b].iter().zip([1.0f32, -1.0]) {
+                            if rg(*o) {
+                                bwd.push(Instr::ScaleG {
+                                    up,
+                                    dst: gdst(o.0),
+                                    mode: contribute(o.0, &mut contrib, &mut grads_present),
+                                    n: numel(o.0),
+                                    c,
+                                });
+                            }
+                        }
+                    }
+                    Op::Mul(a, b) => {
+                        for (&o, other) in [a, b].iter().zip([b, a]) {
+                            if rg(*o) {
+                                bwd.push(Instr::MulG {
+                                    up,
+                                    other: val_loc[other.0],
+                                    dst: gdst(o.0),
+                                    mode: contribute(o.0, &mut contrib, &mut grads_present),
+                                    n: numel(o.0),
+                                });
+                            }
+                        }
+                    }
+                    Op::AddBias(x, b) => {
+                        let (rows, cols) = (shape(x.0)[0], shape(x.0)[1]);
+                        if rg(*x) {
+                            bwd.push(Instr::ScaleG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                                c: 1.0,
+                            });
+                        }
+                        if rg(*b) {
+                            bwd.push(Instr::ColSumG {
+                                up,
+                                dst: gdst(b.0),
+                                mode: contribute(b.0, &mut contrib, &mut grads_present),
+                                rows,
+                                cols,
+                            });
+                        }
+                    }
+                    Op::RowScale(x, s) => {
+                        let (rows, cols) = (shape(x.0)[0], shape(x.0)[1]);
+                        if rg(*x) {
+                            bwd.push(Instr::RowScaleDx {
+                                up,
+                                s: val_loc[s.0],
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                rows,
+                                cols,
+                            });
+                        }
+                        if rg(*s) {
+                            bwd.push(Instr::RowScaleDs {
+                                up,
+                                x: val_loc[x.0],
+                                dst: gdst(s.0),
+                                mode: contribute(s.0, &mut contrib, &mut grads_present),
+                                rows,
+                                cols,
+                            });
+                        }
+                    }
+                    Op::Matmul(a, b) => {
+                        let (m, kk) = (shape(a.0)[0], shape(a.0)[1]);
+                        let nn = shape(b.0)[1];
+                        if rg(*a) {
+                            let mode = contribute(a.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(m * kk);
+                            }
+                            bwd.push(Instr::Gemm {
+                                ta: false,
+                                tb: true,
+                                a: up,
+                                b: val_loc[b.0],
+                                m,
+                                k: nn,
+                                n: kk,
+                                dst: gdst(a.0),
+                                mode,
+                            });
+                        }
+                        if rg(*b) {
+                            let mode = contribute(b.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(kk * nn);
+                            }
+                            bwd.push(Instr::Gemm {
+                                ta: true,
+                                tb: false,
+                                a: val_loc[a.0],
+                                b: up,
+                                m: kk,
+                                k: m,
+                                n: nn,
+                                dst: gdst(b.0),
+                                mode,
+                            });
+                        }
+                    }
+                    Op::Scale(x, c) => {
+                        if rg(*x) {
+                            bwd.push(Instr::ScaleG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                                c: *c,
+                            });
+                        }
+                    }
+                    Op::AddScalar(x, _) => {
+                        if rg(*x) {
+                            bwd.push(Instr::ScaleG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                                c: 1.0,
+                            });
+                        }
+                    }
+                    Op::Sigmoid(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::SigmoidG {
+                                up,
+                                y: val_loc[i],
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                            });
+                        }
+                    }
+                    Op::Tanh(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::TanhG {
+                                up,
+                                y: val_loc[i],
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                            });
+                        }
+                    }
+                    Op::Relu(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::ReluG {
+                                up,
+                                x: val_loc[x.0],
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                            });
+                        }
+                    }
+                    Op::Reshape(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::BlockG {
+                                up,
+                                up_off: 0,
+                                dst: gdst(x.0),
+                                dst_off: 0,
+                                len: numel(x.0),
+                                dst_len: numel(x.0),
+                                zero_rest: false,
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                            });
+                        }
+                    }
+                    Op::ConcatCols(parts, widths) => {
+                        let (rows, total) = (shape(i)[0], shape(i)[1]);
+                        let mut off = 0usize;
+                        for (p, &w) in parts.iter().zip(widths) {
+                            if rg(*p) {
+                                bwd.push(Instr::ColsBlockG {
+                                    up,
+                                    dst: gdst(p.0),
+                                    mode: contribute(p.0, &mut contrib, &mut grads_present),
+                                    rows,
+                                    up_cols: total,
+                                    off,
+                                    width: w,
+                                });
+                            }
+                            off += w;
+                        }
+                    }
+                    Op::SliceCols(x, start, end) => {
+                        if rg(*x) {
+                            bwd.push(Instr::ColsScatterG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                rows: shape(x.0)[0],
+                                dst_cols: shape(x.0)[1],
+                                start: *start,
+                                end: *end,
+                            });
+                        }
+                    }
+                    Op::ConcatRows(parts, rcs) => {
+                        let cols = shape(i)[1];
+                        let mut off = 0usize;
+                        for (p, &rc) in parts.iter().zip(rcs) {
+                            if rg(*p) {
+                                bwd.push(Instr::BlockG {
+                                    up,
+                                    up_off: off * cols,
+                                    dst: gdst(p.0),
+                                    dst_off: 0,
+                                    len: rc * cols,
+                                    dst_len: rc * cols,
+                                    zero_rest: false,
+                                    mode: contribute(p.0, &mut contrib, &mut grads_present),
+                                });
+                            }
+                            off += rc;
+                        }
+                    }
+                    Op::SliceRows(x, start, end) => {
+                        if rg(*x) {
+                            let cols = shape(x.0)[1];
+                            bwd.push(Instr::BlockG {
+                                up,
+                                up_off: 0,
+                                dst: gdst(x.0),
+                                dst_off: start * cols,
+                                len: (end - start) * cols,
+                                dst_len: numel(x.0),
+                                zero_rest: true,
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                            });
+                        }
+                    }
+                    Op::SumAll(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::SumAllG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                                mean: false,
+                            });
+                        }
+                    }
+                    Op::MeanAll(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::SumAllG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                                mean: true,
+                            });
+                        }
+                    }
+                    Op::Dropout(x, _) => {
+                        if rg(*x) {
+                            bwd.push(Instr::DropoutG {
+                                up,
+                                mask: aux[i][0],
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                n: numel(x.0),
+                            });
+                        }
+                    }
+                    Op::Embedding { table, ids: idv } => {
+                        if rg(*table) {
+                            let (vocab, dim) = (shape(table.0)[0], shape(table.0)[1]);
+                            let mode = contribute(table.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(vocab * dim);
+                            }
+                            bwd.push(Instr::EmbedG {
+                                up,
+                                feed: aux[i][0],
+                                dst: gdst(table.0),
+                                mode,
+                                vocab,
+                                dim,
+                                count: idv.len(),
+                            });
+                        }
+                    }
+                    Op::SoftmaxRows(x) => {
+                        if rg(*x) {
+                            bwd.push(Instr::SoftmaxG {
+                                up,
+                                y: val_loc[i],
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                m: shape(x.0)[0],
+                                n: shape(x.0)[1],
+                            });
+                        }
+                    }
+                    Op::SoftmaxCrossEntropy { logits, .. } => {
+                        if rg(*logits) {
+                            bwd.push(Instr::CeG {
+                                up,
+                                probs: aux[i][0],
+                                labels: aux[i][1],
+                                rt: aux[i][2],
+                                dst: gdst(logits.0),
+                                mode: contribute(logits.0, &mut contrib, &mut grads_present),
+                                b: shape(logits.0)[0],
+                                v: shape(logits.0)[1],
+                            });
+                        }
+                    }
+                    Op::Conv2d { x, w, geom, batch, .. } => {
+                        let ckk = geom.c * geom.kh * geom.kw;
+                        let oc = shape(w.0)[0];
+                        let dw = rg(*w).then(|| {
+                            let mode = contribute(w.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(oc * ckk);
+                            }
+                            (gdst(w.0), mode)
+                        });
+                        let dx = rg(*x).then(|| {
+                            let mode = contribute(x.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(numel(x.0));
+                            }
+                            (gdst(x.0), mode)
+                        });
+                        if dw.is_some() || dx.is_some() {
+                            bwd.push(Instr::ConvG {
+                                up,
+                                w: val_loc[w.0],
+                                cols: aux[i][0],
+                                out2: aux[i][1],
+                                dw,
+                                dx,
+                                geom: *geom,
+                                batch: *batch,
+                                oc,
+                            });
+                        }
+                    }
+                    Op::MaxPool2x2 { x, argmax } => {
+                        if rg(*x) {
+                            let mode = contribute(x.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(numel(x.0));
+                            }
+                            bwd.push(Instr::MaxPoolG {
+                                up,
+                                dst: gdst(x.0),
+                                mode,
+                                am: aux[i][0],
+                                x_len: numel(x.0),
+                                out_len: argmax.len(),
+                            });
+                        }
+                    }
+                    Op::GlobalAvgPool { x, hw } => {
+                        if rg(*x) {
+                            bwd.push(Instr::GapG {
+                                up,
+                                dst: gdst(x.0),
+                                mode: contribute(x.0, &mut contrib, &mut grads_present),
+                                nc: numel(i),
+                                hw: *hw,
+                            });
+                        }
+                    }
+                    Op::BatchNorm { x, gamma, beta, .. } => {
+                        let s = shape(x.0);
+                        let dg = rg(*gamma).then(|| {
+                            (gdst(gamma.0), contribute(gamma.0, &mut contrib, &mut grads_present))
+                        });
+                        let dbt = rg(*beta).then(|| {
+                            (gdst(beta.0), contribute(beta.0, &mut contrib, &mut grads_present))
+                        });
+                        let dx = rg(*x).then(|| {
+                            (gdst(x.0), contribute(x.0, &mut contrib, &mut grads_present))
+                        });
+                        if dg.is_some() || dbt.is_some() || dx.is_some() {
+                            bwd.push(Instr::BnG {
+                                up,
+                                gamma: val_loc[gamma.0],
+                                xhat: aux[i][0],
+                                rt: aux[i][1],
+                                dg,
+                                dbt,
+                                dx,
+                                n: s[0],
+                                c: s[1],
+                                hw: s[2] * s[3],
+                            });
+                        }
+                    }
+                    Op::LstmCell { preact, c_prev, c_out, .. } => {
+                        let (b, hid) = (shape(i)[0], shape(i)[1]);
+                        scratch = scratch.max(b * 5 * hid);
+                        let dc = grads_present[c_out.0].then(|| gloc(c_out.0));
+                        let dpre = if rg(*preact) {
+                            (gdst(preact.0), contribute(preact.0, &mut contrib, &mut grads_present))
+                        } else {
+                            // dummy: fully overwritten, never read
+                            (Dst::Slot((n + preact.0) as u32), Mode::Store)
+                        };
+                        let dcp = if rg(*c_prev) {
+                            (gdst(c_prev.0), contribute(c_prev.0, &mut contrib, &mut grads_present))
+                        } else {
+                            (Dst::Slot((n + c_prev.0) as u32), Mode::Store)
+                        };
+                        bwd.push(Instr::LstmG {
+                            gates: aux[i][0],
+                            tanh_c: aux[i][1],
+                            c_prev: val_loc[c_prev.0],
+                            dh: Some(up),
+                            dc,
+                            dpre,
+                            dcp,
+                            b,
+                            hid,
+                        });
+                    }
+                    Op::LstmCellC { h_out } => {
+                        if !grads_present[h_out.0] {
+                            // h' unused: run the joint rule with dh = 0 from
+                            // the sibling's cached intermediates.
+                            if let Op::LstmCell { preact, c_prev, .. } = &g.nodes[h_out.0].op {
+                                let (b, hid) = (shape(i)[0], shape(i)[1]);
+                                scratch = scratch.max(b * 5 * hid);
+                                let dpre = if rg(*preact) {
+                                    (
+                                        gdst(preact.0),
+                                        contribute(preact.0, &mut contrib, &mut grads_present),
+                                    )
+                                } else {
+                                    (Dst::Slot((n + preact.0) as u32), Mode::Store)
+                                };
+                                let dcp = if rg(*c_prev) {
+                                    (
+                                        gdst(c_prev.0),
+                                        contribute(c_prev.0, &mut contrib, &mut grads_present),
+                                    )
+                                } else {
+                                    (Dst::Slot((n + c_prev.0) as u32), Mode::Store)
+                                };
+                                bwd.push(Instr::LstmG {
+                                    gates: aux[h_out.0][0],
+                                    tanh_c: aux[h_out.0][1],
+                                    c_prev: val_loc[c_prev.0],
+                                    dh: None,
+                                    dc: Some(up),
+                                    dpre,
+                                    dcp,
+                                    b,
+                                    hid,
+                                });
+                            }
+                        }
+                    }
+                    Op::LstmPreactSeq { x_pack, w_x, bias } => {
+                        let (rows, kk) = (shape(x_pack.0)[0], shape(x_pack.0)[1]);
+                        let n4 = shape(w_x.0)[1];
+                        if rg(*x_pack) {
+                            let mode = contribute(x_pack.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(rows * kk);
+                            }
+                            bwd.push(Instr::Gemm {
+                                ta: false,
+                                tb: true,
+                                a: up,
+                                b: val_loc[w_x.0],
+                                m: rows,
+                                k: n4,
+                                n: kk,
+                                dst: gdst(x_pack.0),
+                                mode,
+                            });
+                        }
+                        if rg(*w_x) {
+                            let mode = contribute(w_x.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(kk * n4);
+                            }
+                            bwd.push(Instr::Gemm {
+                                ta: true,
+                                tb: false,
+                                a: val_loc[x_pack.0],
+                                b: up,
+                                m: kk,
+                                k: rows,
+                                n: n4,
+                                dst: gdst(w_x.0),
+                                mode,
+                            });
+                        }
+                        if rg(*bias) {
+                            bwd.push(Instr::ColSumG {
+                                up,
+                                dst: gdst(bias.0),
+                                mode: contribute(bias.0, &mut contrib, &mut grads_present),
+                                rows,
+                                cols: n4,
+                            });
+                        }
+                    }
+                    Op::LstmRecurStep { seq, h, w_h, t, batch } => {
+                        let hid = shape(h.0)[1];
+                        let n4 = shape(w_h.0)[1];
+                        if rg(*h) {
+                            let mode = contribute(h.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(batch * hid);
+                            }
+                            bwd.push(Instr::Gemm {
+                                ta: false,
+                                tb: true,
+                                a: up,
+                                b: val_loc[w_h.0],
+                                m: *batch,
+                                k: n4,
+                                n: hid,
+                                dst: gdst(h.0),
+                                mode,
+                            });
+                        }
+                        if rg(*w_h) {
+                            let mode = contribute(w_h.0, &mut contrib, &mut grads_present);
+                            if mode == Mode::Add {
+                                scratch = scratch.max(hid * n4);
+                            }
+                            bwd.push(Instr::Gemm {
+                                ta: true,
+                                tb: false,
+                                a: val_loc[h.0],
+                                b: up,
+                                m: hid,
+                                k: *batch,
+                                n: n4,
+                                dst: gdst(w_h.0),
+                                mode,
+                            });
+                        }
+                        if rg(*seq) {
+                            let zero_first = contrib[seq.0] == 0;
+                            contrib[seq.0] += 1;
+                            grads_present[seq.0] = true;
+                            bwd.push(Instr::RecurSeqG {
+                                up,
+                                dst: gdst(seq.0),
+                                zero_first,
+                                t: *t,
+                                batch: *batch,
+                                cols: n4,
+                                dst_len: numel(seq.0),
+                            });
+                        }
+                    }
+                }
+                for _ in before..bwd.len() {
+                    bpos.push(2 * n - 1 - i);
+                }
+            }
+        }
+
+        // ---- liveness over the 2N-position schedule
+        let mut uses: HashMap<u32, (usize, usize)> = HashMap::new();
+        {
+            let mut touch = |vid: u32, pos: usize| {
+                let e = uses.entry(vid).or_insert((pos, pos));
+                if pos < e.0 {
+                    e.0 = pos;
+                }
+                if pos > e.1 {
+                    e.1 = pos;
+                }
+            };
+            for (ins, &pos) in fwd.iter_mut().zip(fpos.iter()) {
+                visit_slots(ins, &mut |v| touch(*v, pos));
+            }
+            for (ins, &pos) in bwd.iter_mut().zip(bpos.iter()) {
+                visit_slots(ins, &mut |v| touch(*v, pos));
+            }
+            for &vid in &seed_vids {
+                touch(vid, n);
+            }
+        }
+        let numel_of = |vid: u32| -> usize {
+            let v = vid as usize;
+            if v < n {
+                numel(v)
+            } else {
+                numel(v - n)
+            }
+        };
+
+        // ---- physical slot assignment: at each position allocate the
+        // intervals born there before freeing the ones that end there, so a
+        // slot is never its own instruction's source and destination.
+        let mut births: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+        let mut deaths: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+        for (&vid, &(first, last)) in &uses {
+            births[first].push(vid);
+            deaths[last].push(vid);
+        }
+        let mut free: HashMap<usize, Vec<u32>> = HashMap::new();
+        let mut phys_sizes: Vec<usize> = Vec::new();
+        let mut slot_map: HashMap<u32, u32> = HashMap::new();
+        let (mut live, mut peak) = (0usize, 0usize);
+        for pos in 0..2 * n {
+            births[pos].sort_unstable();
+            deaths[pos].sort_unstable();
+            for &vid in &births[pos] {
+                let sz = numel_of(vid);
+                let phys = free
+                    .get_mut(&sz)
+                    .and_then(|v| v.pop())
+                    .unwrap_or_else(|| {
+                        phys_sizes.push(sz);
+                        (phys_sizes.len() - 1) as u32
+                    });
+                slot_map.insert(vid, phys);
+                live += sz * 4;
+                peak = peak.max(live);
+            }
+            for &vid in &deaths[pos] {
+                let sz = numel_of(vid);
+                free.entry(sz).or_default().push(slot_map[&vid]);
+                live -= sz * 4;
+            }
+        }
+        for ins in fwd.iter_mut().chain(bwd.iter_mut()) {
+            visit_slots(ins, &mut |v| *v = slot_map[&*v]);
+        }
+        let remap = |d: Dst| -> Dst {
+            if let Dst::Slot(v) = d {
+                Dst::Slot(slot_map[&v])
+            } else {
+                d
+            }
+        };
+        let loss_grad = loss_grad.map(remap);
+        let seed_targets: Vec<Option<(Dst, usize)>> =
+            seed_targets.into_iter().map(|o| o.map(|(d, s)| (remap(d), s))).collect();
+
+        // ---- storage + stats
+        let colsum = bwd
+            .iter()
+            .map(|i| match i {
+                Instr::ColSumG { cols, .. } => *cols,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let stats = PlanStats {
+            nodes: n,
+            fwd_instrs: fwd.len(),
+            bwd_instrs: bwd.len(),
+            arena_slots: phys_sizes.len(),
+            arena_bytes: phys_sizes.iter().sum::<usize>() * 4,
+            peak_live_bytes: peak,
+            state_bytes: state_sizes.iter().sum::<usize>() * 4,
+            scratch_bytes: scratch * 4 + colsum * 8,
+        };
+        let st = Store {
+            slots: phys_sizes.iter().map(|&s| vec![0.0f32; s]).collect(),
+            outs,
+            pargrads: spec.params.iter().map(|&v| g.nodes[v.0].value.zeros_like()).collect(),
+            consts,
+            states: state_sizes.iter().map(|&s| vec![0.0f32; s]).collect(),
+            scratch: vec![0.0f32; scratch],
+            colsum: vec![0.0f64; colsum],
+            ids,
+            labels,
+            masks,
+            argmax: argmax_lens.iter().map(|&l| vec![0u32; l]).collect(),
+            ce_active: vec![0usize; ce_n],
+            bn: bn_cs
+                .iter()
+                .map(|&c| BnRt {
+                    mean: vec![0.0; c],
+                    var: vec![0.0; c],
+                    sum_up: vec![0.0; c],
+                    sum_up_xh: vec![0.0; c],
+                    mean_f32: vec![0.0; c],
+                    var_f32: vec![0.0; c],
+                    inv_std: vec![0.0; c],
+                })
+                .collect(),
+            placeholder: Tensor::zeros(&[1]),
+        };
+        Some(Plan {
+            prog: Prog { fwd, bwd, loss_grad, seed_targets },
+            st,
+            in_shapes: spec.inputs.iter().map(|&v| g.nodes[v.0].value.shape().to_vec()).collect(),
+            par_shapes: spec.params.iter().map(|&v| g.nodes[v.0].value.shape().to_vec()).collect(),
+            out_of_k,
+            loss_out,
+            par_grad_present: spec.params.iter().map(|&v| contrib[v.0] > 0).collect(),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random tensor (same LCG idiom as the op tests).
+    fn t(seed: u64, dims: &[usize]) -> Tensor {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let data = (0..dims.iter().product())
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    fn assert_bits(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: bit mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    // ---- MLP: matmul + add_bias + relu + cross-entropy ------------------
+
+    struct MlpTape {
+        g: Graph,
+        x: Var,
+        params: Vec<Var>,
+        loss: Var,
+    }
+
+    fn mlp_tape(x: &Tensor, ps: &[&Tensor], labels: &[usize]) -> MlpTape {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let pv: Vec<Var> = ps.iter().map(|p| g.param((*p).clone())).collect();
+        let h = g.matmul(xv, pv[0]);
+        let h = g.add_bias(h, pv[1]);
+        let h = g.relu(h);
+        let o = g.matmul(h, pv[2]);
+        let o = g.add_bias(o, pv[3]);
+        let loss = g.softmax_cross_entropy(o, labels);
+        MlpTape { g, x: xv, params: pv, loss }
+    }
+
+    fn mlp_params(seed: u64) -> Vec<Tensor> {
+        vec![t(seed, &[8, 16]), t(seed + 1, &[16]), t(seed + 2, &[16, 4]), t(seed + 3, &[4])]
+    }
+
+    #[test]
+    fn mlp_replay_matches_tape_bitwise() {
+        let ps0 = mlp_params(11);
+        let x0 = t(20, &[4, 8]);
+        let lab0 = vec![0usize, 3, 1, 2];
+        let mut tape = mlp_tape(&x0, &ps0.iter().collect::<Vec<_>>(), &lab0);
+        tape.g.backward(tape.loss);
+        let spec = CaptureSpec {
+            inputs: &[tape.x],
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut plan = Plan::capture(&tape.g, &spec).expect("mlp capture");
+
+        // replay on different data AND different parameter values
+        let ps1 = mlp_params(77);
+        let x1 = t(21, &[4, 8]);
+        let lab1 = vec![2usize, 0, 3, 3];
+        let pr: Vec<&Tensor> = ps1.iter().collect();
+        plan.replay_forward(&[&x1], &pr, &Feeds { labels: &[&lab1], ..Feeds::default() });
+        plan.replay_backward_loss(&[&x1], &pr);
+
+        let mut fresh = mlp_tape(&x1, &pr, &lab1);
+        fresh.g.backward(fresh.loss);
+        assert_bits(
+            &[plan.loss()],
+            fresh.g.value(fresh.loss).as_slice(),
+            "mlp loss",
+        );
+        for (k, &pvar) in fresh.params.iter().enumerate() {
+            assert_bits(
+                plan.param_grad(k).expect("grad present").as_slice(),
+                fresh.g.grad(pvar).expect("tape grad").as_slice(),
+                "mlp grad",
+            );
+        }
+    }
+
+    // ---- hoisted LSTM chain: preact_seq + recur_step + fused cell -------
+
+    const T: usize = 3;
+    const B: usize = 2;
+    const IN: usize = 4;
+    const H: usize = 5;
+    const C: usize = 4;
+
+    struct LstmTape {
+        g: Graph,
+        inputs: Vec<Var>,
+        params: Vec<Var>,
+        loss: Var,
+
+    }
+
+    fn lstm_tape(x_pack: &Tensor, ps: &[&Tensor], labels: &[usize]) -> LstmTape {
+        let mut g = Graph::new();
+        let xv = g.input(x_pack.clone());
+        let h0 = g.input(Tensor::zeros(&[B, H]));
+        let c0 = g.input(Tensor::zeros(&[B, H]));
+        let pv: Vec<Var> = ps.iter().map(|p| g.param((*p).clone())).collect();
+        let (w_x, bias, w_h, w_o) = (pv[0], pv[1], pv[2], pv[3]);
+        let seq = g.lstm_preact_seq(xv, w_x, bias);
+        let (mut h, mut c) = (h0, c0);
+        for step in 0..T {
+            let pre = g.lstm_recur_step(seq, step, B, h, w_h);
+            let (h2, c2) = g.lstm_cell(pre, c);
+            h = h2;
+            c = c2;
+        }
+        let logits = g.matmul(h, w_o);
+        let loss = g.softmax_cross_entropy(logits, labels);
+        LstmTape { g, inputs: vec![xv, h0, c0], params: pv, loss }
+    }
+
+    fn lstm_params(seed: u64) -> Vec<Tensor> {
+        vec![
+            t(seed, &[IN, 4 * H]),
+            t(seed + 1, &[4 * H]),
+            t(seed + 2, &[H, 4 * H]),
+            t(seed + 3, &[H, C]),
+        ]
+    }
+
+    #[test]
+    fn lstm_chain_replay_matches_tape_bitwise() {
+        let ps0 = lstm_params(31);
+        let x0 = t(40, &[T * B, IN]);
+        let lab0 = vec![1usize, 3];
+        let tape = lstm_tape(&x0, &ps0.iter().collect::<Vec<_>>(), &lab0);
+        let spec = CaptureSpec {
+            inputs: &tape.inputs,
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut plan = Plan::capture(&tape.g, &spec).expect("lstm capture");
+
+        let ps1 = lstm_params(93);
+        let x1 = t(41, &[T * B, IN]);
+        let lab1 = vec![0usize, 2];
+        let pr: Vec<&Tensor> = ps1.iter().collect();
+        let zeros = Tensor::zeros(&[B, H]);
+        let ins: Vec<&Tensor> = vec![&x1, &zeros, &zeros];
+        plan.replay_step(&ins, &pr, &Feeds { labels: &[&lab1], ..Feeds::default() });
+
+        let mut fresh = lstm_tape(&x1, &pr, &lab1);
+        fresh.g.backward(fresh.loss);
+        assert_bits(&[plan.loss()], fresh.g.value(fresh.loss).as_slice(), "lstm loss");
+        for (k, &pvar) in fresh.params.iter().enumerate() {
+            assert_bits(
+                plan.param_grad(k).expect("grad present").as_slice(),
+                fresh.g.grad(pvar).expect("tape grad").as_slice(),
+                "lstm grad",
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_replay_allocates_nothing() {
+        let ps = lstm_params(55);
+        let x = t(60, &[T * B, IN]);
+        let lab = vec![2usize, 1];
+        let tape = lstm_tape(&x, &ps.iter().collect::<Vec<_>>(), &lab);
+        let spec = CaptureSpec {
+            inputs: &tape.inputs,
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut plan = Plan::capture(&tape.g, &spec).expect("capture");
+        let pr: Vec<&Tensor> = ps.iter().collect();
+        let zeros = Tensor::zeros(&[B, H]);
+        let ins: Vec<&Tensor> = vec![&x, &zeros, &zeros];
+        plan.replay_step(&ins, &pr, &Feeds::default()); // warm-up
+        // The counters are process-wide, so tolerate unrelated test threads
+        // by retrying: at least one quiet window must show zero allocations
+        // attributable to the replay itself.
+        let mut clean = false;
+        for _ in 0..20 {
+            let before = legw_tensor::pool::stats();
+            plan.replay_step(&ins, &pr, &Feeds::default());
+            let delta = legw_tensor::pool::stats().since(&before);
+            if delta.allocations == 0 && delta.recycles == 0 {
+                clean = true;
+                break;
+            }
+        }
+        assert!(clean, "steady-state replay touched the buffer pool");
+    }
+
+    // ---- conv / batch norm / pooling ------------------------------------
+
+    struct ConvTape {
+        g: Graph,
+        x: Var,
+        params: Vec<Var>,
+        loss: Var,
+        conv_out: Var,
+    }
+
+    fn conv_tape(x: &Tensor, ps: &[&Tensor], labels: &[usize]) -> ConvTape {
+        let geom = Conv2dGeom { c: 3, h: 6, w: 6, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let pv: Vec<Var> = ps.iter().map(|p| g.param((*p).clone())).collect();
+        let (w, gamma, beta, w_o) = (pv[0], pv[1], pv[2], pv[3]);
+        let y = g.conv2d(xv, w, geom);
+        let y2 = g.batch_norm(y, gamma, beta, 1e-5);
+        let y3 = g.relu(y2);
+        let y4 = g.max_pool_2x2(y3);
+        let y5 = g.global_avg_pool(y4);
+        let logits = g.matmul(y5, w_o);
+        let loss = g.softmax_cross_entropy(logits, labels);
+        ConvTape { g, x: xv, params: pv, loss, conv_out: y }
+    }
+
+    fn conv_params(seed: u64) -> Vec<Tensor> {
+        vec![t(seed, &[4, 27]), t(seed + 1, &[4]), t(seed + 2, &[4]), t(seed + 3, &[4, 3])]
+    }
+
+    #[test]
+    fn conv_bn_pool_replay_matches_tape_bitwise() {
+        let ps0 = conv_params(71);
+        let x0 = t(80, &[2, 3, 6, 6]);
+        let lab0 = vec![0usize, 2];
+        let tape = conv_tape(&x0, &ps0.iter().collect::<Vec<_>>(), &lab0);
+        let spec = CaptureSpec {
+            inputs: &[tape.x],
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut plan = Plan::capture(&tape.g, &spec).expect("conv capture");
+        assert_eq!(plan.num_batch_norms(), 1);
+
+        let ps1 = conv_params(72);
+        let x1 = t(81, &[2, 3, 6, 6]);
+        let lab1 = vec![1usize, 0];
+        let pr: Vec<&Tensor> = ps1.iter().collect();
+        plan.replay_step(&[&x1], &pr, &Feeds { labels: &[&lab1], ..Feeds::default() });
+
+        let mut fresh = conv_tape(&x1, &pr, &lab1);
+        fresh.g.backward(fresh.loss);
+        assert_bits(&[plan.loss()], fresh.g.value(fresh.loss).as_slice(), "conv loss");
+        for (k, &pvar) in fresh.params.iter().enumerate() {
+            assert_bits(
+                plan.param_grad(k).expect("grad present").as_slice(),
+                fresh.g.grad(pvar).expect("tape grad").as_slice(),
+                "conv grad",
+            );
+        }
+        // replayed batch statistics must equal the tape's
+        let (mean, var) = plan.bn_batch_stats(0);
+        let (tm, tv) = Graph::batch_norm_stats(fresh.g.value(tape_conv_out(&fresh)));
+        assert_bits(mean, &tm, "bn mean");
+        assert_bits(var, &tv, "bn var");
+    }
+
+    fn tape_conv_out(t: &ConvTape) -> Var {
+        t.conv_out
+    }
+
+    // ---- mixed elementwise / embedding / reorder ops --------------------
+
+    struct MixedTape {
+        g: Graph,
+        x2: Var,
+        params: Vec<Var>,
+        loss: Var,
+    }
+
+    fn mixed_tape(
+        x2: &Tensor,
+        table: &Tensor,
+        sv: &Tensor,
+        ids: &[usize],
+        mask: &Tensor,
+    ) -> MixedTape {
+        let mut g = Graph::new();
+        let x2v = g.input(x2.clone());
+        let tv = g.param(table.clone());
+        let svv = g.param(sv.clone());
+        let e = g.embedding(tv, ids); // [4, 6]
+        let a = g.slice_cols(e, 0, 3);
+        let b = g.slice_cols(e, 3, 6);
+        let m = g.mul(a, b);
+        let s = g.sigmoid(m);
+        let cc = g.concat_cols(&[s, b]); // [4, 6]
+        let sm = g.softmax_rows(cc);
+        let d = g.dropout(sm, mask.clone());
+        let rs = g.row_scale(d, svv);
+        let t1 = g.tanh(rs);
+        let sc = g.scale(t1, 0.5);
+        let as1 = g.add_scalar(sc, 0.25);
+        let r1 = g.slice_rows(as1, 0, 2);
+        let r2 = g.slice_rows(as1, 2, 4);
+        let cr = g.concat_rows(&[r2, r1]); // [4, 6]
+        let rsh = g.reshape(cr, &[2, 12]);
+        let su = g.sub(rsh, x2v);
+        let ad = g.add(su, su);
+        let l1 = g.sum_all(ad);
+        let l2 = g.mean_all(cr);
+        let loss = g.add(l1, l2);
+        MixedTape { g, x2: x2v, params: vec![tv, svv], loss }
+    }
+
+    #[test]
+    fn mixed_ops_replay_matches_tape_bitwise() {
+        let table0 = t(100, &[7, 6]);
+        let sv0 = t(101, &[4, 1]);
+        let x20 = t(102, &[2, 12]);
+        let ids0 = vec![1usize, 4, 6, 0];
+        let mask0 = t(103, &[4, 6]);
+        let tape = mixed_tape(&x20, &table0, &sv0, &ids0, &mask0);
+        let spec = CaptureSpec {
+            inputs: &[tape.x2],
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut plan = Plan::capture(&tape.g, &spec).expect("mixed capture");
+
+        let table1 = t(110, &[7, 6]);
+        let sv1 = t(111, &[4, 1]);
+        let x21 = t(112, &[2, 12]);
+        let ids1 = vec![5usize, 2, 3, 6];
+        let mask1 = t(113, &[4, 6]);
+        plan.replay_forward(
+            &[&x21],
+            &[&table1, &sv1],
+            &Feeds { ids: &[&ids1], masks: &[&mask1], ..Feeds::default() },
+        );
+        plan.replay_backward_loss(&[&x21], &[&table1, &sv1]);
+
+        let mut fresh = mixed_tape(&x21, &table1, &sv1, &ids1, &mask1);
+        fresh.g.backward(fresh.loss);
+        assert_bits(&[plan.loss()], fresh.g.value(fresh.loss).as_slice(), "mixed loss");
+        for (k, &pvar) in fresh.params.iter().enumerate() {
+            assert_bits(
+                plan.param_grad(k).expect("grad present").as_slice(),
+                fresh.g.grad(pvar).expect("tape grad").as_slice(),
+                "mixed grad",
+            );
+        }
+    }
+
+    // ---- seed mode ------------------------------------------------------
+
+    #[test]
+    fn seed_mode_matches_backward_seeded() {
+        let w0 = t(120, &[5, 3]);
+        let x0 = t(121, &[2, 5]);
+        let build = |x: &Tensor, w: &Tensor| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.param(w.clone());
+            let mm = g.matmul(xv, wv);
+            let y = g.tanh(mm);
+            (g, xv, wv, y)
+        };
+        let (g0, xv, wv, y) = build(&x0, &w0);
+        let spec =
+            CaptureSpec { inputs: &[xv], params: &[wv], loss: None, outputs: &[y] };
+        let mut plan = Plan::capture(&g0, &spec).expect("seed capture");
+
+        let w1 = t(130, &[5, 3]);
+        let x1 = t(131, &[2, 5]);
+        let seed = t(132, &[2, 3]);
+        plan.replay_forward(&[&x1], &[&w1], &Feeds::default());
+        plan.replay_backward(&[&x1], &[&w1], &[&seed]);
+
+        let (mut gf, _, wvf, yf) = build(&x1, &w1);
+        gf.backward_seeded(yf, seed.clone());
+        assert_bits(
+            plan.output(0).as_slice(),
+            gf.value(yf).as_slice(),
+            "seed-mode output",
+        );
+        assert_bits(
+            plan.param_grad(0).unwrap().as_slice(),
+            gf.grad(wvf).unwrap().as_slice(),
+            "seed-mode grad",
+        );
+    }
+
+    // ---- capture validation & stats -------------------------------------
+
+    #[test]
+    fn capture_rejects_unlisted_param_leaf() {
+        let mut g = Graph::new();
+        let w = g.param(t(1, &[2, 2]));
+        let w2 = g.param(t(2, &[2, 2]));
+        let s = g.mul(w, w2);
+        let loss = g.sum_all(s);
+        // w2 is a requires_grad leaf missing from params → refuse
+        let spec = CaptureSpec { inputs: &[], params: &[w], loss: Some(loss), outputs: &[] };
+        assert!(Plan::capture(&g, &spec).is_none());
+        let spec_ok =
+            CaptureSpec { inputs: &[], params: &[w, w2], loss: Some(loss), outputs: &[] };
+        assert!(Plan::capture(&g, &spec_ok).is_some());
+    }
+
+    #[test]
+    fn capture_rejects_bad_loss_and_outputs() {
+        let mut g = Graph::new();
+        let w = g.param(t(3, &[2, 2]));
+        let y = g.tanh(w);
+        let loss = g.sum_all(y);
+        // non-scalar loss
+        let bad = CaptureSpec { inputs: &[], params: &[w], loss: Some(y), outputs: &[] };
+        assert!(Plan::capture(&g, &bad).is_none());
+        // leaf as output
+        let bad2 = CaptureSpec { inputs: &[], params: &[w], loss: Some(loss), outputs: &[w] };
+        assert!(Plan::capture(&g, &bad2).is_none());
+    }
+
+    #[test]
+    fn plan_stats_report_reuse() {
+        let ps = lstm_params(140);
+        let x = t(141, &[T * B, IN]);
+        let lab = vec![0usize, 1];
+        let tape = lstm_tape(&x, &ps.iter().collect::<Vec<_>>(), &lab);
+        let spec = CaptureSpec {
+            inputs: &tape.inputs,
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let plan = Plan::capture(&tape.g, &spec).expect("capture");
+        let st = plan.stats();
+        assert!(st.nodes > 0 && st.fwd_instrs > 0 && st.bwd_instrs > 0);
+        assert!(st.arena_slots > 0);
+        assert!(st.peak_live_bytes <= st.arena_bytes);
+        assert!(st.arena_bytes > 0 && st.state_bytes > 0);
+        // liveness must let at least one slot be reused on a T-step chain:
+        // distinct intermediate values outnumber physical slots
+        assert!(st.arena_slots < st.nodes);
+    }
+
+    #[test]
+    fn unused_output_grad_is_zeroed_in_loss_mode() {
+        // plan with both a loss and a differentiable side output: loss-mode
+        // replay must not leak the side output's stale seed into the sweep
+        let w0 = t(150, &[3, 3]);
+        let build = |w: &Tensor| {
+            let mut g = Graph::new();
+            let wv = g.param(w.clone());
+            let y = g.tanh(wv);
+            let loss = g.sum_all(y);
+            (g, wv, y, loss)
+        };
+        let (g0, wv, y, loss) = build(&w0);
+        let spec =
+            CaptureSpec { inputs: &[], params: &[wv], loss: Some(loss), outputs: &[y] };
+        let mut plan = Plan::capture(&g0, &spec).expect("capture");
+        // seed-mode replay first, to dirty the side output's grad slot
+        plan.replay_forward(&[], &[&w0], &Feeds::default());
+        plan.replay_backward(&[], &[&w0], &[&t(151, &[3, 3])]);
+        // now a loss-mode replay must match a fresh tape exactly
+        plan.replay_step(&[], &[&w0], &Feeds::default());
+        let (mut gf, wvf, _, lossf) = build(&w0);
+        gf.backward(lossf);
+        assert_bits(
+            plan.param_grad(0).unwrap().as_slice(),
+            gf.grad(wvf).unwrap().as_slice(),
+            "loss-mode after seed-mode",
+        );
+    }
+}

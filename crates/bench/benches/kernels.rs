@@ -200,6 +200,61 @@ fn bench_lstm_seq_hoisting(c: &mut Criterion) {
     g.finish();
 }
 
+/// Compiled-plan replay vs the per-step tape rebuild it replaces, on the
+/// MNIST-LSTM step at bench scale: the full in-shard unit (forward, tape
+/// backward, gradient drain) and the forward alone. The replay runs the
+/// captured schedule with no tape recording and zero steady-state pool
+/// allocations; the delta between the pairs is the tape overhead the plan
+/// eliminates.
+fn bench_plan_replay(c: &mut Criterion) {
+    use legw_data::SynthMnist;
+    use legw_models::MnistLstm;
+    use legw_nn::{GradBuffer, ParamSet};
+    let data = SynthMnist::generate(9, 64, 8);
+    let (bx, by) = data.train.gather(&(0..64).collect::<Vec<_>>());
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut ps = ParamSet::new();
+    let model = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+
+    let mut g = c.benchmark_group("plan_replay");
+    g.bench_function("mnist_b64_tape_rebuild", |b| {
+        b.iter(|| {
+            let (mut graph, bd, loss, _) = model.forward_loss(&ps, &bx, &by);
+            graph.backward(loss);
+            let mut buf = GradBuffer::for_params(&ps);
+            bd.write_grads_to(&graph, &mut buf);
+            black_box(graph.value(loss).item())
+        });
+    });
+    g.bench_function("mnist_b64_plan_replay", |b| {
+        let mut plan = model
+            .capture_step_plan(&ps, &bx, &by)
+            .expect("MNIST-LSTM step tape is plan-capturable");
+        b.iter(|| {
+            let loss = model.replay_step_plan(&mut plan, &ps, &bx, &by);
+            let mut buf = GradBuffer::for_params(&ps);
+            plan.write_grads_to(&mut buf);
+            black_box(loss)
+        });
+    });
+    g.bench_function("mnist_b64_tape_forward", |b| {
+        b.iter(|| {
+            let (graph, _, loss, _) = model.forward_loss(&ps, &bx, &by);
+            black_box(graph.value(loss).item())
+        });
+    });
+    g.bench_function("mnist_b64_plan_forward", |b| {
+        let mut plan = model
+            .capture_step_plan(&ps, &bx, &by)
+            .expect("MNIST-LSTM step tape is plan-capturable");
+        b.iter(|| {
+            let loss = model.replay_forward_plan(&mut plan, &ps, &bx, &by);
+            black_box(loss)
+        });
+    });
+    g.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let x = rnd(&mut rng, &[16, 8, 16, 16]);
@@ -237,6 +292,7 @@ fn all(c: &mut Criterion) {
     bench_pool_ablation(c);
     bench_lstm_cell(c);
     bench_lstm_seq_hoisting(c);
+    bench_plan_replay(c);
     bench_conv(c);
     bench_optimizers(c);
 }

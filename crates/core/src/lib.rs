@@ -14,6 +14,10 @@
 //!   reduction — streamed through [`reduce_sched`] as shards complete —
 //!   before the single optimizer step. The four workloads plug in via the
 //!   [`steps::ShardStep`] trait.
+//! * [`plan_cache`] — compiled execution plans: one recorded step per
+//!   (worker, shape) is frozen into a `legw_autograd` plan and replayed
+//!   tape-free and allocation-free by [`exec::Executor::step_planned`],
+//!   with transparent fallback to the tape path on unseen shapes.
 //! * [`apps`] — the Table 1 registry: per-application synthetic dataset
 //!   parameters, tuned baseline schedules, and a single entry point
 //!   ([`apps::run`]) the figure/table harness calls.
@@ -40,11 +44,13 @@ pub mod convergence;
 pub mod eval;
 pub mod exec;
 pub mod lipschitz;
+pub mod plan_cache;
 pub mod reduce_sched;
 pub mod steps;
 pub mod trainer;
 pub mod tuning;
 
 pub use exec::{ExecConfig, Executor, StepOutcome};
+pub use plan_cache::{PlanCache, PlannedStep};
 pub use steps::{DropPlan, MnistStep, PtbStep, ResnetStep, Seq2SeqStep, ShardStep};
 pub use trainer::TrainReport;

@@ -6,6 +6,7 @@
 //! per-workload [`ShardStep`](crate::steps::ShardStep) implementations.
 
 use crate::exec::{ExecConfig, Executor};
+use crate::plan_cache::PlanCache;
 use crate::steps::{DropPlan, MnistStep, PtbStep, ResnetStep, Seq2SeqStep};
 use legw_data::{Classification, SynthImageNet, SynthMnist, SynthPtb, SynthTranslation};
 use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
@@ -81,6 +82,9 @@ pub fn train_mnist(
     let model = MnistLstm::new(&mut ps, &mut rng, proj, hidden);
     let mut opt = build(solver, 0.0);
     let exec = Executor::new(ExecConfig::from_env());
+    // Shape-keyed compiled plans: after the first batch of each shard
+    // shape, steps replay tape-free (see crate::plan_cache).
+    let cache = PlanCache::for_executor(&exec);
 
     let batch = schedule.batch_size();
     let ipe = data.train.iters_per_epoch(batch);
@@ -103,7 +107,8 @@ pub fn train_mnist(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (out, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps);
+            let (out, _) =
+                exec.step_planned(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps, &cache);
             epoch_loss += out.loss;
             epoch_count += 1;
             if check_divergence(out.diverged, &ps) {
@@ -147,6 +152,9 @@ pub fn train_ptb(
     let model = PtbLm::new(&mut ps, &mut rng, cfg);
     let mut opt = build(solver, 0.0);
     let exec = Executor::new(ExecConfig::from_env());
+    // One compiled plan per (shard, window shape); dropout masks enter as
+    // per-step feeds, so a single plan serves the whole run.
+    let cache = PlanCache::for_executor(&exec);
 
     let batch = schedule.batch_size();
     let ipe = data.iters_per_epoch(batch, seq_len);
@@ -179,7 +187,7 @@ pub fn train_ptb(
                 state: &state,
                 drop: Some(DropPlan { seed, step: iter as u64 }),
             };
-            let (out, shard_states) = exec.step(&step, &mut ps);
+            let (out, shard_states) = exec.step_planned(&step, &mut ps, &cache);
             let next_state = PtbStep::merge_states(shard_states);
             epoch_loss += out.loss;
             epoch_count += 1;
@@ -223,6 +231,9 @@ pub fn train_seq2seq(
     let model = Seq2Seq::new(&mut ps, &mut rng, cfg);
     let mut opt = build(solver, 0.0);
     let exec = Executor::new(ExecConfig::from_env());
+    // Compiled plans cover the shape-static encoder, keyed by
+    // (batch, source length); the attention decoder stays tape-driven.
+    let cache = PlanCache::for_executor(&exec);
 
     let batch = schedule.batch_size();
     let ipe = data.iters_per_epoch(batch);
@@ -245,7 +256,8 @@ pub fn train_seq2seq(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (out, _) = exec.step(&Seq2SeqStep { model: &model, batch: &b }, &mut ps);
+            let (out, _) =
+                exec.step_planned(&Seq2SeqStep { model: &model, batch: &b }, &mut ps, &cache);
             epoch_loss += out.loss;
             epoch_count += 1;
             if check_divergence(out.diverged, &ps) {
@@ -287,6 +299,9 @@ pub fn train_resnet(
     let mut model = ResNet::new(&mut ps, &mut rng, width, data.n_classes);
     let mut opt = build(solver, weight_decay);
     let exec = Executor::new(ExecConfig::from_env());
+    // Compiled plans keyed by image-batch shape; replays fold each step's
+    // BatchNorm batch statistics into the shard clone like the tape path.
+    let cache = PlanCache::for_executor(&exec);
 
     let batch = schedule.batch_size();
     let ipe = data.train.iters_per_epoch(batch);
@@ -309,7 +324,11 @@ pub fn train_resnet(
                 break;
             }
             let lr = schedule.lr_at_iter(iter, ipe) as f32;
-            let (out, stats) = exec.step(&ResnetStep { model: &model, bx: &bx, by: &by }, &mut ps);
+            let (out, stats) = exec.step_planned(
+                &ResnetStep { model: &model, bx: &bx, by: &by },
+                &mut ps,
+                &cache,
+            );
             ResnetStep::fold_stats(&mut model, &stats);
             epoch_loss += out.loss;
             epoch_count += 1;

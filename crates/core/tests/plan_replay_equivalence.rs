@@ -1,0 +1,307 @@
+//! Plan-replay vs tape-rebuild equivalence: a training curve driven by
+//! [`Executor::step_planned`] (capture once per shard shape, replay
+//! thereafter) must reproduce [`Executor::step`] (fresh tape every step)
+//! for every model family at shard counts {1, 2, 4}.
+//!
+//! Equivalence strength:
+//!
+//! * MNIST-LSTM, PTB (with dropout feeds), ResNet (including BatchNorm
+//!   running statistics): **bitwise** — the plan executes the identical op
+//!   schedule with the identical accumulation order.
+//! * seq2seq: bitwise for every parameter except the shared embedding
+//!   table, which receives gradient contributions from both the planned
+//!   encoder and the tape decoder. The split path adds the encoder's
+//!   pre-summed total in one operation where the full tape interleaves the
+//!   per-op contributions — a documented reassociation bounded at ≤1e-5
+//!   relative (see DESIGN.md §11).
+//!
+//! Plus cache-invalidation coverage: a partial final batch and a changed
+//! source length must transparently capture fresh plans in the same
+//! [`PlanCache`] rather than replaying a mismatched one.
+
+use legw::{
+    DropPlan, ExecConfig, Executor, MnistStep, PlanCache, PtbStep, ResnetStep, Seq2SeqStep,
+};
+use legw_data::{SynthImageNet, SynthMnist, SynthPtb, SynthTranslation};
+use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
+use legw_nn::ParamSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const STEPS: usize = 3;
+const LR: f32 = 0.1;
+
+fn sgd_apply(ps: &mut ParamSet, lr: f32) {
+    for (_, p) in ps.iter_mut() {
+        let gr = p.grad.clone();
+        p.value.axpy(-lr, &gr);
+        p.grad.fill_(0.0);
+    }
+}
+
+fn named_values(ps: &ParamSet) -> Vec<(String, Vec<f32>)> {
+    ps.iter().map(|(_, p)| (p.name.clone(), p.value.as_slice().to_vec())).collect()
+}
+
+fn named_grads(ps: &ParamSet) -> Vec<(String, Vec<f32>)> {
+    ps.iter().map(|(_, p)| (p.name.clone(), p.grad.as_slice().to_vec())).collect()
+}
+
+fn assert_bitwise(tape: &[(String, Vec<f32>)], plan: &[(String, Vec<f32>)], what: &str) {
+    for ((name, a), (_, b)) in tape.iter().zip(plan) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: {name} diverged: tape {x} vs plan {y}"
+            );
+        }
+    }
+}
+
+fn assert_close(
+    tape: &[(String, Vec<f32>)],
+    plan: &[(String, Vec<f32>)],
+    tol: f32,
+    what: &str,
+) {
+    for ((name, a), (_, b)) in tape.iter().zip(plan) {
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs()),
+                "{what}: {name}: tape {x} vs plan {y}"
+            );
+        }
+    }
+}
+
+/// MNIST-LSTM: loss and every parameter bitwise across a 3-step curve at
+/// each shard count; steps 2+ are cache hits.
+#[test]
+fn mnist_plan_replay_matches_tape_bitwise() {
+    let data = SynthMnist::generate(11, 72, 8);
+    for shards in SHARD_COUNTS {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ps_t = ParamSet::new();
+        let model = MnistLstm::new(&mut ps_t, &mut rng, 10, 10);
+        let mut ps_p = ps_t.clone();
+
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let cache = PlanCache::for_executor(&exec);
+        for step in 0..STEPS {
+            let idx: Vec<usize> = (step * 24..(step + 1) * 24).collect();
+            let (bx, by) = data.train.gather(&idx);
+            let (ot, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps_t);
+            let (op, _) = exec.step_planned(
+                &MnistStep { model: &model, bx: &bx, by: &by },
+                &mut ps_p,
+                &cache,
+            );
+            assert_eq!(ot.loss.to_bits(), op.loss.to_bits(), "mnist loss s{shards} step {step}");
+            assert_eq!(ot.grad_sq_norm.to_bits(), op.grad_sq_norm.to_bits());
+            assert_bitwise(&named_grads(&ps_t), &named_grads(&ps_p), "mnist grads");
+            sgd_apply(&mut ps_t, LR);
+            sgd_apply(&mut ps_p, LR);
+        }
+        assert!(!cache.is_empty(), "plans were captured");
+        assert_bitwise(&named_values(&ps_t), &named_values(&ps_p), "mnist params");
+    }
+}
+
+/// PTB with active dropout (masks enter the replay as feeds) and carried
+/// state: loss, state, and parameters bitwise at each shard count.
+#[test]
+fn ptb_plan_replay_matches_tape_bitwise_with_dropout() {
+    let data = SynthPtb::generate(5, 40, 5, 6000, 1200);
+    let cfg = PtbLmConfig { vocab: 40, embed: 14, hidden: 14, layers: 2, keep: 0.7 };
+    for shards in SHARD_COUNTS {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ps_t = ParamSet::new();
+        let model = PtbLm::new(&mut ps_t, &mut rng, cfg);
+        let mut ps_p = ps_t.clone();
+
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let cache = PlanCache::for_executor(&exec);
+        let windows = data.batches(true, 8, 6);
+        let mut state_t = LmState::zeros(&cfg, 8);
+        let mut state_p = LmState::zeros(&cfg, 8);
+        for (step, window) in windows.iter().take(STEPS).enumerate() {
+            let drop = Some(DropPlan { seed: 77, step: step as u64 });
+            let (ot, st) = exec.step(
+                &PtbStep { model: &model, window, state: &state_t, drop },
+                &mut ps_t,
+            );
+            let (op, sp) = exec.step_planned(
+                &PtbStep { model: &model, window, state: &state_p, drop },
+                &mut ps_p,
+                &cache,
+            );
+            assert_eq!(ot.loss.to_bits(), op.loss.to_bits(), "ptb loss s{shards} step {step}");
+            state_t = PtbStep::merge_states(st);
+            state_p = PtbStep::merge_states(sp);
+            assert_bitwise(&named_grads(&ps_t), &named_grads(&ps_p), "ptb grads");
+            sgd_apply(&mut ps_t, LR);
+            sgd_apply(&mut ps_p, LR);
+        }
+        assert_bitwise(&named_values(&ps_t), &named_values(&ps_p), "ptb params");
+    }
+}
+
+/// ResNet: loss, parameters, and BatchNorm running statistics bitwise —
+/// the replay folds each step's batch statistics exactly as the tape
+/// forward does.
+#[test]
+fn resnet_plan_replay_matches_tape_bitwise_including_bn_stats() {
+    let data = SynthImageNet::generate(6, 5, 72, 12);
+    for shards in SHARD_COUNTS {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut ps_t = ParamSet::new();
+        let mut model_t = ResNet::new(&mut ps_t, &mut rng, 4, 5);
+        let mut ps_p = ps_t.clone();
+        let mut model_p = model_t.clone();
+
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let cache = PlanCache::for_executor(&exec);
+        for step in 0..STEPS {
+            let idx: Vec<usize> = (step * 16..(step + 1) * 16).collect();
+            let (bx, by) = data.train.gather(&idx);
+            let (ot, ex_t) =
+                exec.step(&ResnetStep { model: &model_t, bx: &bx, by: &by }, &mut ps_t);
+            ResnetStep::fold_stats(&mut model_t, &ex_t);
+            let (op, ex_p) = exec.step_planned(
+                &ResnetStep { model: &model_p, bx: &bx, by: &by },
+                &mut ps_p,
+                &cache,
+            );
+            ResnetStep::fold_stats(&mut model_p, &ex_p);
+            assert_eq!(ot.loss.to_bits(), op.loss.to_bits(), "resnet loss s{shards} step {step}");
+            assert_bitwise(&named_grads(&ps_t), &named_grads(&ps_p), "resnet grads");
+            sgd_apply(&mut ps_t, LR);
+            sgd_apply(&mut ps_p, LR);
+        }
+        assert_bitwise(&named_values(&ps_t), &named_values(&ps_p), "resnet params");
+        // Running statistics travel outside the ParamSet; compare via an
+        // eval forward, which folds them into the output.
+        let (t1_t, _) = model_t.evaluate(&ps_t, &data.test, 6, 3);
+        let (t1_p, _) = model_p.evaluate(&ps_p, &data.test, 6, 3);
+        assert_eq!(t1_t.to_bits(), t1_p.to_bits(), "resnet eval after fold s{shards}");
+    }
+}
+
+/// seq2seq: first-step gradients bitwise for every parameter except the
+/// cross-boundary shared embedding (≤1e-5, documented reassociation);
+/// the 3-step curve stays within 1e-4 as the embedding delta compounds.
+#[test]
+fn seq2seq_plan_replay_matches_tape_with_documented_embedding_tolerance() {
+    let data = SynthTranslation::generate(13, 10, 96, 12, 3, 5);
+    for shards in SHARD_COUNTS {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ps_t = ParamSet::new();
+        let cfg =
+            Seq2SeqConfig { vocab: data.vocab, embed: 12, hidden: 12, attn: 8, max_decode: 7 };
+        let model = Seq2Seq::new(&mut ps_t, &mut rng, cfg);
+        let mut ps_p = ps_t.clone();
+
+        let exec = Executor::new(ExecConfig::default().with_shards(shards));
+        let cache = PlanCache::for_executor(&exec);
+        let batches = data.batches(true, 8);
+        for (step, b) in batches.iter().take(STEPS).enumerate() {
+            let (ot, _) = exec.step(&Seq2SeqStep { model: &model, batch: b }, &mut ps_t);
+            let (op, _) =
+                exec.step_planned(&Seq2SeqStep { model: &model, batch: b }, &mut ps_p, &cache);
+            assert!(
+                (ot.loss - op.loss).abs() <= 1e-6 * (1.0 + ot.loss.abs()),
+                "seq2seq loss s{shards} step {step}: {} vs {}",
+                ot.loss,
+                op.loss
+            );
+            if step == 0 {
+                // Same initial parameters: everything but the shared
+                // embedding must agree bitwise.
+                for ((name, a), (_, b)) in named_grads(&ps_t).iter().zip(&named_grads(&ps_p)) {
+                    let shared = name.contains("embed");
+                    for (x, y) in a.iter().zip(b) {
+                        if shared {
+                            assert!(
+                                (x - y).abs() <= 1e-5 * (1.0 + x.abs()),
+                                "{name}: {x} vs {y}"
+                            );
+                        } else {
+                            assert_eq!(x.to_bits(), y.to_bits(), "{name}: {x} vs {y}");
+                        }
+                    }
+                }
+            }
+            sgd_apply(&mut ps_t, LR);
+            sgd_apply(&mut ps_p, LR);
+        }
+        assert_close(&named_values(&ps_t), &named_values(&ps_p), 1e-4, "seq2seq params");
+    }
+}
+
+/// A partial final batch (different shard shapes) must miss the cache and
+/// capture its own plan — never replay the full-batch plan.
+#[test]
+fn partial_final_batch_captures_a_second_plan() {
+    let data = SynthMnist::generate(17, 64, 8);
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut ps_t = ParamSet::new();
+    let model = MnistLstm::new(&mut ps_t, &mut rng, 10, 10);
+    let mut ps_p = ps_t.clone();
+
+    let exec = Executor::new(ExecConfig::default());
+    let cache = PlanCache::for_executor(&exec);
+    // Full batch of 32, then the ragged 20-example tail, then both again
+    // (cache hits for both shapes).
+    let sizes = [(0usize, 32usize), (32, 52), (0, 32), (32, 52)];
+    for (lo, hi) in sizes {
+        let idx: Vec<usize> = (lo..hi).collect();
+        let (bx, by) = data.train.gather(&idx);
+        let (ot, _) = exec.step(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps_t);
+        let (op, _) =
+            exec.step_planned(&MnistStep { model: &model, bx: &bx, by: &by }, &mut ps_p, &cache);
+        assert_eq!(ot.loss.to_bits(), op.loss.to_bits());
+        assert_bitwise(&named_grads(&ps_t), &named_grads(&ps_p), "ragged-tail grads");
+        sgd_apply(&mut ps_t, LR);
+        sgd_apply(&mut ps_p, LR);
+    }
+    assert_eq!(cache.len(), 2, "one plan per batch shape");
+}
+
+/// A changed source length through the same cache keys a second encoder
+/// plan (shape-signature invalidation).
+#[test]
+fn seq2seq_source_length_change_keys_a_second_plan() {
+    // Same seed and content vocabulary, different padded source lengths.
+    let short = SynthTranslation::generate(19, 10, 32, 8, 3, 4);
+    let long = SynthTranslation::generate(19, 10, 32, 8, 5, 6);
+    assert_eq!(short.vocab, long.vocab);
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut ps_t = ParamSet::new();
+    let cfg = Seq2SeqConfig { vocab: short.vocab, embed: 10, hidden: 10, attn: 8, max_decode: 8 };
+    let model = Seq2Seq::new(&mut ps_t, &mut rng, cfg);
+    let mut ps_p = ps_t.clone();
+
+    let exec = Executor::new(ExecConfig::default());
+    let cache = PlanCache::for_executor(&exec);
+    let b_short = &short.batches(true, 8)[0];
+    let b_long = &long.batches(true, 8)[0];
+    assert_ne!(b_short.src.len(), b_long.src.len());
+    for b in [b_short, b_long, b_short, b_long] {
+        let (ot, _) = exec.step(&Seq2SeqStep { model: &model, batch: b }, &mut ps_t);
+        let (op, _) =
+            exec.step_planned(&Seq2SeqStep { model: &model, batch: b }, &mut ps_p, &cache);
+        assert!(
+            (ot.loss - op.loss).abs() <= 1e-6 * (1.0 + ot.loss.abs()),
+            "loss {} vs {}",
+            ot.loss,
+            op.loss
+        );
+        sgd_apply(&mut ps_t, LR);
+        sgd_apply(&mut ps_p, LR);
+    }
+    assert_eq!(cache.len(), 2, "one encoder plan per source length");
+    assert_close(&named_values(&ps_t), &named_values(&ps_p), 1e-4, "params");
+}

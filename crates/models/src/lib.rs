@@ -19,11 +19,13 @@
 //! the paper's metric for that application.
 
 mod mnist_lstm;
+mod planned;
 mod ptb_lm;
 mod resnet;
 mod seq2seq;
 
 pub use mnist_lstm::MnistLstm;
+pub use planned::StepPlan;
 pub use ptb_lm::{LmState, PtbLm, PtbLmConfig};
 pub use resnet::ResNet;
 pub use seq2seq::{Seq2Seq, Seq2SeqConfig};

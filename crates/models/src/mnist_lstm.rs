@@ -7,7 +7,8 @@
 //! 10-way classifier. With `proj = hidden = 128` the LSTM cell kernel is
 //! the paper's 256×512 matrix.
 
-use legw_autograd::{Graph, Var};
+use crate::planned::StepPlan;
+use legw_autograd::{Feeds, Graph, Var};
 use legw_data::{metrics, Classification, SynthMnist};
 use legw_nn::{Binding, Linear, LstmCell, ParamSet};
 use legw_tensor::Tensor;
@@ -104,6 +105,59 @@ impl MnistLstm {
         let loss = g.softmax_cross_entropy(logits, labels);
         let lv = g.value(logits).clone();
         (g, bd, loss, lv)
+    }
+
+    /// Captures one training step into a replayable [`StepPlan`]. The
+    /// tape's input signature is `[packed rows, h0, c0]` (the order
+    /// [`MnistLstm::forward`] creates them); labels enter as a feed.
+    /// Returns `None` if the tape has an op the plan interpreter does not
+    /// cover — callers keep the tape path.
+    pub fn capture_step_plan(
+        &self,
+        ps: &ParamSet,
+        batch: &Tensor,
+        labels: &[usize],
+    ) -> Option<StepPlan> {
+        let (g, bd, loss, _) = self.forward_loss(ps, batch, labels);
+        StepPlan::capture(&g, &bd, Some(loss), &[])
+    }
+
+    /// Replays a captured step on a fresh batch of the same size:
+    /// forward + backward without building a tape. Returns the loss;
+    /// gradients are read with [`StepPlan::write_grads_to`].
+    pub fn replay_step_plan(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
+        let b = batch.dim(0);
+        let packed = SynthMnist::row_steps_packed(batch);
+        let h0 = Tensor::zeros(&[b, self.cell.hidden()]);
+        let c0 = Tensor::zeros(&[b, self.cell.hidden()]);
+        let label_feed: [&[usize]; 1] = [labels];
+        let feeds = Feeds { labels: &label_feed, ..Feeds::default() };
+        plan.replay_step(ps, &[&packed, &h0, &c0], &feeds)
+    }
+
+    /// Forward-only replay of a captured step — loss without gradients,
+    /// for benchmarking the replay interpreter against tape construction.
+    pub fn replay_forward_plan(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
+        let b = batch.dim(0);
+        let packed = SynthMnist::row_steps_packed(batch);
+        let h0 = Tensor::zeros(&[b, self.cell.hidden()]);
+        let c0 = Tensor::zeros(&[b, self.cell.hidden()]);
+        let label_feed: [&[usize]; 1] = [labels];
+        let feeds = Feeds { labels: &label_feed, ..Feeds::default() };
+        plan.replay_forward(ps, &[&packed, &h0, &c0], &feeds);
+        plan.loss()
     }
 
     /// Top-1 accuracy over a dataset, evaluated in chunks of `chunk`.

@@ -1,0 +1,102 @@
+//! Captured-plan execution of one model training step.
+//!
+//! [`StepPlan`] glues a [`legw_autograd::Plan`] to the `ParamSet` world:
+//! it captures a just-built tape using the tape's own positional input
+//! signature ([`legw_autograd::Graph::input_vars`]) and the binding's
+//! parameter order ([`legw_nn::Binding::bound`]), then replays steps
+//! against fresh batch tensors with the parameter *values* read straight
+//! from the store and the parameter *gradients* written back by
+//! [`ParamId`]. Each model exposes a `capture_*_plan` constructor that
+//! knows its forward's input order and a `replay_*` driver that rebuilds
+//! the input/feed lists for a new batch.
+//!
+//! Replays skip all tape recording and (steady-state) all pool
+//! allocation; see `legw-autograd`'s plan module for the machinery.
+
+use legw_autograd::{CaptureSpec, Feeds, Graph, Plan, PlanStats, Var};
+use legw_nn::{Binding, GradBuffer, ParamId, ParamSet};
+use legw_tensor::Tensor;
+
+/// A captured training-step plan plus the parameter wiring needed to
+/// replay it against a [`ParamSet`].
+pub struct StepPlan {
+    plan: Plan,
+    ids: Vec<ParamId>,
+}
+
+impl StepPlan {
+    /// Captures the tape `g` into a plan. `inputs` are the tape's
+    /// [`Graph::input`] leaves in creation order; `params` are the
+    /// binding's bound parameters in binding order. Returns `None` when
+    /// the tape contains something the plan interpreter does not cover —
+    /// callers fall back to the tape path.
+    pub fn capture(g: &Graph, bd: &Binding, loss: Option<Var>, outputs: &[Var]) -> Option<Self> {
+        let params: Vec<Var> = bd.bound().iter().map(|&(_, v)| v).collect();
+        let ids: Vec<ParamId> = bd.bound().iter().map(|&(id, _)| id).collect();
+        let spec = CaptureSpec { inputs: g.input_vars(), params: &params, loss, outputs };
+        Plan::capture(g, &spec).map(|plan| Self { plan, ids })
+    }
+
+    fn param_values<'a>(&self, ps: &'a ParamSet) -> Vec<&'a Tensor> {
+        self.ids.iter().map(|&id| ps.value(id)).collect()
+    }
+
+    /// Forward + backward-from-loss replay; returns the loss value.
+    pub fn replay_step(&mut self, ps: &ParamSet, inputs: &[&Tensor], feeds: &Feeds) -> f32 {
+        let pv = self.param_values(ps);
+        self.plan.replay_step(inputs, &pv, feeds);
+        self.plan.loss()
+    }
+
+    /// Forward-only replay (outputs readable afterwards).
+    pub fn replay_forward(&mut self, ps: &ParamSet, inputs: &[&Tensor], feeds: &Feeds) {
+        let pv = self.param_values(ps);
+        self.plan.replay_forward(inputs, &pv, feeds);
+    }
+
+    /// Backward replay seeded at the plan outputs (one seed per output,
+    /// in output order) — the encoder half of a split plan/tape model.
+    pub fn replay_backward(&mut self, ps: &ParamSet, inputs: &[&Tensor], seeds: &[&Tensor]) {
+        let pv = self.param_values(ps);
+        self.plan.replay_backward(inputs, &pv, seeds);
+    }
+
+    /// The loss value of the last replay (loss-mode plans).
+    pub fn loss(&self) -> f32 {
+        self.plan.loss()
+    }
+
+    /// Output `k`'s value after a forward replay. The returned tensor is a
+    /// copy-on-write alias — drop it before the next replay or that replay
+    /// pays one buffer copy for the slot.
+    pub fn output(&self, k: usize) -> Tensor {
+        self.plan.output(k)
+    }
+
+    /// Batch statistics `(mean, var)` of the `i`-th BatchNorm op (tape
+    /// order) from the last forward replay.
+    pub fn bn_batch_stats(&self, i: usize) -> (&[f32], &[f32]) {
+        self.plan.bn_batch_stats(i)
+    }
+
+    /// Number of BatchNorm ops in the plan.
+    pub fn num_batch_norms(&self) -> usize {
+        self.plan.num_batch_norms()
+    }
+
+    /// Accumulates the last replay's parameter gradients into `buf`,
+    /// visiting parameters in binding order — the replay twin of
+    /// [`Binding::write_grads_to`].
+    pub fn write_grads_to(&self, buf: &mut GradBuffer) {
+        for (k, &id) in self.ids.iter().enumerate() {
+            if let Some(grad) = self.plan.param_grad(k) {
+                buf.accumulate(id, grad);
+            }
+        }
+    }
+
+    /// Static plan statistics (schedule/arena sizes).
+    pub fn stats(&self) -> PlanStats {
+        self.plan.stats()
+    }
+}

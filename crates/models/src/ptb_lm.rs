@@ -1,7 +1,8 @@
 //! The PTB language model of §5.1.2: embedding → 2-layer LSTM → softmax,
 //! trained with stateful truncated BPTT.
 
-use legw_autograd::{Graph, Var};
+use crate::planned::StepPlan;
+use legw_autograd::{Feeds, Graph, Var};
 use legw_data::{LmBatch, SynthPtb};
 use legw_nn::{Binding, DropCtx, Dropout, Embedding, Linear, Lstm, LstmState, ParamSet};
 use legw_tensor::Tensor;
@@ -164,6 +165,29 @@ impl PtbLm {
         stepwise: bool,
     ) -> (Graph, Binding, Var, f64, LmState) {
         let mut g = Graph::new();
+        let (bd, loss, finals) = self.window_tape(&mut g, ps, batch, state, drop, stepwise);
+        let nll = g.value(loss).item() as f64;
+        let carried = LmState(
+            finals
+                .iter()
+                .map(|s| (g.value(s.h).clone(), g.value(s.c).clone()))
+                .collect(),
+        );
+        (g, bd, loss, nll, carried)
+    }
+
+    /// Records one BPTT window onto an existing tape (callers reuse one
+    /// graph across windows via [`Graph::reset`]). Returns the binding,
+    /// the mean per-token loss variable, and the final per-layer states.
+    fn window_tape(
+        &self,
+        mut g: &mut Graph,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+        drop: Option<&DropCtx>,
+        stepwise: bool,
+    ) -> (Binding, Var, Vec<LstmState>) {
         let mut bd = Binding::new();
         let dropout = match (&self.drop, drop) {
             (Some(d), Some(ctx)) => Some((d, ctx)),
@@ -208,14 +232,68 @@ impl PtbLm {
             });
         }
         let loss = g.scale(total.expect("window has at least one step"), 1.0 / t_len as f32);
-        let nll = g.value(loss).item() as f64;
+        (bd, loss, final_states)
+    }
+
+    /// Captures one BPTT window into a replayable [`StepPlan`] whose
+    /// outputs are the final per-layer `[h, c]` states (so replays can
+    /// carry state across windows). Token ids, targets, and dropout masks
+    /// enter as feeds. Capture with the dropout context the training loop
+    /// will replay with — the mask *count* is frozen into the plan, the
+    /// mask *values* are per-replay feeds.
+    pub fn capture_window_plan(
+        &self,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+        drop: Option<&DropCtx>,
+    ) -> Option<StepPlan> {
+        let mut g = Graph::new();
+        let (bd, loss, finals) = self.window_tape(&mut g, ps, batch, state, drop, false);
+        let outputs: Vec<Var> = finals.iter().flat_map(|s| [s.h, s.c]).collect();
+        StepPlan::capture(&g, &bd, Some(loss), &outputs)
+    }
+
+    /// Replays a captured window on a fresh batch/state of the same shape:
+    /// forward + backward without a tape. Mirrors
+    /// [`PtbLm::forward_loss_with`]: returns the mean NLL and the detached
+    /// carried state; gradients are read with [`StepPlan::write_grads_to`].
+    pub fn replay_window_plan(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &LmBatch,
+        state: &LmState,
+        drop: Option<&DropCtx>,
+    ) -> (f64, LmState) {
+        let inputs: Vec<&Tensor> = state.0.iter().flat_map(|(h, c)| [h, c]).collect();
+        let ids: Vec<&[usize]> = batch.inputs.iter().map(|v| v.as_slice()).collect();
+        let labels: Vec<&[usize]> = batch.targets.iter().map(|v| v.as_slice()).collect();
+        // Mask feed order = tape op order: every embedding-site mask
+        // (site 2t, t ascending) precedes every pre-head mask (site 2t+1)
+        // because the xs loop records all its dropouts before the loss loop.
+        let mask_store: Vec<Tensor> = match (&self.drop, drop) {
+            (Some(d), Some(ctx)) => {
+                let b = batch.tracks();
+                let t_len = batch.inputs.len();
+                let mut ms = Vec::with_capacity(2 * t_len);
+                ms.extend((0..t_len).map(|t| d.mask(b, self.cfg.embed, ctx, 2 * t as u64)));
+                ms.extend(
+                    (0..t_len).map(|t| d.mask(b, self.cfg.hidden, ctx, 2 * t as u64 + 1)),
+                );
+                ms
+            }
+            _ => Vec::new(),
+        };
+        let mask_refs: Vec<&Tensor> = mask_store.iter().collect();
+        let feeds = Feeds { ids: &ids, labels: &labels, masks: &mask_refs };
+        let nll = plan.replay_step(ps, &inputs, &feeds) as f64;
         let carried = LmState(
-            final_states
-                .iter()
-                .map(|s| (g.value(s.h).clone(), g.value(s.c).clone()))
+            (0..state.0.len())
+                .map(|l| (plan.output(2 * l), plan.output(2 * l + 1)))
                 .collect(),
         );
-        (g, bd, loss, nll, carried)
+        (nll, carried)
     }
 
     /// Mean NLL (nats/token) over a full split; exp of this is perplexity.
@@ -223,11 +301,20 @@ impl PtbLm {
         let mut state = LmState::zeros(&self.cfg, batch);
         let mut total = 0.0f64;
         let mut count = 0usize;
+        // One tape reused across windows: reset() keeps the node Vec's
+        // capacity, so only the first window pays the growth.
+        let mut g = Graph::new();
         for window in data.batches(train_split, batch, seq_len) {
-            let (_, _, _, nll, next) = self.forward_loss(ps, &window, &state);
-            total += nll;
+            g.reset();
+            let (_bd, loss, finals) = self.window_tape(&mut g, ps, &window, &state, None, false);
+            total += g.value(loss).item() as f64;
             count += 1;
-            state = next;
+            state = LmState(
+                finals
+                    .iter()
+                    .map(|s| (g.value(s.h).clone(), g.value(s.c).clone()))
+                    .collect(),
+            );
         }
         total / count.max(1) as f64
     }

@@ -6,7 +6,8 @@
 //! pool → linear classifier. BatchNorm uses batch statistics in training
 //! and running statistics in evaluation, as usual.
 
-use legw_autograd::{Graph, Var};
+use crate::planned::StepPlan;
+use legw_autograd::{Feeds, Graph, Var};
 use legw_data::{metrics, Classification};
 use legw_nn::{BatchNorm2d, Binding, Conv2d, Linear, ParamSet};
 use legw_tensor::Tensor;
@@ -162,6 +163,50 @@ impl ResNet {
         (g, bd, loss, lv)
     }
 
+    /// Captures one training step into a replayable [`StepPlan`]. The
+    /// capture forward runs on a throwaway clone of `self` so the
+    /// running-statistics update of the capture pass is discarded — the
+    /// first replay applies that batch's statistics itself, keeping the
+    /// plan path's running stats in lockstep with the tape path.
+    pub fn capture_step_plan(
+        &self,
+        ps: &ParamSet,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Option<StepPlan> {
+        let mut probe = self.clone();
+        let (g, bd, loss, _) = probe.forward_loss(ps, images, labels);
+        let plan = StepPlan::capture(&g, &bd, Some(loss), &[])?;
+        debug_assert_eq!(
+            plan.num_batch_norms(),
+            self.batch_norms().len(),
+            "plan BN count must match the model's BN layers"
+        );
+        Some(plan)
+    }
+
+    /// Replays a captured step on a fresh same-shape batch: forward +
+    /// backward without a tape, then folds each BatchNorm's batch
+    /// statistics into the running averages (the tape order of BN ops
+    /// equals [`ResNet::batch_norms`] order). Returns the loss; gradients
+    /// are read with [`StepPlan::write_grads_to`].
+    pub fn replay_step_plan(
+        &mut self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
+        let label_feed: [&[usize]; 1] = [labels];
+        let feeds = Feeds { labels: &label_feed, ..Feeds::default() };
+        let loss = plan.replay_step(ps, &[images], &feeds);
+        for (i, bn) in self.batch_norms_mut().into_iter().enumerate() {
+            let (mean, var) = plan.bn_batch_stats(i);
+            bn.update_running_stats(mean, var);
+        }
+        loss
+    }
+
     /// Every BatchNorm layer in forward order.
     fn batch_norms(&self) -> Vec<&BatchNorm2d> {
         let mut bns = vec![&self.stem_bn];
@@ -218,10 +263,13 @@ impl ResNet {
         let mut total = 0usize;
         let n = data.len();
         let mut i = 0;
+        // One tape reused across chunks: reset() keeps the node Vec's
+        // capacity, so only the first chunk pays the growth.
+        let mut g = Graph::new();
         while i < n {
             let idx: Vec<usize> = (i..(i + chunk).min(n)).collect();
             let (batch, labels) = data.gather(&idx);
-            let mut g = Graph::new();
+            g.reset();
             let mut bd = Binding::new();
             let logits = self.forward(&mut g, &mut bd, ps, &batch, false);
             top1 += metrics::accuracy(g.value(logits), &labels) * labels.len() as f64;

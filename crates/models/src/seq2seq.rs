@@ -7,9 +7,13 @@
 //! layers and keeps the bidirectional first layer, attention mechanism,
 //! shared embeddings, and encoder-state initialisation of the decoder.
 
-use legw_autograd::{Graph, Var};
+use crate::planned::StepPlan;
+use legw_autograd::{Feeds, Graph, Var};
 use legw_data::{metrics, SynthTranslation, TranslationBatch, EOS};
-use legw_nn::{BahdanauAttention, Binding, Embedding, Linear, LstmCell, LstmState, ParamSet};
+use legw_nn::{
+    BahdanauAttention, Binding, Embedding, GradBuffer, Linear, LstmCell, LstmState, ParamSet,
+};
+use legw_tensor::Tensor;
 use rand::Rng;
 
 /// Model dimensions.
@@ -232,7 +236,25 @@ impl Seq2Seq {
         } else {
             self.encode(&mut g, &mut bd, ps, &batch.src)
         };
-        let mut s0 = self.dec0.zero_state(&mut g, batch.batch_size());
+        let loss = self.decode_loss(&mut g, &mut bd, ps, &enc, batch, step_scale);
+        let nll = g.value(loss).item() as f64;
+        (g, bd, loss, nll)
+    }
+
+    /// Teacher-forced decoder + loss over an already-encoded source —
+    /// shared by the tape path ([`Seq2Seq::forward_loss_inner`]) and the
+    /// encoder-plan path ([`Seq2Seq::planned_loss_grads`]), so both decode
+    /// identically by construction.
+    fn decode_loss(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        enc: &Encoded,
+        batch: &TranslationBatch,
+        step_scale: Option<&[f32]>,
+    ) -> Var {
+        let mut s0 = self.dec0.zero_state(g, batch.batch_size());
         let mut s1 = LstmState { h: enc.last.h, c: enc.last.c };
 
         let steps = batch.dec_in.len();
@@ -242,7 +264,7 @@ impl Seq2Seq {
         let mut total: Option<Var> = None;
         for t in 0..steps {
             let (logits, ns0, ns1) =
-                self.decode_step(&mut g, &mut bd, ps, &enc, &batch.dec_in[t], s0, s1);
+                self.decode_step(g, bd, ps, enc, &batch.dec_in[t], s0, s1);
             s0 = ns0;
             s1 = ns1;
             let mut step_loss = g.softmax_cross_entropy(logits, &batch.dec_tgt[t]);
@@ -256,16 +278,124 @@ impl Seq2Seq {
                 None => step_loss,
             });
         }
-        let loss = g.scale(total.expect("non-empty batch"), 1.0 / steps as f32);
+        g.scale(total.expect("non-empty batch"), 1.0 / steps as f32)
+    }
+
+    /// Captures the encoder (the attention-free, shape-static part of the
+    /// model) into a seed-mode [`StepPlan`]. Plan outputs are the per-step
+    /// top states, their attention projections, and the final cell state —
+    /// everything the decoder consumes. The final *hidden* state is the
+    /// same tape node as the last per-step state, so it is not listed
+    /// twice; [`Seq2Seq::planned_loss_grads`] reconstructs it from
+    /// `states[t-1]`. The token-dependent, data-dependent decoder stays
+    /// tape-driven.
+    pub fn capture_encoder_plan(
+        &self,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+    ) -> Option<StepPlan> {
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let enc = self.encode(&mut g, &mut bd, ps, &batch.src);
+        let mut outputs: Vec<Var> = Vec::with_capacity(2 * enc.states.len() + 1);
+        outputs.extend(&enc.states);
+        outputs.extend(&enc.proj);
+        outputs.push(enc.last.c);
+        StepPlan::capture(&g, &bd, None, &outputs)
+    }
+
+    /// One training step with the encoder replayed from `enc_plan` and the
+    /// decoder on a fresh tape: encoder forward replay → decoder tape with
+    /// the encoder outputs re-entered as gradient-tracked leaves → decoder
+    /// backward → encoder backward replay seeded with the leaf gradients.
+    /// Accumulates all parameter gradients into `grads` and returns the
+    /// mean per-token NLL.
+    ///
+    /// Equivalence vs [`Seq2Seq::forward_loss_scaled`] + backward: bitwise
+    /// for all decoder-only parameters; ≤1e-5 relative for the parameters
+    /// shared across the boundary (embedding table, attention projections)
+    /// because the plan pre-sums the encoder-side contributions before the
+    /// single cross-boundary add, reassociating the tape's accumulation
+    /// order.
+    pub fn planned_loss_grads(
+        &self,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+        step_scale: Option<&[f32]>,
+        enc_plan: &mut StepPlan,
+        grads: &mut GradBuffer,
+    ) -> f64 {
+        let b = batch.batch_size();
+        let t_len = batch.src.len();
+        let h = self.cfg.hidden;
+
+        // Encoder forward replay. Inputs are the six zero [B, H] initial
+        // states `encode` records (fwd h/c, bwd h/c, top h/c); source
+        // token ids enter as embedding feeds in time order.
+        let zero_state = Tensor::zeros(&[b, h]);
+        let enc_inputs: Vec<&Tensor> = vec![&zero_state; 6];
+        let ids: Vec<&[usize]> = batch.src.iter().map(|v| v.as_slice()).collect();
+        let feeds = Feeds { ids: &ids, ..Feeds::default() };
+        enc_plan.replay_forward(ps, &enc_inputs, &feeds);
+
+        // Decoder tape over the replayed encoder outputs, re-entered as
+        // gradient-tracked leaves so backward leaves their grads behind.
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let states: Vec<Var> = (0..t_len).map(|t| g.param(enc_plan.output(t))).collect();
+        let proj: Vec<Var> =
+            (0..t_len).map(|t| g.param(enc_plan.output(t_len + t))).collect();
+        let last_c = g.param(enc_plan.output(2 * t_len));
+        let enc = Encoded {
+            last: LstmState { h: states[t_len - 1], c: last_c },
+            states,
+            proj,
+        };
+        let loss = self.decode_loss(&mut g, &mut bd, ps, &enc, batch, step_scale);
         let nll = g.value(loss).item() as f64;
-        (g, bd, loss, nll)
+        g.backward(loss);
+        bd.write_grads_to(&g, grads);
+
+        // Encoder backward replay, seeded with the decoder's gradients at
+        // the boundary leaves (zero where the decoder never touched one).
+        let zero_h = Tensor::zeros(&[b, h]);
+        let zero_a = Tensor::zeros(&[b, self.cfg.attn]);
+        let leaves: Vec<Var> = enc
+            .states
+            .iter()
+            .chain(&enc.proj)
+            .copied()
+            .chain([enc.last.c])
+            .collect();
+        let seeds: Vec<&Tensor> = leaves
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                g.grad(v).unwrap_or(if k >= t_len && k < 2 * t_len { &zero_a } else { &zero_h })
+            })
+            .collect();
+        enc_plan.replay_backward(ps, &enc_inputs, &seeds);
+        enc_plan.write_grads_to(grads);
+        nll
     }
 
     /// Greedy decoding of one padded batch: feeds back the argmax token
     /// until [`EOS`] or `max_decode`. Returns one hypothesis per sequence.
     pub fn greedy_decode(&self, ps: &ParamSet, batch: &TranslationBatch) -> Vec<Vec<usize>> {
-        let b = batch.batch_size();
         let mut g = Graph::new();
+        self.greedy_decode_into(&mut g, ps, batch)
+    }
+
+    /// [`Seq2Seq::greedy_decode`] onto a caller-owned tape (reset here), so
+    /// evaluation loops reuse one node allocation across batches.
+    fn greedy_decode_into(
+        &self,
+        mut g: &mut Graph,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+    ) -> Vec<Vec<usize>> {
+        g.reset();
+        let b = batch.batch_size();
         let mut bd = Binding::new();
         let enc = self.encode(&mut g, &mut bd, ps, &batch.src);
         let mut s0 = self.dec0.zero_state(&mut g, b);
@@ -302,8 +432,10 @@ impl Seq2Seq {
     pub fn evaluate_bleu(&self, ps: &ParamSet, data: &SynthTranslation, batch: usize) -> f64 {
         let mut cands = Vec::new();
         let mut refs = Vec::new();
+        // One tape reused across batches via greedy_decode_into.
+        let mut g = Graph::new();
         for b in data.batches(false, batch) {
-            let hyps = self.greedy_decode(ps, &b);
+            let hyps = self.greedy_decode_into(&mut g, ps, &b);
             cands.extend(hyps);
             refs.extend(b.refs.clone());
         }

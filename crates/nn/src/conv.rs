@@ -114,15 +114,24 @@ impl BatchNorm2d {
         x: Var,
     ) -> Var {
         let (mean, var) = Graph::batch_norm_stats(g.value(x));
+        self.update_running_stats(&mean, &var);
+        let gamma = b.bind(g, ps, self.gamma);
+        let beta = b.bind(g, ps, self.beta);
+        g.batch_norm(x, gamma, beta, self.eps)
+    }
+
+    /// Folds one batch's statistics into the running averages — the same
+    /// momentum update [`BatchNorm2d::forward_train`] performs. Public so
+    /// a plan replay (which computes the batch statistics without a tape,
+    /// [`legw_autograd::Plan::bn_batch_stats`]) can keep the running
+    /// stats in lockstep with the tape path.
+    pub fn update_running_stats(&mut self, mean: &[f32], var: &[f32]) {
         for c in 0..self.channels {
             self.running_mean[c] =
                 (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
             self.running_var[c] =
                 (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
         }
-        let gamma = b.bind(g, ps, self.gamma);
-        let beta = b.bind(g, ps, self.beta);
-        g.batch_norm(x, gamma, beta, self.eps)
     }
 
     /// Overwrites the running statistics with the weighted average of the

@@ -199,6 +199,15 @@ impl Binding {
         self.bound.len()
     }
 
+    /// Every `(parameter, tape variable)` pair in binding order. This is
+    /// the positional parameter signature a captured
+    /// [`legw_autograd::Plan`] replays against: feed
+    /// `ps.value(id)` per pair at replay, read `plan.param_grad(k)` back
+    /// into `id` afterwards.
+    pub fn bound(&self) -> &[(ParamId, Var)] {
+        &self.bound
+    }
+
     /// True if nothing is bound.
     pub fn is_empty(&self) -> bool {
         self.bound.is_empty()

@@ -67,9 +67,32 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     assert_eq!((c, h, w), (g.c, g.h, g.w), "geometry mismatch");
     let (oh, ow) = (g.oh(), g.ow());
     let ckk = c * g.kh * g.kw;
-    let src = input.as_slice();
     let rows = n * oh * ow;
     let mut out = Buffer::zeroed(rows * ckk);
+    fill_cols(input.as_slice(), n, g, &mut out);
+    Tensor::from_buffer(out, &[rows, ckk])
+}
+
+/// Slice-level [`im2col`] into a caller-owned, already-sized buffer
+/// (`[N·OH·OW, C·KH·KW]` elements) — zero-fills and unfolds with the exact
+/// kernel `im2col` uses, so precompiled execution plans reproduce the tape
+/// path bit-for-bit without allocating.
+pub fn im2col_into(input: &[f32], n: usize, g: &Conv2dGeom, out: &mut [f32]) {
+    g.validate();
+    assert_eq!(input.len(), n * g.c * g.h * g.w, "im2col_into input length");
+    let ckk = g.c * g.kh * g.kw;
+    assert_eq!(out.len(), n * g.oh() * g.ow() * ckk, "im2col_into out length");
+    out.fill(0.0);
+    fill_cols(input, n, g, out);
+}
+
+/// The shared unfold kernel behind [`im2col`] / [`im2col_into`]: `out` must
+/// be zeroed (padding positions are never written).
+fn fill_cols(src: &[f32], n: usize, g: &Conv2dGeom, out: &mut [f32]) {
+    let (c, h, w) = (g.c, g.h, g.w);
+    let (oh, ow) = (g.oh(), g.ow());
+    let ckk = c * g.kh * g.kw;
+    let rows = n * oh * ow;
 
     let fill_row = |row: usize, dst: &mut [f32]| {
         let ox = row % ow;
@@ -102,13 +125,12 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     } else {
         rows.div_ceil(pool.threads() * 2).max(1)
     };
-    par_chunks_mut(&pool, &mut out, rows_per_chunk * ckk, |start, chunk| {
+    par_chunks_mut(&pool, out, rows_per_chunk * ckk, |start, chunk| {
         let row0 = start / ckk;
         for (r, dst) in chunk.chunks_mut(ckk).enumerate() {
             fill_row(row0 + r, dst);
         }
     });
-    Tensor::from_buffer(out, &[rows, ckk])
 }
 
 /// Folds a column-matrix gradient `[N·OH·OW, C·KH·KW]` back into an image
@@ -119,10 +141,28 @@ pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeom) -> Tensor {
     let (oh, ow) = (g.oh(), g.ow());
     let ckk = g.c * g.kh * g.kw;
     assert_eq!(cols.shape(), &[n * oh * ow, ckk], "col2im shape mismatch");
-    let src = cols.as_slice();
     // Overlapping windows write to shared pixels, so col2im stays serial;
     // the buffer still comes from (and returns to) the recycling pool.
     let mut out = Buffer::zeroed(n * g.c * g.h * g.w);
+    fold_cols(cols.as_slice(), n, g, &mut out);
+    Tensor::from_buffer(out, &[n, g.c, g.h, g.w])
+}
+
+/// Slice-level [`col2im`] into a caller-owned buffer (`N·C·H·W` elements):
+/// zero-fills `out`, then folds with the exact serial scatter `col2im` uses.
+pub fn col2im_into(cols: &[f32], n: usize, g: &Conv2dGeom, out: &mut [f32]) {
+    g.validate();
+    assert_eq!(cols.len(), n * g.oh() * g.ow() * g.c * g.kh * g.kw, "col2im_into cols length");
+    assert_eq!(out.len(), n * g.c * g.h * g.w, "col2im_into out length");
+    out.fill(0.0);
+    fold_cols(cols, n, g, out);
+}
+
+/// The shared fold kernel behind [`col2im`] / [`col2im_into`]: accumulates
+/// into `out`, which must be zeroed on entry.
+fn fold_cols(src: &[f32], n: usize, g: &Conv2dGeom, out: &mut [f32]) {
+    let (oh, ow) = (g.oh(), g.ow());
+    let ckk = g.c * g.kh * g.kw;
 
     for ni in 0..n {
         for oy in 0..oh {
@@ -144,7 +184,6 @@ pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeom) -> Tensor {
             }
         }
     }
-    Tensor::from_buffer(out, &[n, g.c, g.h, g.w])
 }
 
 #[cfg(test)]

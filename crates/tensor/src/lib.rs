@@ -42,13 +42,17 @@ mod init;
 mod lstm_cell;
 mod matmul;
 mod ops;
-mod pool;
+pub mod pool;
 mod reduce;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeom};
-pub use lstm_cell::{lstm_cell_backward, lstm_cell_forward, LstmCellFwd};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeom};
+pub use lstm_cell::{
+    lstm_cell_backward, lstm_cell_backward_into, lstm_cell_forward, lstm_cell_forward_into,
+    LstmCellFwd,
+};
+pub use matmul::gemm_into;
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
 

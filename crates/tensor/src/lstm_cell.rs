@@ -96,6 +96,41 @@ fn fwd_rows(
     }
 }
 
+/// Slice-level fused LSTM cell forward into caller-owned outputs.
+///
+/// Identical arithmetic and row-parallel split to [`lstm_cell_forward`];
+/// exposed so precompiled execution plans can write into preplanned arena
+/// slots. `preact` is `[B, 4H]` (gate order `i,f,ĝ,o`), `c_prev` is `[B, H]`;
+/// `gates` receives the activated gates, `c_out`/`tanh_c`/`h_out` the new
+/// cell state, its tanh, and the new hidden state.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_cell_forward_into(
+    preact: &[f32],
+    c_prev: &[f32],
+    b: usize,
+    hid: usize,
+    gates: &mut [f32],
+    c_out: &mut [f32],
+    tanh_c: &mut [f32],
+    h_out: &mut [f32],
+) {
+    assert_eq!(preact.len(), b * 4 * hid, "lstm_cell: preact must be [B, 4H]");
+    assert_eq!(c_prev.len(), b * hid, "lstm_cell: c_prev must be [B, H]");
+    assert_eq!(gates.len(), b * 4 * hid);
+    assert_eq!(c_out.len(), b * hid);
+    assert_eq!(tanh_c.len(), b * hid);
+    assert_eq!(h_out.len(), b * hid);
+    let gp = SendPtr(gates.as_mut_ptr());
+    let op = SendPtr(c_out.as_mut_ptr());
+    let tp = SendPtr(tanh_c.as_mut_ptr());
+    let hp = SendPtr(h_out.as_mut_ptr());
+    let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
+    let pool = current();
+    parallel_for(&pool, b, min_rows, |rows| {
+        fwd_rows(rows, hid, preact, c_prev, &gp, &op, &tp, &hp);
+    });
+}
+
 /// Fused LSTM cell forward: one pass over the `B×4H` pre-activations.
 ///
 /// `preact` is `[B, 4H]` (gate order `i,f,ĝ,o`), `c_prev` is `[B, H]`.
@@ -111,19 +146,16 @@ pub fn lstm_cell_forward(preact: &Tensor, c_prev: &Tensor) -> LstmCellFwd {
     let mut c_out = Buffer::zeroed(b * hid);
     let mut tanh_c = Buffer::zeroed(b * hid);
     let mut h_out = Buffer::zeroed(b * hid);
-    {
-        let pa = preact.as_slice();
-        let cp = c_prev.as_slice();
-        let gp = SendPtr(gates.as_mut_ptr());
-        let op = SendPtr(c_out.as_mut_ptr());
-        let tp = SendPtr(tanh_c.as_mut_ptr());
-        let hp = SendPtr(h_out.as_mut_ptr());
-        let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
-        let pool = current();
-        parallel_for(&pool, b, min_rows, |rows| {
-            fwd_rows(rows, hid, pa, cp, &gp, &op, &tp, &hp);
-        });
-    }
+    lstm_cell_forward_into(
+        preact.as_slice(),
+        c_prev.as_slice(),
+        b,
+        hid,
+        &mut gates,
+        &mut c_out,
+        &mut tanh_c,
+        &mut h_out,
+    );
     LstmCellFwd {
         h: Tensor::from_buffer(h_out, &[b, hid]),
         c: Tensor::from_buffer(c_out, &[b, hid]),
@@ -199,21 +231,46 @@ pub fn lstm_cell_backward(
 
     let mut dpre = Buffer::zeroed(b * 4 * hid);
     let mut dc_prev = Buffer::zeroed(b * hid);
-    {
-        let ga = gates.as_slice();
-        let tc = tanh_c.as_slice();
-        let cp = c_prev.as_slice();
-        let dh_s = dh.map(|t| t.as_slice());
-        let dc_s = dc.map(|t| t.as_slice());
-        let dp = SendPtr(dpre.as_mut_ptr());
-        let dcp = SendPtr(dc_prev.as_mut_ptr());
-        let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
-        let pool = current();
-        parallel_for(&pool, b, min_rows, |rows| {
-            bwd_rows(rows, hid, ga, tc, cp, dh_s, dc_s, &dp, &dcp);
-        });
-    }
+    lstm_cell_backward_into(
+        gates.as_slice(),
+        tanh_c.as_slice(),
+        c_prev.as_slice(),
+        dh.map(|t| t.as_slice()),
+        dc.map(|t| t.as_slice()),
+        b,
+        hid,
+        &mut dpre,
+        &mut dc_prev,
+    );
     (Tensor::from_buffer(dpre, &[b, 4 * hid]), Tensor::from_buffer(dc_prev, &[b, hid]))
+}
+
+/// Slice-level fused LSTM cell backward into caller-owned outputs — the
+/// arithmetic of [`lstm_cell_backward`] without tensor materialisation.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_cell_backward_into(
+    gates: &[f32],
+    tanh_c: &[f32],
+    c_prev: &[f32],
+    dh: Option<&[f32]>,
+    dc: Option<&[f32]>,
+    b: usize,
+    hid: usize,
+    dpre: &mut [f32],
+    dc_prev: &mut [f32],
+) {
+    assert_eq!(gates.len(), b * 4 * hid);
+    assert_eq!(tanh_c.len(), b * hid);
+    assert_eq!(c_prev.len(), b * hid);
+    assert_eq!(dpre.len(), b * 4 * hid);
+    assert_eq!(dc_prev.len(), b * hid);
+    let dp = SendPtr(dpre.as_mut_ptr());
+    let dcp = SendPtr(dc_prev.as_mut_ptr());
+    let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
+    let pool = current();
+    parallel_for(&pool, b, min_rows, |rows| {
+        bwd_rows(rows, hid, gates, tanh_c, c_prev, dh, dc, &dp, &dcp);
+    });
 }
 
 #[cfg(test)]

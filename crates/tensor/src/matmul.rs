@@ -12,6 +12,33 @@ use crate::pool::Buffer;
 use crate::tensor::Tensor;
 use legw_parallel::current;
 
+/// Slice-level GEMM into a caller-owned output: `out (+)= op(a) @ op(b)`
+/// where `op` is the optional transpose selected by `trans_a`/`trans_b`.
+///
+/// `a` is `[m,k]` (`[k,m]` when `trans_a`), `b` is `[k,n]` (`[n,k]` when
+/// `trans_b`), `out` is `[m,n]`. With `acc` the product accumulates into
+/// `out`, otherwise `out` is overwritten. Runs on the current thread pool —
+/// the same engine behind [`Tensor::matmul`] and friends, exposed at the
+/// slice level so precompiled execution plans can write into preplanned
+/// arena slots without materialising tensors.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    acc: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm_into lhs length");
+    assert_eq!(b.len(), k * n, "gemm_into rhs length");
+    assert_eq!(out.len(), m * n, "gemm_into out length");
+    gemm::gemm_into(&current(), trans_a, trans_b, a, b, m, k, n, out, acc);
+}
+
 impl Tensor {
     /// Matrix product `self @ rhs` of a `[m,k]` by a `[k,n]` tensor.
     ///
@@ -223,11 +250,11 @@ mod tests {
         // Warm the pool: the first output buffer is a fresh allocation that
         // joins the pool when dropped.
         drop(a.matmul(&b));
-        let (hits0, _) = crate::pool::stats();
+        let (hits0, _) = crate::pool::thread_stats();
         for _ in 0..10 {
             drop(a.matmul(&b));
         }
-        let (hits1, _) = crate::pool::stats();
+        let (hits1, _) = crate::pool::thread_stats();
         assert!(
             hits1 >= hits0 + 10,
             "expected every steady-state output to come from the pool, got {} hits",

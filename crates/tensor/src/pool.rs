@@ -22,6 +22,7 @@
 //!   the pool entirely since the allocator already handles them well.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Buffers below this many elements are never pooled.
 const MIN_POOL_ELEMS: usize = 1024;
@@ -78,9 +79,14 @@ fn take(len: usize, zero: bool) -> Vec<f32> {
                 b.clear();
             }
             b.resize(len, 0.0);
+            track_acquire(b.capacity(), true);
             b
         }
-        None => vec![0.0; len],
+        None => {
+            let b = vec![0.0; len];
+            track_acquire(b.capacity(), false);
+            b
+        }
     }
 }
 
@@ -105,11 +111,69 @@ fn give(v: Vec<f32>) {
 
 /// `(hits, misses)` of this thread's pool — test/diagnostic hook.
 #[allow(dead_code)]
-pub(crate) fn stats() -> (usize, usize) {
+pub(crate) fn thread_stats() -> (usize, usize) {
     POOL.with(|p| {
         let p = p.borrow();
         (p.hits, p.misses)
     })
+}
+
+// Process-wide buffer accounting. Relaxed counters on the buffer create /
+// drop paths cost one uncontended atomic op each — noise next to the memset
+// or memcpy that accompanies every buffer — and make the "steady-state
+// replay performs zero allocations" claim measurable instead of asserted.
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static RECYCLES: AtomicUsize = AtomicUsize::new(0);
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static HIGH_WATER_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative process-wide buffer-pool counters (all threads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers materialised by the allocator (pool misses plus wrapped
+    /// caller-allocated vectors).
+    pub allocations: usize,
+    /// Buffers recycled from a thread-local free list (pool hits).
+    pub recycles: usize,
+    /// Bytes currently held by live [`Buffer`]s (excludes pooled free lists).
+    pub live_bytes: usize,
+    /// Maximum `live_bytes` ever observed.
+    pub high_water_bytes: usize,
+}
+
+impl PoolStats {
+    /// Counter movement since an earlier snapshot (`live_bytes` is a gauge
+    /// and is reported as-is).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            allocations: self.allocations - earlier.allocations,
+            recycles: self.recycles - earlier.recycles,
+            live_bytes: self.live_bytes,
+            high_water_bytes: self.high_water_bytes,
+        }
+    }
+}
+
+/// Snapshot of the process-wide pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        recycles: RECYCLES.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        high_water_bytes: HIGH_WATER_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Records a buffer entering service; `recycled` says whether its storage
+/// came from a free list or the allocator.
+fn track_acquire(capacity: usize, recycled: bool) {
+    if recycled {
+        RECYCLES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+    let live = LIVE_BYTES.fetch_add(capacity * 4, Ordering::Relaxed) + capacity * 4;
+    HIGH_WATER_BYTES.fetch_max(live, Ordering::Relaxed);
 }
 
 /// The storage behind [`crate::Tensor`]: a `Vec<f32>` that rejoins the
@@ -121,6 +185,7 @@ pub(crate) struct Buffer {
 impl Buffer {
     /// Wraps an existing vector (it will be pooled on drop).
     pub(crate) fn from_vec(data: Vec<f32>) -> Self {
+        track_acquire(data.capacity(), false);
         Buffer { data }
     }
 
@@ -148,7 +213,9 @@ impl Buffer {
 
 impl Drop for Buffer {
     fn drop(&mut self) {
-        give(std::mem::take(&mut self.data));
+        let data = std::mem::take(&mut self.data);
+        LIVE_BYTES.fetch_sub(data.capacity() * 4, Ordering::Relaxed);
+        give(data);
     }
 }
 
@@ -186,11 +253,11 @@ mod tests {
 
     #[test]
     fn small_buffers_bypass_pool() {
-        let before = stats();
+        let before = thread_stats();
         drop(Buffer::from_vec(vec![1.0; 8]));
         let b = Buffer::zeroed(8);
         assert_eq!(&*b, &[0.0; 8]);
-        let after = stats();
+        let after = thread_stats();
         // an 8-element request never produces a pool hit
         assert_eq!(after.0, before.0);
     }
@@ -200,14 +267,36 @@ mod tests {
         let len = 64 * 1024;
         // Warm the pool with one buffer of the steady-state size.
         drop(Buffer::zeroed(len));
-        let (h0, _) = stats();
+        let (h0, _) = thread_stats();
         for _ in 0..10 {
             let b = Buffer::zeroed(len);
             assert!(b.iter().all(|&x| x == 0.0), "recycled buffer must be zeroed");
             drop(b);
         }
-        let (h1, _) = stats();
+        let (h1, _) = thread_stats();
         assert!(h1 >= h0 + 10, "expected ≥10 pool hits, got {}", h1 - h0);
+    }
+
+    #[test]
+    fn global_counters_track_allocations_and_recycles() {
+        let len = 96 * 1024; // distinctive size, unlikely to be pool-warm
+        drop(Buffer::zeroed(len));
+        let warm = stats();
+        let b = Buffer::zeroed(len);
+        let after_take = stats();
+        assert_eq!(
+            after_take.recycles - warm.recycles,
+            1,
+            "steady-state take must recycle, not allocate"
+        );
+        assert_eq!(after_take.allocations, warm.allocations);
+        assert!(after_take.live_bytes >= len * 4);
+        assert!(after_take.high_water_bytes >= after_take.live_bytes);
+        drop(b);
+        let after_drop = stats();
+        assert!(after_drop.live_bytes <= after_take.live_bytes - len * 4);
+        let delta = after_drop.since(&warm);
+        assert_eq!((delta.allocations, delta.recycles), (0, 1));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 #   scripts/bench_smoke.sh gemm_shapes     # just the GEMM shape sweep
 #   scripts/bench_smoke.sh lstm_cell       # fused vs unfused LSTM cell op
 #   scripts/bench_smoke.sh lstm_seq        # hoisted vs stepwise sequence path
+#   scripts/bench_smoke.sh plan_replay     # compiled-plan replay vs tape rebuild
 #   LEGW_THREADS=1 scripts/bench_smoke.sh  # pin the worker pool
 #   LEGW_SHARDS=4 scripts/bench_smoke.sh sharded   # executor shard sweep
 #
@@ -14,8 +15,8 @@
 # in crates/bench/benches/kernels.rs); --quick shortens criterion's analysis
 # further so the whole sweep finishes in a couple of minutes. Compare GEMM
 # results against the tracked numbers in BENCH_gemm.json and training-step
-# results (including the *_sharded executor groups) against
-# BENCH_train_step.json.
+# results (including the *_sharded executor groups and the plan_replay
+# tape-rebuild-vs-replay group) against BENCH_train_step.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -26,6 +26,12 @@ for s in 1 2 4; do
   LEGW_SHARDS=$s cargo test -q -p legw --test shard_equivalence --test reduce_sched_orders
 done
 
+# Plan replay: step_planned must reproduce the tape path (bitwise, or the
+# documented seq2seq embedding tolerance) across its own internal {1,2,4}
+# shard sweep, including the cache-invalidation cases.
+echo "== cargo test -q -p legw --test plan_replay_equivalence"
+cargo test -q -p legw --test plan_replay_equivalence
+
 if [[ "${1:-}" != "fast" ]]; then
   echo "== cargo clippy --workspace -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
