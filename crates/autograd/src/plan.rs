@@ -31,7 +31,12 @@ use legw_tensor::{
     col2im_into, gemm_into, im2col_into, lstm_cell_backward_into, lstm_cell_forward_into,
     Conv2dGeom, Tensor,
 };
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+#[path = "plan_fuse.rs"]
+mod plan_fuse;
 
 /// What to capture from a tape: which leaves are per-step inputs, which
 /// are parameters (gradient targets), and what the step produces.
@@ -71,6 +76,10 @@ pub struct PlanStats {
     /// Forward / backward instruction counts.
     pub fwd_instrs: usize,
     pub bwd_instrs: usize,
+    /// Counts before the plan optimizer ran (equal to `fwd_instrs` /
+    /// `bwd_instrs` when fusion is disabled).
+    pub fwd_instrs_pre: usize,
+    pub bwd_instrs_pre: usize,
     /// Physical arena slots and their total size in bytes.
     pub arena_slots: usize,
     pub arena_bytes: usize,
@@ -133,6 +142,29 @@ enum UnKind {
     AddScalar(f32),
 }
 
+/// One step of a fused elementwise pipeline ([`Instr::FusedEw`]): the value
+/// flowing through the chain enters as `t`; each stage maps it with exactly
+/// the scalar expression of the standalone instruction it replaced.
+#[derive(Clone, Copy, Debug)]
+enum FusedStage {
+    /// `t ∘ other[i]` (or `other[i] ∘ t` when `swapped`).
+    Bin { kind: EwKind, other: Loc, swapped: bool },
+    /// Unary map (sigmoid / tanh / relu / scale / add-scalar).
+    Un { kind: UnKind },
+    /// `t + bias[i % cols]` — AddBias over row-major `[rows, cols]`.
+    BiasCol { bias: Loc, cols: usize },
+    /// `t * s[i / cols]` — RowScale over row-major `[rows, cols]`.
+    RowScaleS { s: Loc, cols: usize },
+    /// `t * mask[i]` — dropout (forward and backward share the expression).
+    Mask { mask: u32 },
+    /// `(y[i] * (1 - y[i])) * t` — sigmoid backward via the saved output.
+    GradSigmoid { y: Loc },
+    /// `(1 - y[i]²) * t` — tanh backward via the saved output.
+    GradTanh { y: Loc },
+    /// `(x[i] > 0) * t` — relu backward via the saved input.
+    GradRelu { x: Loc },
+}
+
 // ------------------------------------------------------------- instructions
 
 /// One replay instruction. Dimensions are baked at capture; operands are
@@ -164,6 +196,18 @@ enum Instr {
     PreactSeqF { x: Loc, w: Loc, bias: Loc, dst: Dst, rows: usize, k: usize, n4: usize },
     RecurStepF { seq: Loc, h: Loc, w_h: Loc, dst: Dst, t: usize, batch: usize, hid: usize, n4: usize },
 
+    // ---- either list (created only by the plan optimizer, never emitted)
+    /// A fused chain of elementwise instructions: `dst (+)= expr(a0, …)`
+    /// where `expr` threads `a0` through `stages` one element at a time.
+    /// Each stage applies its original instruction's scalar expression in
+    /// chain order, so the fused sweep rounds identically to running the
+    /// originals — minus the intermediate buffers.
+    FusedEw { a0: Loc, stages: Vec<FusedStage>, dst: Dst, mode: Mode, n: usize },
+    /// `dst += op(a) · op(b)` accumulated in-engine. Only created for
+    /// single-k-block shapes, where the engine performs exactly one `+=` of
+    /// the same micro-tile product the scratch detour would have added.
+    GemmAcc { ta: bool, tb: bool, a: Loc, b: Loc, m: usize, k: usize, n: usize, dst: Dst },
+
     // ---- backward
     /// `dst (+)= up * c`; `c == 1.0` is the plain gradient copy.
     ScaleG { up: Loc, dst: Dst, mode: Mode, n: usize, c: f32 },
@@ -194,7 +238,9 @@ enum Instr {
     MaxPoolG { up: Loc, dst: Dst, mode: Mode, am: u32, x_len: usize, out_len: usize },
     GapG { up: Loc, dst: Dst, mode: Mode, nc: usize, hw: usize },
     BnG { up: Loc, gamma: Loc, xhat: u32, rt: u32, dg: Option<(Dst, Mode)>, dbt: Option<(Dst, Mode)>, dx: Option<(Dst, Mode)>, n: usize, c: usize, hw: usize },
-    LstmG { gates: u32, tanh_c: u32, c_prev: Loc, dh: Option<Loc>, dc: Option<Loc>, dpre: (Dst, Mode), dcp: (Dst, Mode), b: usize, hid: usize },
+    /// `direct` (set by the plan optimizer when both destinations are
+    /// plain stores) writes them in place instead of via scratch.
+    LstmG { gates: u32, tanh_c: u32, c_prev: Loc, dh: Option<Loc>, dc: Option<Loc>, dpre: (Dst, Mode), dcp: (Dst, Mode), b: usize, hid: usize, direct: bool },
     /// LstmRecurStep's dSeq row scatter: `seq_grad[tB..(t+1)B] += up`,
     /// zeroing the whole block first on the step that creates it.
     RecurSeqG { up: Loc, dst: Dst, zero_first: bool, t: usize, batch: usize, cols: usize, dst_len: usize },
@@ -265,6 +311,8 @@ pub struct Plan {
     /// Per param, whether any gradient statically flows to it.
     par_grad_present: Vec<bool>,
     stats: PlanStats,
+    /// Instruction histogram before optimization — for [`Plan::describe`].
+    pre_counts: Vec<(&'static str, usize)>,
 }
 
 impl Plan {
@@ -365,6 +413,42 @@ impl Plan {
     pub fn replay_step(&mut self, inputs: &[&Tensor], params: &[&Tensor], feeds: &Feeds) {
         self.replay_forward(inputs, params, feeds);
         self.replay_backward_loss(inputs, params);
+    }
+
+    /// One-line schedule summary: instruction counts by kind (`pre->post`
+    /// where the optimizer changed them), arena footprint and scratch
+    /// sizes. Surfaces via `LEGW_PLAN_DEBUG=1` logging in the executor.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let post = plan_fuse::histogram(&self.prog.fwd, &self.prog.bwd);
+        let s = &self.stats;
+        let mut out = format!(
+            "plan: nodes={} instrs fwd={}->{} bwd={}->{} slots={} arena={}B peak_live={}B state={}B scratch={}B |",
+            s.nodes,
+            s.fwd_instrs_pre,
+            s.fwd_instrs,
+            s.bwd_instrs_pre,
+            s.bwd_instrs,
+            s.arena_slots,
+            s.arena_bytes,
+            s.peak_live_bytes,
+            s.state_bytes,
+            s.scratch_bytes
+        );
+        for (name, pre) in &self.pre_counts {
+            let after = post.iter().find(|(k, _)| k == name).map_or(0, |(_, c)| *c);
+            if after == *pre {
+                let _ = write!(out, " {name}={pre}");
+            } else {
+                let _ = write!(out, " {name}={pre}->{after}");
+            }
+        }
+        for (name, c) in &post {
+            if !self.pre_counts.iter().any(|(k, _)| k == name) {
+                let _ = write!(out, " {name}=0->{c}");
+            }
+        }
+        out
     }
 
     /// The loss value of the last replay (loss-mode plans).
@@ -540,6 +624,52 @@ impl Store {
     }
 }
 
+// ------------------------------------------------------------- fuse toggle
+
+thread_local! {
+    /// Per-thread override of the `LEGW_PLAN_FUSE` default, installed by
+    /// [`with_fuse_override`]. Captures run on whatever thread the executor
+    /// schedules them on, so the override is thread-local by design.
+    static FUSE_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the plan optimizer forced on or off for captures on this
+/// thread, restoring the previous setting afterwards (even on panic).
+pub fn with_fuse_override<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FUSE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FUSE_OVERRIDE.with(|c| c.replace(Some(enabled))));
+    f()
+}
+
+/// Process-wide default from `LEGW_PLAN_FUSE`: the optimizer is on unless
+/// the variable says otherwise.
+fn env_plan_fuse() -> bool {
+    static PARSED: OnceLock<bool> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("LEGW_PLAN_FUSE") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "false" | "off" | "no" => false,
+            "1" | "true" | "on" | "yes" | "" => true,
+            other => {
+                eprintln!("LEGW_PLAN_FUSE: unrecognized value {other:?}, defaulting to on");
+                true
+            }
+        },
+        Err(_) => true,
+    })
+}
+
+/// Whether [`Plan::capture`] should run the plan optimizer.
+fn fuse_enabled() -> bool {
+    FUSE_OVERRIDE.with(|c| c.get()).unwrap_or_else(env_plan_fuse)
+}
+
+// ---------------------------------------------------------------- executor
+
 /// Store-or-add `f(i)` over `dst`: `Mode::Store` writes the contribution,
 /// `Mode::Add` does `dst[i] += f(i)` — the exact elementwise chain of
 /// `Graph::accumulate`'s store / axpy branches.
@@ -558,11 +688,197 @@ fn apply(dst: &mut [f32], mode: Mode, f: impl Fn(usize) -> f32) {
     }
 }
 
-/// Executes one instruction against the store. Elementwise loops run
-/// serially (bitwise equal to the tape's chunk-parallel maps, which apply a
-/// pure per-element function); GEMMs run on the ambient thread pool — the
-/// same engine the tape's `matmul` family uses.
+/// Elementwise sweeps longer than this fan out in fixed-size chunks over
+/// the ambient thread pool. Chunks are disjoint and every element is a pure
+/// function of the operands, so any thread count produces the serial
+/// sweep's bits; reductions (`ColSumG`, `SumAllF`/`G`, …) stay serial.
+const EW_CHUNK: usize = 16 * 1024;
 
+/// [`apply`], chunked over [`legw_parallel::current`] when the sweep is
+/// large enough to amortize the fan-out.
+fn par_apply(dst: &mut [f32], mode: Mode, f: impl Fn(usize) -> f32 + Sync) {
+    if dst.len() <= EW_CHUNK {
+        return apply(dst, mode, f);
+    }
+    let pool = legw_parallel::current();
+    if pool.threads() == 1 {
+        return apply(dst, mode, f);
+    }
+    match mode {
+        Mode::Store => legw_parallel::par_chunks_mut(&pool, dst, EW_CHUNK, |start, chunk| {
+            for (off, d) in chunk.iter_mut().enumerate() {
+                *d = f(start + off);
+            }
+        }),
+        Mode::Add => legw_parallel::par_chunks_mut(&pool, dst, EW_CHUNK, |start, chunk| {
+            for (off, d) in chunk.iter_mut().enumerate() {
+                *d += f(start + off);
+            }
+        }),
+    }
+}
+
+/// Stack-block size for [`fused_apply`] (4 KiB of f32).
+const FUSE_BLOCK: usize = 1024;
+
+/// Evaluates a [`Instr::FusedEw`] stage pipeline over `dst`.
+///
+/// The naive interpretation — one `match` over the stage list per element —
+/// defeats auto-vectorization (a scalarized `fast_tanh` alone costs more
+/// than the memory round-trip fusion saves). Instead the sweep runs in
+/// [`FUSE_BLOCK`]-element stack blocks: the block is loaded from the lead
+/// operand once, then each stage runs as its own tight loop over the block.
+/// Per element this applies the exact same scalar expressions in the exact
+/// same order as the unfused instructions (and as the per-element
+/// interpretation), so the result is bitwise identical; only the loop
+/// nesting differs.
+fn fused_apply(dst: &mut [f32], mode: Mode, lead: &[f32], stages: &[FusedStage], ops: &[&[f32]]) {
+    let run = |start: usize, out: &mut [f32]| {
+        let mut t = [0.0f32; FUSE_BLOCK];
+        let mut off = 0;
+        while off < out.len() {
+            let len = FUSE_BLOCK.min(out.len() - off);
+            let base = start + off;
+            let tb = &mut t[..len];
+            tb.copy_from_slice(&lead[base..base + len]);
+            for (s, op) in stages.iter().zip(ops) {
+                eval_stage(s, op, base, tb);
+            }
+            match mode {
+                Mode::Store => out[off..off + len].copy_from_slice(tb),
+                Mode::Add => {
+                    for (d, v) in out[off..off + len].iter_mut().zip(tb.iter()) {
+                        *d += *v;
+                    }
+                }
+            }
+            off += len;
+        }
+    };
+    if dst.len() <= EW_CHUNK {
+        return run(0, dst);
+    }
+    let pool = legw_parallel::current();
+    if pool.threads() == 1 {
+        return run(0, dst);
+    }
+    legw_parallel::par_chunks_mut(&pool, dst, EW_CHUNK, run);
+}
+
+/// One fused stage over one stack block. `base` is the block's absolute
+/// element offset (index context for the positional stages); `op` is the
+/// stage's operand slice (empty for operand-less stages).
+fn eval_stage(s: &FusedStage, op: &[f32], base: usize, t: &mut [f32]) {
+    match s {
+        FusedStage::Bin { kind, swapped, .. } => {
+            let o = &op[base..base + t.len()];
+            match (kind, swapped) {
+                (EwKind::Add, false) => t.iter_mut().zip(o).for_each(|(t, o)| *t += *o),
+                (EwKind::Add, true) => t.iter_mut().zip(o).for_each(|(t, o)| *t = *o + *t),
+                (EwKind::Sub, false) => t.iter_mut().zip(o).for_each(|(t, o)| *t -= *o),
+                (EwKind::Sub, true) => t.iter_mut().zip(o).for_each(|(t, o)| *t = *o - *t),
+                (EwKind::Mul, false) => t.iter_mut().zip(o).for_each(|(t, o)| *t *= *o),
+                (EwKind::Mul, true) => t.iter_mut().zip(o).for_each(|(t, o)| *t = *o * *t),
+            }
+        }
+        FusedStage::Un { kind } => match kind {
+            UnKind::Sigmoid => t.iter_mut().for_each(|t| *t = fast_sigmoid(*t)),
+            UnKind::Tanh => t.iter_mut().for_each(|t| *t = fast_tanh(*t)),
+            UnKind::Relu => t.iter_mut().for_each(|t| *t = t.max(0.0)),
+            UnKind::Scale(c) => t.iter_mut().for_each(|t| *t *= c),
+            UnKind::AddScalar(c) => t.iter_mut().for_each(|t| *t += c),
+        },
+        FusedStage::BiasCol { cols, .. } => {
+            for (j, t) in t.iter_mut().enumerate() {
+                *t += op[(base + j) % cols];
+            }
+        }
+        FusedStage::RowScaleS { cols, .. } => {
+            for (j, t) in t.iter_mut().enumerate() {
+                *t *= op[(base + j) / cols];
+            }
+        }
+        FusedStage::Mask { .. } => {
+            let o = &op[base..base + t.len()];
+            t.iter_mut().zip(o).for_each(|(t, o)| *t *= *o);
+        }
+        FusedStage::GradSigmoid { .. } => {
+            let o = &op[base..base + t.len()];
+            t.iter_mut().zip(o).for_each(|(t, y)| *t = (*y * (1.0 - *y)) * *t);
+        }
+        FusedStage::GradTanh { .. } => {
+            let o = &op[base..base + t.len()];
+            t.iter_mut().zip(o).for_each(|(t, y)| *t = (1.0 - *y * *y) * *t);
+        }
+        FusedStage::GradRelu { .. } => {
+            let o = &op[base..base + t.len()];
+            t.iter_mut()
+                .zip(o)
+                .for_each(|(t, x)| *t = (if *x > 0.0 { 1.0 } else { 0.0 }) * *t);
+        }
+    }
+}
+
+/// Short display name of an instruction's kind — powers [`Plan::describe`].
+fn kind_name(ins: &Instr) -> &'static str {
+    match ins {
+        Instr::Ew { kind: EwKind::Add, .. } => "EwAdd",
+        Instr::Ew { kind: EwKind::Sub, .. } => "EwSub",
+        Instr::Ew { kind: EwKind::Mul, .. } => "EwMul",
+        Instr::Unary { kind: UnKind::Sigmoid, .. } => "Sigmoid",
+        Instr::Unary { kind: UnKind::Tanh, .. } => "Tanh",
+        Instr::Unary { kind: UnKind::Relu, .. } => "Relu",
+        Instr::Unary { kind: UnKind::Scale(_), .. } => "Scale",
+        Instr::Unary { kind: UnKind::AddScalar(_), .. } => "AddScalar",
+        Instr::AddBias { .. } => "AddBias",
+        Instr::RowScale { .. } => "RowScale",
+        Instr::Gemm { .. } => "Gemm",
+        Instr::GemmAcc { .. } => "GemmAcc",
+        Instr::FusedEw { .. } => "FusedEw",
+        Instr::ConcatColsF { .. } => "ConcatColsF",
+        Instr::SliceColsF { .. } => "SliceColsF",
+        Instr::CopyBlock { .. } => "CopyBlock",
+        Instr::SumAllF { .. } => "SumAllF",
+        Instr::DropoutF { .. } => "DropoutF",
+        Instr::EmbedF { .. } => "EmbedF",
+        Instr::SoftmaxF { .. } => "SoftmaxF",
+        Instr::CeF { .. } => "CeF",
+        Instr::ConvF { .. } => "ConvF",
+        Instr::MaxPoolF { .. } => "MaxPoolF",
+        Instr::GapF { .. } => "GapF",
+        Instr::BnF { .. } => "BnF",
+        Instr::LstmF { .. } => "LstmF",
+        Instr::PreactSeqF { .. } => "PreactSeqF",
+        Instr::RecurStepF { .. } => "RecurStepF",
+        Instr::ScaleG { .. } => "ScaleG",
+        Instr::MulG { .. } => "MulG",
+        Instr::DropoutG { .. } => "DropoutG",
+        Instr::SigmoidG { .. } => "SigmoidG",
+        Instr::TanhG { .. } => "TanhG",
+        Instr::ReluG { .. } => "ReluG",
+        Instr::ColSumG { .. } => "ColSumG",
+        Instr::RowScaleDx { .. } => "RowScaleDx",
+        Instr::RowScaleDs { .. } => "RowScaleDs",
+        Instr::ColsBlockG { .. } => "ColsBlockG",
+        Instr::ColsScatterG { .. } => "ColsScatterG",
+        Instr::BlockG { .. } => "BlockG",
+        Instr::SumAllG { .. } => "SumAllG",
+        Instr::EmbedG { .. } => "EmbedG",
+        Instr::SoftmaxG { .. } => "SoftmaxG",
+        Instr::CeG { .. } => "CeG",
+        Instr::ConvG { .. } => "ConvG",
+        Instr::MaxPoolG { .. } => "MaxPoolG",
+        Instr::GapG { .. } => "GapG",
+        Instr::BnG { .. } => "BnG",
+        Instr::LstmG { .. } => "LstmG",
+        Instr::RecurSeqG { .. } => "RecurSeqG",
+    }
+}
+
+/// Executes one instruction against the store. Elementwise sweeps go
+/// through [`par_apply`] (bitwise equal to the tape's chunk-parallel maps,
+/// which apply the same pure per-element function); GEMMs run on the
+/// ambient thread pool — the same engine the tape's `matmul` family uses.
 fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
     match ins {
         // ------------------------------------------------------------ forward
@@ -571,24 +887,11 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
             {
                 let av = st.read(*a, inputs, params);
                 let bv = st.read(*b, inputs, params);
-                let o = buf.s();
-                debug_assert_eq!(o.len(), *n);
+                debug_assert_eq!(buf.s().len(), *n);
                 match kind {
-                    EwKind::Add => {
-                        for i in 0..*n {
-                            o[i] = av[i] + bv[i];
-                        }
-                    }
-                    EwKind::Sub => {
-                        for i in 0..*n {
-                            o[i] = av[i] - bv[i];
-                        }
-                    }
-                    EwKind::Mul => {
-                        for i in 0..*n {
-                            o[i] = av[i] * bv[i];
-                        }
-                    }
+                    EwKind::Add => par_apply(buf.s(), Mode::Store, |i| av[i] + bv[i]),
+                    EwKind::Sub => par_apply(buf.s(), Mode::Store, |i| av[i] - bv[i]),
+                    EwKind::Mul => par_apply(buf.s(), Mode::Store, |i| av[i] * bv[i]),
                 }
             }
             st.put(*dst, buf);
@@ -597,34 +900,13 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
             let mut buf = st.take(*dst);
             {
                 let av = st.read(*a, inputs, params);
-                let o = buf.s();
-                debug_assert_eq!(o.len(), *n);
+                debug_assert_eq!(buf.s().len(), *n);
                 match kind {
-                    UnKind::Sigmoid => {
-                        for i in 0..*n {
-                            o[i] = fast_sigmoid(av[i]);
-                        }
-                    }
-                    UnKind::Tanh => {
-                        for i in 0..*n {
-                            o[i] = fast_tanh(av[i]);
-                        }
-                    }
-                    UnKind::Relu => {
-                        for i in 0..*n {
-                            o[i] = av[i].max(0.0);
-                        }
-                    }
-                    UnKind::Scale(c) => {
-                        for i in 0..*n {
-                            o[i] = av[i] * c;
-                        }
-                    }
-                    UnKind::AddScalar(c) => {
-                        for i in 0..*n {
-                            o[i] = av[i] + c;
-                        }
-                    }
+                    UnKind::Sigmoid => par_apply(buf.s(), Mode::Store, |i| fast_sigmoid(av[i])),
+                    UnKind::Tanh => par_apply(buf.s(), Mode::Store, |i| fast_tanh(av[i])),
+                    UnKind::Relu => par_apply(buf.s(), Mode::Store, |i| av[i].max(0.0)),
+                    UnKind::Scale(c) => par_apply(buf.s(), Mode::Store, |i| av[i] * c),
+                    UnKind::AddScalar(c) => par_apply(buf.s(), Mode::Store, |i| av[i] + c),
                 }
             }
             st.put(*dst, buf);
@@ -634,12 +916,8 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
             {
                 let xv = st.read(*x, inputs, params);
                 let bv = st.read(*bias, inputs, params);
-                let o = buf.s();
-                for r in 0..*rows {
-                    for c in 0..*cols {
-                        o[r * *cols + c] = xv[r * *cols + c] + bv[c];
-                    }
-                }
+                debug_assert_eq!(buf.s().len(), rows * cols);
+                par_apply(buf.s(), Mode::Store, |i| xv[i] + bv[i % cols]);
             }
             st.put(*dst, buf);
         }
@@ -648,12 +926,8 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
             {
                 let xv = st.read(*x, inputs, params);
                 let sv = st.read(*s, inputs, params);
-                let o = buf.s();
-                for r in 0..*rows {
-                    for c in 0..*cols {
-                        o[r * *cols + c] = xv[r * *cols + c] * sv[r];
-                    }
-                }
+                debug_assert_eq!(buf.s().len(), rows * cols);
+                par_apply(buf.s(), Mode::Store, |i| xv[i] * sv[i / cols]);
             }
             st.put(*dst, buf);
         }
@@ -673,6 +947,9 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                     {
                         let av = st.read(*a, inputs, params);
                         let bv = st.read(*b, inputs, params);
+                        // Capture sized the scratch over every consumer in
+                        // the final schedule; a replay must never grow it.
+                        debug_assert!(scr.len() >= *m * *n, "scratch undersized for Gemm Add");
                         let s = &mut scr[..*m * *n];
                         gemm_into(*ta, *tb, av, bv, *m, *k, *n, s, false);
                         for (d, &sv) in buf.s().iter_mut().zip(s.iter()) {
@@ -681,6 +958,43 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                     }
                     st.scratch = scr;
                 }
+            }
+            st.put(*dst, buf);
+        }
+        Instr::GemmAcc { ta, tb, a, b, m, k, n, dst } => {
+            let mut buf = st.take(*dst);
+            {
+                let av = st.read(*a, inputs, params);
+                let bv = st.read(*b, inputs, params);
+                // Single k-block: the engine adds the identical micro-tile
+                // product with exactly one `+=` per element — no scratch.
+                debug_assert!(legw_tensor::gemm_single_k_block(*k));
+                gemm_into(*ta, *tb, av, bv, *m, *k, *n, buf.s(), true);
+            }
+            st.put(*dst, buf);
+        }
+        Instr::FusedEw { a0, stages, dst, mode, n } => {
+            let mut buf = st.take(*dst);
+            {
+                let lead = st.read(*a0, inputs, params);
+                // Operand slices aligned with `stages` (empty for the
+                // operand-less kinds).
+                let ops: Vec<&[f32]> = stages
+                    .iter()
+                    .map(|s| match s {
+                        FusedStage::Bin { other, .. } => st.read(*other, inputs, params),
+                        FusedStage::BiasCol { bias, .. } => st.read(*bias, inputs, params),
+                        FusedStage::RowScaleS { s, .. } => st.read(*s, inputs, params),
+                        FusedStage::Mask { mask } => st.masks[*mask as usize].as_slice(),
+                        FusedStage::GradSigmoid { y } | FusedStage::GradTanh { y } => {
+                            st.read(*y, inputs, params)
+                        }
+                        FusedStage::GradRelu { x } => st.read(*x, inputs, params),
+                        FusedStage::Un { .. } => &[],
+                    })
+                    .collect();
+                debug_assert_eq!(buf.s().len(), *n);
+                fused_apply(buf.s(), *mode, lead, stages, &ops);
             }
             st.put(*dst, buf);
         }
@@ -736,10 +1050,8 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
             {
                 let xv = st.read(*x, inputs, params);
                 let mv = st.masks[*mask as usize].as_slice();
-                let o = buf.s();
-                for i in 0..*n {
-                    o[i] = xv[i] * mv[i];
-                }
+                debug_assert_eq!(buf.s().len(), *n);
+                par_apply(buf.s(), Mode::Store, |i| xv[i] * mv[i]);
             }
             st.put(*dst, buf);
         }
@@ -972,7 +1284,7 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
             {
                 let us = st.read(*up, inputs, params);
                 debug_assert_eq!(us.len(), *n);
-                apply(buf.s(), *mode, |i| us[i] * c);
+                par_apply(buf.s(), *mode, |i| us[i] * c);
             }
             st.put(*dst, buf);
         }
@@ -982,7 +1294,7 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 let us = st.read(*up, inputs, params);
                 let ov = st.read(*other, inputs, params);
                 debug_assert_eq!(us.len(), *n);
-                apply(buf.s(), *mode, |i| us[i] * ov[i]);
+                par_apply(buf.s(), *mode, |i| us[i] * ov[i]);
             }
             st.put(*dst, buf);
         }
@@ -992,7 +1304,7 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 let us = st.read(*up, inputs, params);
                 let mv = st.masks[*mask as usize].as_slice();
                 debug_assert_eq!(us.len(), *n);
-                apply(buf.s(), *mode, |i| us[i] * mv[i]);
+                par_apply(buf.s(), *mode, |i| us[i] * mv[i]);
             }
             st.put(*dst, buf);
         }
@@ -1002,7 +1314,7 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 let us = st.read(*up, inputs, params);
                 let yv = st.read(*y, inputs, params);
                 debug_assert_eq!(us.len(), *n);
-                apply(buf.s(), *mode, |i| (yv[i] * (1.0 - yv[i])) * us[i]);
+                par_apply(buf.s(), *mode, |i| (yv[i] * (1.0 - yv[i])) * us[i]);
             }
             st.put(*dst, buf);
         }
@@ -1012,7 +1324,7 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 let us = st.read(*up, inputs, params);
                 let yv = st.read(*y, inputs, params);
                 debug_assert_eq!(us.len(), *n);
-                apply(buf.s(), *mode, |i| (1.0 - yv[i] * yv[i]) * us[i]);
+                par_apply(buf.s(), *mode, |i| (1.0 - yv[i] * yv[i]) * us[i]);
             }
             st.put(*dst, buf);
         }
@@ -1022,7 +1334,7 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 let us = st.read(*up, inputs, params);
                 let xv = st.read(*x, inputs, params);
                 debug_assert_eq!(us.len(), *n);
-                apply(buf.s(), *mode, |i| (if xv[i] > 0.0 { 1.0 } else { 0.0 }) * us[i]);
+                par_apply(buf.s(), *mode, |i| (if xv[i] > 0.0 { 1.0 } else { 0.0 }) * us[i]);
             }
             st.put(*dst, buf);
         }
@@ -1445,29 +1757,50 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 st.put(*d, buf);
             }
         }
-        Instr::LstmG { gates, tanh_c, c_prev, dh, dc, dpre, dcp, b, hid } => {
-            let mut scr = std::mem::take(&mut st.scratch);
-            {
-                let gv = &st.states[*gates as usize];
-                let tv = &st.states[*tanh_c as usize];
-                let cp = st.read(*c_prev, inputs, params);
-                let dh_s = (*dh).map(|l| st.read(l, inputs, params));
-                let dc_s = (*dc).map(|l| st.read(l, inputs, params));
-                let (spre, rest) = scr.split_at_mut(*b * 4 * *hid);
-                let scp = &mut rest[..*b * *hid];
-                lstm_cell_backward_into(gv, tv, cp, dh_s, dc_s, *b, *hid, spre, scp);
+        Instr::LstmG { gates, tanh_c, c_prev, dh, dc, dpre, dcp, b, hid, direct } => {
+            if *direct {
+                // Both destinations are plain stores: write them in place and
+                // skip the scratch bounce. The optimizer only sets `direct`
+                // when physical aliasing is impossible (births before deaths
+                // — see `plan_fuse`), so the two buffers and every operand
+                // are distinct.
+                let mut b0 = st.take(dpre.0);
+                let mut b1 = st.take(dcp.0);
+                {
+                    let gv = &st.states[*gates as usize];
+                    let tv = &st.states[*tanh_c as usize];
+                    let cp = st.read(*c_prev, inputs, params);
+                    let dh_s = (*dh).map(|l| st.read(l, inputs, params));
+                    let dc_s = (*dc).map(|l| st.read(l, inputs, params));
+                    lstm_cell_backward_into(gv, tv, cp, dh_s, dc_s, *b, *hid, b0.s(), b1.s());
+                }
+                // preact first, then c_prev — the tape's accumulate order
+                st.put(dpre.0, b0);
+                st.put(dcp.0, b1);
+            } else {
+                let mut scr = std::mem::take(&mut st.scratch);
+                {
+                    let gv = &st.states[*gates as usize];
+                    let tv = &st.states[*tanh_c as usize];
+                    let cp = st.read(*c_prev, inputs, params);
+                    let dh_s = (*dh).map(|l| st.read(l, inputs, params));
+                    let dc_s = (*dc).map(|l| st.read(l, inputs, params));
+                    let (spre, rest) = scr.split_at_mut(*b * 4 * *hid);
+                    let scp = &mut rest[..*b * *hid];
+                    lstm_cell_backward_into(gv, tv, cp, dh_s, dc_s, *b, *hid, spre, scp);
+                }
+                // preact first, then c_prev — the tape's accumulate order
+                let (d0, m0) = *dpre;
+                let mut buf = st.take(d0);
+                apply(buf.s(), m0, |i| scr[i]);
+                st.put(d0, buf);
+                let off = *b * 4 * *hid;
+                let (d1, m1) = *dcp;
+                let mut buf = st.take(d1);
+                apply(buf.s(), m1, |i| scr[off + i]);
+                st.put(d1, buf);
+                st.scratch = scr;
             }
-            // preact first, then c_prev — the tape's accumulate order
-            let (d0, m0) = *dpre;
-            let mut buf = st.take(d0);
-            apply(buf.s(), m0, |i| scr[i]);
-            st.put(d0, buf);
-            let off = *b * 4 * *hid;
-            let (d1, m1) = *dcp;
-            let mut buf = st.take(d1);
-            apply(buf.s(), m1, |i| scr[off + i]);
-            st.put(d1, buf);
-            st.scratch = scr;
         }
         Instr::RecurSeqG { up, dst, zero_first, t, batch, cols, dst_len } => {
             let mut buf = st.take(*dst);
@@ -1707,6 +2040,25 @@ fn visit_slots(ins: &mut Instr, f: &mut dyn FnMut(&mut u32)) {
             vd(&mut dpre.0, f);
             vd(&mut dcp.0, f);
         }
+        Instr::GemmAcc { a, b, dst, .. } => {
+            vl(a, f);
+            vl(b, f);
+            vd(dst, f);
+        }
+        Instr::FusedEw { a0, stages, dst, .. } => {
+            vl(a0, f);
+            for s in stages {
+                match s {
+                    FusedStage::Bin { other, .. } => vl(other, f),
+                    FusedStage::BiasCol { bias, .. } => vl(bias, f),
+                    FusedStage::RowScaleS { s, .. } => vl(s, f),
+                    FusedStage::GradSigmoid { y } | FusedStage::GradTanh { y } => vl(y, f),
+                    FusedStage::GradRelu { x } => vl(x, f),
+                    FusedStage::Un { .. } | FusedStage::Mask { .. } => {}
+                }
+            }
+            vd(dst, f);
+        }
     }
 }
 
@@ -1809,7 +2161,6 @@ impl Capturer {
         let mut argmax_lens: Vec<usize> = Vec::new();
         let mut bn_cs: Vec<usize> = Vec::new();
         let mut aux: Vec<[u32; 4]> = vec![[0; 4]; n];
-        let mut scratch = 0usize;
         for i in 0..n {
             let before = fwd.len();
             match &g.nodes[i].op {
@@ -2233,9 +2584,6 @@ impl Capturer {
                         let nn = shape(b.0)[1];
                         if rg(*a) {
                             let mode = contribute(a.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(m * kk);
-                            }
                             bwd.push(Instr::Gemm {
                                 ta: false,
                                 tb: true,
@@ -2250,9 +2598,6 @@ impl Capturer {
                         }
                         if rg(*b) {
                             let mode = contribute(b.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(kk * nn);
-                            }
                             bwd.push(Instr::Gemm {
                                 ta: true,
                                 tb: false,
@@ -2437,9 +2782,6 @@ impl Capturer {
                         if rg(*table) {
                             let (vocab, dim) = (shape(table.0)[0], shape(table.0)[1]);
                             let mode = contribute(table.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(vocab * dim);
-                            }
                             bwd.push(Instr::EmbedG {
                                 up,
                                 feed: aux[i][0],
@@ -2478,20 +2820,13 @@ impl Capturer {
                         }
                     }
                     Op::Conv2d { x, w, geom, batch, .. } => {
-                        let ckk = geom.c * geom.kh * geom.kw;
                         let oc = shape(w.0)[0];
                         let dw = rg(*w).then(|| {
                             let mode = contribute(w.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(oc * ckk);
-                            }
                             (gdst(w.0), mode)
                         });
                         let dx = rg(*x).then(|| {
                             let mode = contribute(x.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(numel(x.0));
-                            }
                             (gdst(x.0), mode)
                         });
                         if dw.is_some() || dx.is_some() {
@@ -2511,9 +2846,6 @@ impl Capturer {
                     Op::MaxPool2x2 { x, argmax } => {
                         if rg(*x) {
                             let mode = contribute(x.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(numel(x.0));
-                            }
                             bwd.push(Instr::MaxPoolG {
                                 up,
                                 dst: gdst(x.0),
@@ -2563,7 +2895,6 @@ impl Capturer {
                     }
                     Op::LstmCell { preact, c_prev, c_out, .. } => {
                         let (b, hid) = (shape(i)[0], shape(i)[1]);
-                        scratch = scratch.max(b * 5 * hid);
                         let dc = grads_present[c_out.0].then(|| gloc(c_out.0));
                         let dpre = if rg(*preact) {
                             (gdst(preact.0), contribute(preact.0, &mut contrib, &mut grads_present))
@@ -2586,6 +2917,7 @@ impl Capturer {
                             dcp,
                             b,
                             hid,
+                            direct: false,
                         });
                     }
                     Op::LstmCellC { h_out } => {
@@ -2594,7 +2926,6 @@ impl Capturer {
                             // the sibling's cached intermediates.
                             if let Op::LstmCell { preact, c_prev, .. } = &g.nodes[h_out.0].op {
                                 let (b, hid) = (shape(i)[0], shape(i)[1]);
-                                scratch = scratch.max(b * 5 * hid);
                                 let dpre = if rg(*preact) {
                                     (
                                         gdst(preact.0),
@@ -2621,6 +2952,7 @@ impl Capturer {
                                     dcp,
                                     b,
                                     hid,
+                                    direct: false,
                                 });
                             }
                         }
@@ -2630,9 +2962,6 @@ impl Capturer {
                         let n4 = shape(w_x.0)[1];
                         if rg(*x_pack) {
                             let mode = contribute(x_pack.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(rows * kk);
-                            }
                             bwd.push(Instr::Gemm {
                                 ta: false,
                                 tb: true,
@@ -2647,9 +2976,6 @@ impl Capturer {
                         }
                         if rg(*w_x) {
                             let mode = contribute(w_x.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(kk * n4);
-                            }
                             bwd.push(Instr::Gemm {
                                 ta: true,
                                 tb: false,
@@ -2677,9 +3003,6 @@ impl Capturer {
                         let n4 = shape(w_h.0)[1];
                         if rg(*h) {
                             let mode = contribute(h.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(batch * hid);
-                            }
                             bwd.push(Instr::Gemm {
                                 ta: false,
                                 tb: true,
@@ -2694,9 +3017,6 @@ impl Capturer {
                         }
                         if rg(*w_h) {
                             let mode = contribute(w_h.0, &mut contrib, &mut grads_present);
-                            if mode == Mode::Add {
-                                scratch = scratch.max(hid * n4);
-                            }
                             bwd.push(Instr::Gemm {
                                 ta: true,
                                 tb: false,
@@ -2730,6 +3050,20 @@ impl Capturer {
                 }
             }
         }
+
+        // ---- plan optimizer: peephole elementwise fusion, gradient-copy
+        // propagation and scratch-free instruction folds. Runs before
+        // liveness so fused-away intermediates never get arena slots.
+        let (fwd_pre, bwd_pre) = (fwd.len(), bwd.len());
+        let pre_counts = plan_fuse::histogram(&fwd, &bwd);
+        if fuse_enabled() {
+            plan_fuse::optimize(&mut fwd, &mut fpos, &mut bwd, &mut bpos, &seed_vids);
+        }
+        // Shared f32 scratch sized from the final schedule's largest
+        // consumer; the executor only ever slices it, so replays can never
+        // grow it.
+        let scratch =
+            fwd.iter().chain(bwd.iter()).map(plan_fuse::scratch_req).max().unwrap_or(0);
 
         // ---- liveness over the 2N-position schedule
         let mut uses: HashMap<u32, (usize, usize)> = HashMap::new();
@@ -2824,6 +3158,8 @@ impl Capturer {
             nodes: n,
             fwd_instrs: fwd.len(),
             bwd_instrs: bwd.len(),
+            fwd_instrs_pre: fwd_pre,
+            bwd_instrs_pre: bwd_pre,
             arena_slots: phys_sizes.len(),
             arena_bytes: phys_sizes.iter().sum::<usize>() * 4,
             peak_live_bytes: peak,
@@ -2866,6 +3202,7 @@ impl Capturer {
             loss_out,
             par_grad_present: spec.params.iter().map(|&v| contrib[v.0] > 0).collect(),
             stats,
+            pre_counts,
         })
     }
 }
@@ -3225,6 +3562,112 @@ mod tests {
                 plan.param_grad(k).expect("grad present").as_slice(),
                 fresh.g.grad(pvar).expect("tape grad").as_slice(),
                 "mixed grad",
+            );
+        }
+    }
+
+    // ---- plan optimizer (fusion / copy-prop / folds) ---------------------
+
+    #[test]
+    fn fused_lstm_replay_matches_unfused_bitwise() {
+        // LSTM chain: exercises the LstmG direct rewrite and the
+        // Gemm{Add}->GemmAcc fold (all inner dims here are single-k-block).
+        let ps0 = lstm_params(141);
+        let x0 = t(150, &[T * B, IN]);
+        let lab0 = vec![1usize, 0];
+        let tape = lstm_tape(&x0, &ps0.iter().collect::<Vec<_>>(), &lab0);
+        let spec = CaptureSpec {
+            inputs: &tape.inputs,
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut fused =
+            with_fuse_override(true, || Plan::capture(&tape.g, &spec)).expect("fused capture");
+        let mut plain =
+            with_fuse_override(false, || Plan::capture(&tape.g, &spec)).expect("unfused capture");
+
+        // fuse=0 must reproduce the raw emission exactly.
+        let (fs, us) = (fused.stats(), plain.stats());
+        assert_eq!(us.fwd_instrs, us.fwd_instrs_pre);
+        assert_eq!(us.bwd_instrs, us.bwd_instrs_pre);
+        assert_eq!(fs.fwd_instrs_pre, us.fwd_instrs);
+        assert_eq!(fs.bwd_instrs_pre, us.bwd_instrs);
+        // LstmG direct + GemmAcc folds drop every scratch consumer here.
+        assert!(
+            fs.scratch_bytes < us.scratch_bytes,
+            "optimizer should shrink scratch: {} vs {}",
+            fs.scratch_bytes,
+            us.scratch_bytes
+        );
+
+        let ps1 = lstm_params(151);
+        let x1 = t(152, &[T * B, IN]);
+        let lab1 = vec![3usize, 2];
+        let pr: Vec<&Tensor> = ps1.iter().collect();
+        let zeros = Tensor::zeros(&[B, H]);
+        let ins: Vec<&Tensor> = vec![&x1, &zeros, &zeros];
+        let feeds = Feeds { labels: &[&lab1], ..Feeds::default() };
+        fused.replay_step(&ins, &pr, &feeds);
+        plain.replay_step(&ins, &pr, &feeds);
+        assert_bits(&[fused.loss()], &[plain.loss()], "fused lstm loss");
+        for k in 0..pr.len() {
+            assert_bits(
+                fused.param_grad(k).expect("fused grad").as_slice(),
+                plain.param_grad(k).expect("plain grad").as_slice(),
+                "fused lstm grad",
+            );
+        }
+    }
+
+    #[test]
+    fn fused_mixed_replay_matches_unfused_with_fewer_instrs() {
+        // Mixed tape: mul->sigmoid and row_scale->tanh and scale->add_scalar
+        // chains exercise the FusedEw peephole; add_scalar's backward
+        // ScaleG{c=1} exercises copy-prop.
+        let table0 = t(200, &[7, 6]);
+        let sv0 = t(201, &[4, 1]);
+        let x20 = t(202, &[2, 12]);
+        let ids0 = vec![2usize, 5, 0, 3];
+        let mask0 = t(203, &[4, 6]);
+        let tape = mixed_tape(&x20, &table0, &sv0, &ids0, &mask0);
+        let spec = CaptureSpec {
+            inputs: &[tape.x2],
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut fused =
+            with_fuse_override(true, || Plan::capture(&tape.g, &spec)).expect("fused capture");
+        let mut plain =
+            with_fuse_override(false, || Plan::capture(&tape.g, &spec)).expect("unfused capture");
+        let (fs, us) = (fused.stats(), plain.stats());
+        assert!(
+            fs.fwd_instrs + fs.bwd_instrs < us.fwd_instrs + us.bwd_instrs,
+            "optimizer should remove instructions: fused {}+{} vs unfused {}+{}",
+            fs.fwd_instrs,
+            fs.bwd_instrs,
+            us.fwd_instrs,
+            us.bwd_instrs
+        );
+        assert!(fs.peak_live_bytes <= us.peak_live_bytes);
+
+        let table1 = t(210, &[7, 6]);
+        let sv1 = t(211, &[4, 1]);
+        let x21 = t(212, &[2, 12]);
+        let ids1 = vec![6usize, 1, 4, 2];
+        let mask1 = t(213, &[4, 6]);
+        let feeds = Feeds { ids: &[&ids1], masks: &[&mask1], ..Feeds::default() };
+        for plan in [&mut fused, &mut plain] {
+            plan.replay_forward(&[&x21], &[&table1, &sv1], &feeds);
+            plan.replay_backward_loss(&[&x21], &[&table1, &sv1]);
+        }
+        assert_bits(&[fused.loss()], &[plain.loss()], "fused mixed loss");
+        for k in 0..2 {
+            assert_bits(
+                fused.param_grad(k).expect("fused grad").as_slice(),
+                plain.param_grad(k).expect("plain grad").as_slice(),
+                "fused mixed grad",
             );
         }
     }

@@ -1,0 +1,829 @@
+//! Plan optimizer: peephole rewrites over a captured schedule.
+//!
+//! Runs inside [`Capturer::run`](super::Plan::capture) after instruction
+//! emission and *before* liveness/slot assignment, so every rewrite works on
+//! virtual slot ids (value of node `i` = slot `i`, gradient = slot `n + i`)
+//! and the arena simply shrinks around whatever the passes delete.
+//!
+//! Every rewrite here must keep replay **bitwise identical** to the
+//! unoptimized schedule (and therefore to the tape). The passes:
+//!
+//! 1. **Gradient copy propagation** — `ScaleG { c: 1.0, mode: Store }` is the
+//!    tape's plain gradient copy. When the copy's destination has exactly one
+//!    writer and all its readers come later in the backward list, readers are
+//!    rewritten to the copy's source and the copy is deleted. `x * 1.0`
+//!    reproduces `x` bit for bit (signs, infinities and quiet NaNs included),
+//!    so dropping the multiply cannot change anything downstream.
+//! 2. **Elementwise fusion** — a chain of same-length elementwise
+//!    instructions where each intermediate is produced once and consumed once
+//!    collapses into a single [`Instr::FusedEw`] evaluating the composed
+//!    per-element expression in one sweep. Each stage applies the *same
+//!    scalar expression* as the instruction it replaces, in the same order,
+//!    so every f32 rounding step is preserved; the only thing that
+//!    disappears is the round-trip of the intermediate through memory.
+//! 3. **GEMM accumulate folding** — `Gemm { mode: Add }` normally detours
+//!    through scratch because in-engine accumulation across k-blocks would
+//!    reassociate partial sums. When the inner dimension fits a single
+//!    k-block ([`legw_tensor::gemm_single_k_block`]) the engine adds the
+//!    identical micro-tile product with exactly one `+=` per element, so the
+//!    detour (and its scratch) is dropped in favour of [`Instr::GemmAcc`].
+//! 4. **Direct LSTM backward** — when both `LstmG` destinations are
+//!    `Mode::Store`, `lstm_cell_backward_into` can write them in place
+//!    instead of bouncing through scratch. Safe on physical slots because
+//!    the allocator assigns births before deaths at each schedule position:
+//!    a destination born at the `LstmG` never shares a slot with an operand
+//!    still live there, and the two destinations (both born there) get
+//!    distinct slots.
+//!
+//! What refuses to fuse (and why): reductions (`ColSumG`, `SumAllG`, …)
+//! change element count; `Mode::Add` producers fold an accumulation into the
+//! intermediate, so the chain is not a pure per-element function of the lead
+//! operand; `SigmoidG`/`TanhG`/`ReluG` only chain through their `up` operand
+//! (the saved activation is an independent input, not part of the chain);
+//! anything whose single consumer lives in the *other* list stays put —
+//! gradient seeding runs between the forward and backward sweeps, so a value
+//! computed in the forward list must be materialized before it.
+
+use super::{kind_name, Dst, EwKind, FusedStage, Instr, Loc, Mode, UnKind};
+
+/// Hard cap on stages per [`Instr::FusedEw`]; chains longer than this keep
+/// their tail unfused. Keeps operand-resolution overhead bounded.
+const MAX_STAGES: usize = 16;
+
+// -------------------------------------------------------------- visitors
+//
+// Conservative read/write visitors over *locations* (not just slots, unlike
+// `visit_slots`): `for_each_read` also reports a destination whose prior
+// contents the instruction observes (any `Mode::Add` target, partial writes
+// like `CopyBlock`). Over-reporting a read or write only makes the passes
+// skip an opportunity; under-reporting would corrupt replays, so every arm
+// errs on the side of "touches it".
+
+fn dst_read(d: Dst, f: &mut dyn FnMut(Loc)) {
+    match d {
+        Dst::Slot(i) => f(Loc::Slot(i)),
+        Dst::Out(i) => f(Loc::Out(i)),
+        // Parameter gradients are replay outputs — no instruction reads them.
+        Dst::ParGrad(_) => {}
+    }
+}
+
+fn opt_dst_read(d: &Option<(Dst, Mode)>, f: &mut dyn FnMut(Loc)) {
+    if let Some((d, Mode::Add)) = d {
+        dst_read(*d, f);
+    }
+}
+
+/// Operand a [`FusedStage`] reads besides the flowing value, if any.
+pub(super) fn stage_operand(s: &FusedStage) -> Option<Loc> {
+    match s {
+        FusedStage::Bin { other, .. } => Some(*other),
+        FusedStage::BiasCol { bias, .. } => Some(*bias),
+        FusedStage::RowScaleS { s, .. } => Some(*s),
+        FusedStage::GradSigmoid { y } | FusedStage::GradTanh { y } => Some(*y),
+        FusedStage::GradRelu { x } => Some(*x),
+        // Masks live in their own replay-constant table, never in the arena.
+        FusedStage::Un { .. } | FusedStage::Mask { .. } => None,
+    }
+}
+
+/// Calls `f` for every location whose *current contents* the instruction
+/// reads — operands plus any destination it accumulates into or only
+/// partially overwrites.
+pub(super) fn for_each_read(ins: &Instr, f: &mut dyn FnMut(Loc)) {
+    match ins {
+        // ---- forward (destinations fully overwritten unless noted)
+        Instr::Ew { a, b, .. } => {
+            f(*a);
+            f(*b);
+        }
+        Instr::Unary { a, .. } => f(*a),
+        Instr::AddBias { x, bias, .. } => {
+            f(*x);
+            f(*bias);
+        }
+        Instr::RowScale { x, s, .. } => {
+            f(*x);
+            f(*s);
+        }
+        Instr::Gemm { a, b, dst, mode, .. } => {
+            f(*a);
+            f(*b);
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::GemmAcc { a, b, dst, .. } => {
+            f(*a);
+            f(*b);
+            dst_read(*dst, f);
+        }
+        Instr::ConcatColsF { parts, .. } => {
+            for (l, _) in parts {
+                f(*l);
+            }
+        }
+        Instr::SliceColsF { x, .. } => f(*x),
+        Instr::CopyBlock { src, dst, .. } => {
+            f(*src);
+            // Writes a sub-range; the rest of the destination survives.
+            dst_read(*dst, f);
+        }
+        Instr::SumAllF { x, .. } => f(*x),
+        Instr::DropoutF { x, .. } => f(*x),
+        Instr::EmbedF { table, .. } => f(*table),
+        Instr::SoftmaxF { x, .. } => f(*x),
+        Instr::CeF { logits, .. } => f(*logits),
+        Instr::ConvF { x, w, .. } => {
+            f(*x);
+            f(*w);
+        }
+        Instr::MaxPoolF { x, .. } => f(*x),
+        Instr::GapF { x, .. } => f(*x),
+        Instr::BnF { x, gamma, beta, .. } => {
+            f(*x);
+            f(*gamma);
+            f(*beta);
+        }
+        Instr::LstmF { preact, c_prev, .. } => {
+            f(*preact);
+            f(*c_prev);
+        }
+        Instr::PreactSeqF { x, w, bias, .. } => {
+            f(*x);
+            f(*w);
+            f(*bias);
+        }
+        Instr::RecurStepF { seq, h, w_h, .. } => {
+            f(*seq);
+            f(*h);
+            f(*w_h);
+        }
+        Instr::FusedEw { a0, stages, dst, mode, .. } => {
+            f(*a0);
+            for s in stages {
+                if let Some(l) = stage_operand(s) {
+                    f(l);
+                }
+            }
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+
+        // ---- backward (destination read whenever `Mode::Add`)
+        Instr::ScaleG { up, dst, mode, .. }
+        | Instr::DropoutG { up, dst, mode, .. }
+        | Instr::ColSumG { up, dst, mode, .. }
+        | Instr::ColsBlockG { up, dst, mode, .. }
+        | Instr::ColsScatterG { up, dst, mode, .. }
+        | Instr::SumAllG { up, dst, mode, .. }
+        | Instr::EmbedG { up, dst, mode, .. }
+        | Instr::CeG { up, dst, mode, .. }
+        | Instr::MaxPoolG { up, dst, mode, .. }
+        | Instr::GapG { up, dst, mode, .. } => {
+            f(*up);
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::MulG { up, other, dst, mode, .. } => {
+            f(*up);
+            f(*other);
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::SigmoidG { up, y, dst, mode, .. }
+        | Instr::TanhG { up, y, dst, mode, .. }
+        | Instr::SoftmaxG { up, y, dst, mode, .. } => {
+            f(*up);
+            f(*y);
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::ReluG { up, x, dst, mode, .. } | Instr::RowScaleDs { up, x, dst, mode, .. } => {
+            f(*up);
+            f(*x);
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::RowScaleDx { up, s, dst, mode, .. } => {
+            f(*up);
+            f(*s);
+            if *mode == Mode::Add {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::BlockG { up, dst, mode, zero_rest, .. } => {
+            f(*up);
+            // Only `Store` + `zero_rest` defines the whole destination.
+            if *mode == Mode::Add || !*zero_rest {
+                dst_read(*dst, f);
+            }
+        }
+        Instr::ConvG { up, w, dw, dx, .. } => {
+            f(*up);
+            f(*w);
+            opt_dst_read(dw, f);
+            opt_dst_read(dx, f);
+        }
+        Instr::BnG { up, gamma, dg, dbt, dx, .. } => {
+            f(*up);
+            f(*gamma);
+            opt_dst_read(dg, f);
+            opt_dst_read(dbt, f);
+            opt_dst_read(dx, f);
+        }
+        Instr::LstmG { c_prev, dh, dc, dpre, dcp, .. } => {
+            f(*c_prev);
+            if let Some(l) = dh {
+                f(*l);
+            }
+            if let Some(l) = dc {
+                f(*l);
+            }
+            if dpre.1 == Mode::Add {
+                dst_read(dpre.0, f);
+            }
+            if dcp.1 == Mode::Add {
+                dst_read(dcp.0, f);
+            }
+        }
+        Instr::RecurSeqG { up, dst, zero_first, .. } => {
+            f(*up);
+            if !*zero_first {
+                dst_read(*dst, f);
+            }
+        }
+    }
+}
+
+/// Calls `f` for every destination the instruction writes (any mode).
+pub(super) fn for_each_write(ins: &Instr, f: &mut dyn FnMut(Dst)) {
+    match ins {
+        Instr::Ew { dst, .. }
+        | Instr::Unary { dst, .. }
+        | Instr::AddBias { dst, .. }
+        | Instr::RowScale { dst, .. }
+        | Instr::Gemm { dst, .. }
+        | Instr::GemmAcc { dst, .. }
+        | Instr::ConcatColsF { dst, .. }
+        | Instr::SliceColsF { dst, .. }
+        | Instr::CopyBlock { dst, .. }
+        | Instr::SumAllF { dst, .. }
+        | Instr::DropoutF { dst, .. }
+        | Instr::EmbedF { dst, .. }
+        | Instr::SoftmaxF { dst, .. }
+        | Instr::CeF { dst, .. }
+        | Instr::ConvF { dst, .. }
+        | Instr::MaxPoolF { dst, .. }
+        | Instr::GapF { dst, .. }
+        | Instr::BnF { dst, .. }
+        | Instr::PreactSeqF { dst, .. }
+        | Instr::RecurStepF { dst, .. }
+        | Instr::FusedEw { dst, .. }
+        | Instr::ScaleG { dst, .. }
+        | Instr::MulG { dst, .. }
+        | Instr::DropoutG { dst, .. }
+        | Instr::SigmoidG { dst, .. }
+        | Instr::TanhG { dst, .. }
+        | Instr::ReluG { dst, .. }
+        | Instr::ColSumG { dst, .. }
+        | Instr::RowScaleDx { dst, .. }
+        | Instr::RowScaleDs { dst, .. }
+        | Instr::ColsBlockG { dst, .. }
+        | Instr::ColsScatterG { dst, .. }
+        | Instr::BlockG { dst, .. }
+        | Instr::SumAllG { dst, .. }
+        | Instr::EmbedG { dst, .. }
+        | Instr::SoftmaxG { dst, .. }
+        | Instr::CeG { dst, .. }
+        | Instr::MaxPoolG { dst, .. }
+        | Instr::GapG { dst, .. }
+        | Instr::RecurSeqG { dst, .. } => f(*dst),
+        Instr::LstmF { c_dst, h_dst, .. } => {
+            f(*c_dst);
+            f(*h_dst);
+        }
+        Instr::ConvG { dw, dx, .. } => {
+            for o in [dw, dx].into_iter().flatten() {
+                f(o.0);
+            }
+        }
+        Instr::BnG { dg, dbt, dx, .. } => {
+            for o in [dg, dbt, dx].into_iter().flatten() {
+                f(o.0);
+            }
+        }
+        Instr::LstmG { dpre, dcp, .. } => {
+            f(dpre.0);
+            f(dcp.0);
+        }
+    }
+}
+
+/// Calls `f` on every operand [`Loc`] so a pass can redirect reads.
+/// Destinations are never visited — rewriting a write is not a read rename.
+pub(super) fn rewrite_reads(ins: &mut Instr, f: &mut dyn FnMut(&mut Loc)) {
+    match ins {
+        Instr::Unary { a, .. } => f(a),
+        Instr::Ew { a, b, .. } | Instr::Gemm { a, b, .. } | Instr::GemmAcc { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::AddBias { x, bias, .. } => {
+            f(x);
+            f(bias);
+        }
+        Instr::RowScale { x, s, .. } => {
+            f(x);
+            f(s);
+        }
+        Instr::ConcatColsF { parts, .. } => {
+            for (l, _) in parts {
+                f(l);
+            }
+        }
+        Instr::SliceColsF { x, .. }
+        | Instr::SumAllF { x, .. }
+        | Instr::DropoutF { x, .. }
+        | Instr::SoftmaxF { x, .. }
+        | Instr::MaxPoolF { x, .. }
+        | Instr::GapF { x, .. } => f(x),
+        Instr::CopyBlock { src, .. } => f(src),
+        Instr::EmbedF { table, .. } => f(table),
+        Instr::CeF { logits, .. } => f(logits),
+        Instr::ConvF { x, w, .. } => {
+            f(x);
+            f(w);
+        }
+        Instr::BnF { x, gamma, beta, .. } => {
+            f(x);
+            f(gamma);
+            f(beta);
+        }
+        Instr::LstmF { preact, c_prev, .. } => {
+            f(preact);
+            f(c_prev);
+        }
+        Instr::PreactSeqF { x, w, bias, .. } => {
+            f(x);
+            f(w);
+            f(bias);
+        }
+        Instr::RecurStepF { seq, h, w_h, .. } => {
+            f(seq);
+            f(h);
+            f(w_h);
+        }
+        Instr::FusedEw { a0, stages, .. } => {
+            f(a0);
+            for s in stages {
+                match s {
+                    FusedStage::Bin { other, .. } => f(other),
+                    FusedStage::BiasCol { bias, .. } => f(bias),
+                    FusedStage::RowScaleS { s, .. } => f(s),
+                    FusedStage::GradSigmoid { y } | FusedStage::GradTanh { y } => f(y),
+                    FusedStage::GradRelu { x } => f(x),
+                    FusedStage::Un { .. } | FusedStage::Mask { .. } => {}
+                }
+            }
+        }
+        Instr::ScaleG { up, .. }
+        | Instr::DropoutG { up, .. }
+        | Instr::ColSumG { up, .. }
+        | Instr::ColsBlockG { up, .. }
+        | Instr::ColsScatterG { up, .. }
+        | Instr::BlockG { up, .. }
+        | Instr::SumAllG { up, .. }
+        | Instr::EmbedG { up, .. }
+        | Instr::CeG { up, .. }
+        | Instr::MaxPoolG { up, .. }
+        | Instr::GapG { up, .. }
+        | Instr::RecurSeqG { up, .. } => f(up),
+        Instr::MulG { up, other, .. } => {
+            f(up);
+            f(other);
+        }
+        Instr::SigmoidG { up, y, .. }
+        | Instr::TanhG { up, y, .. }
+        | Instr::SoftmaxG { up, y, .. } => {
+            f(up);
+            f(y);
+        }
+        Instr::ReluG { up, x, .. } | Instr::RowScaleDs { up, x, .. } => {
+            f(up);
+            f(x);
+        }
+        Instr::RowScaleDx { up, s, .. } => {
+            f(up);
+            f(s);
+        }
+        Instr::ConvG { up, w, .. } => {
+            f(up);
+            f(w);
+        }
+        Instr::BnG { up, gamma, .. } => {
+            f(up);
+            f(gamma);
+        }
+        Instr::LstmG { c_prev, dh, dc, .. } => {
+            f(c_prev);
+            if let Some(l) = dh {
+                f(l);
+            }
+            if let Some(l) = dc {
+                f(l);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- queries
+
+fn dst_overlaps(d: Dst, l: Loc) -> bool {
+    match (d, l) {
+        (Dst::Slot(a), Loc::Slot(b)) => a == b,
+        (Dst::Out(a), Loc::Out(b)) => a == b,
+        // Inputs, params and consts are read-only during a replay sweep;
+        // ParGrad is never read.
+        _ => false,
+    }
+}
+
+/// (writes, reads) of virtual slot `v` across both instruction lists.
+fn slot_use(fwd: &[Instr], bwd: &[Instr], v: u32) -> (usize, usize) {
+    let (mut writes, mut reads) = (0usize, 0usize);
+    for ins in fwd.iter().chain(bwd.iter()) {
+        for_each_write(ins, &mut |d| {
+            if d == Dst::Slot(v) {
+                writes += 1;
+            }
+        });
+        for_each_read(ins, &mut |l| {
+            if l == Loc::Slot(v) {
+                reads += 1;
+            }
+        });
+    }
+    (writes, reads)
+}
+
+fn reads_slot(ins: &Instr, v: u32) -> bool {
+    let mut seen = false;
+    for_each_read(ins, &mut |l| {
+        if l == Loc::Slot(v) {
+            seen = true;
+        }
+    });
+    seen
+}
+
+// ----------------------------------------------------- copy propagation
+
+/// Deletes `ScaleG { c: 1.0, mode: Store }` gradient copies from the
+/// backward list, rewiring their readers to the copy's source.
+///
+/// `x * 1.0` is bitwise `x` for every value gradients can hold, so this is
+/// exact; the only thing to prove is that the source still holds the copied
+/// value when each rewired reader runs (no intervening write), checked below.
+fn copy_prop(fwd: &[Instr], bwd: &mut Vec<Instr>, bpos: &mut Vec<usize>, seed_vids: &[u32]) {
+    'restart: loop {
+        for p in 0..bwd.len() {
+            let Instr::ScaleG { up, dst: Dst::Slot(v), mode: Mode::Store, c, .. } = bwd[p] else {
+                continue;
+            };
+            if c.to_bits() != 1.0f32.to_bits() {
+                continue;
+            }
+            // Seeded slots are written by the replay driver between the
+            // sweeps; they must stay materialized.
+            if seed_vids.contains(&v) || up == Loc::Slot(v) {
+                continue;
+            }
+            let (writes, _) = slot_use(fwd, bwd, v);
+            if writes != 1 {
+                continue;
+            }
+            if fwd.iter().any(|ins| reads_slot(ins, v)) {
+                continue;
+            }
+            let read_idx: Vec<usize> = (0..bwd.len()).filter(|&i| reads_slot(&bwd[i], v)).collect();
+            if read_idx.is_empty() || read_idx.iter().any(|&r| r <= p) {
+                continue;
+            }
+            // The source must not be overwritten before the last rewired read.
+            let r_max = *read_idx.last().unwrap();
+            let mut clobbered = false;
+            for ins in &bwd[p + 1..=r_max] {
+                for_each_write(ins, &mut |d| {
+                    if dst_overlaps(d, up) {
+                        clobbered = true;
+                    }
+                });
+            }
+            if clobbered {
+                continue;
+            }
+            for &r in &read_idx {
+                rewrite_reads(&mut bwd[r], &mut |l| {
+                    if *l == Loc::Slot(v) {
+                        *l = up;
+                    }
+                });
+            }
+            bwd.remove(p);
+            bpos.remove(p);
+            continue 'restart;
+        }
+        break;
+    }
+}
+
+// ------------------------------------------------------------------ fusion
+
+/// The stage pipeline an instruction contributes when it *produces* a fused
+/// chain's intermediate: `(lead operand, stages, produced slot, length)`.
+///
+/// Backward producers must be `Mode::Store` — an `Add` producer's output is
+/// not a pure function of its lead operand.
+fn as_producer(ins: &Instr) -> Option<(Loc, Vec<FusedStage>, u32, usize)> {
+    match ins {
+        Instr::Ew { kind, a, b, dst: Dst::Slot(v), n } => {
+            Some((*a, vec![FusedStage::Bin { kind: *kind, other: *b, swapped: false }], *v, *n))
+        }
+        Instr::Unary { kind, a, dst: Dst::Slot(v), n } => {
+            Some((*a, vec![FusedStage::Un { kind: *kind }], *v, *n))
+        }
+        Instr::AddBias { x, bias, dst: Dst::Slot(v), rows, cols } => {
+            Some((*x, vec![FusedStage::BiasCol { bias: *bias, cols: *cols }], *v, rows * cols))
+        }
+        Instr::RowScale { x, s, dst: Dst::Slot(v), rows, cols } => {
+            Some((*x, vec![FusedStage::RowScaleS { s: *s, cols: *cols }], *v, rows * cols))
+        }
+        Instr::DropoutF { x, mask, dst: Dst::Slot(v), n } => {
+            Some((*x, vec![FusedStage::Mask { mask: *mask }], *v, *n))
+        }
+        Instr::ScaleG { up, dst: Dst::Slot(v), mode: Mode::Store, n, c } => {
+            Some((*up, vec![FusedStage::Un { kind: UnKind::Scale(*c) }], *v, *n))
+        }
+        Instr::MulG { up, other, dst: Dst::Slot(v), mode: Mode::Store, n } => Some((
+            *up,
+            vec![FusedStage::Bin { kind: EwKind::Mul, other: *other, swapped: false }],
+            *v,
+            *n,
+        )),
+        Instr::DropoutG { up, mask, dst: Dst::Slot(v), mode: Mode::Store, n } => {
+            Some((*up, vec![FusedStage::Mask { mask: *mask }], *v, *n))
+        }
+        Instr::SigmoidG { up, y, dst: Dst::Slot(v), mode: Mode::Store, n } => {
+            Some((*up, vec![FusedStage::GradSigmoid { y: *y }], *v, *n))
+        }
+        Instr::TanhG { up, y, dst: Dst::Slot(v), mode: Mode::Store, n } => {
+            Some((*up, vec![FusedStage::GradTanh { y: *y }], *v, *n))
+        }
+        Instr::ReluG { up, x, dst: Dst::Slot(v), mode: Mode::Store, n } => {
+            Some((*up, vec![FusedStage::GradRelu { x: *x }], *v, *n))
+        }
+        Instr::FusedEw { a0, stages, dst: Dst::Slot(v), mode: Mode::Store, n } => {
+            Some((*a0, stages.clone(), *v, *n))
+        }
+        _ => None,
+    }
+}
+
+/// The stage pipeline an instruction contributes when it *consumes* slot `v`
+/// as the value flowing through the chain: `(stages, dst, mode, length)`.
+///
+/// Only the lead operand may be `v` — the saved-activation operands of the
+/// grad kernels (`y`, `x`) are chain *inputs*, not links. The caller's
+/// single-read precondition already rules out `v` appearing twice.
+fn consume(ins: &Instr, v: u32) -> Option<(Vec<FusedStage>, Dst, Mode, usize)> {
+    let lead = Loc::Slot(v);
+    match ins {
+        Instr::Ew { kind, a, b, dst, n } => {
+            if *a == lead {
+                Some((
+                    vec![FusedStage::Bin { kind: *kind, other: *b, swapped: false }],
+                    *dst,
+                    Mode::Store,
+                    *n,
+                ))
+            } else if *b == lead {
+                Some((
+                    vec![FusedStage::Bin { kind: *kind, other: *a, swapped: true }],
+                    *dst,
+                    Mode::Store,
+                    *n,
+                ))
+            } else {
+                None
+            }
+        }
+        Instr::Unary { kind, a, dst, n } if *a == lead => {
+            Some((vec![FusedStage::Un { kind: *kind }], *dst, Mode::Store, *n))
+        }
+        Instr::AddBias { x, bias, dst, rows, cols } if *x == lead => Some((
+            vec![FusedStage::BiasCol { bias: *bias, cols: *cols }],
+            *dst,
+            Mode::Store,
+            rows * cols,
+        )),
+        Instr::RowScale { x, s, dst, rows, cols } if *x == lead => Some((
+            vec![FusedStage::RowScaleS { s: *s, cols: *cols }],
+            *dst,
+            Mode::Store,
+            rows * cols,
+        )),
+        Instr::DropoutF { x, mask, dst, n } if *x == lead => {
+            Some((vec![FusedStage::Mask { mask: *mask }], *dst, Mode::Store, *n))
+        }
+        Instr::ScaleG { up, dst, mode, n, c } if *up == lead => {
+            Some((vec![FusedStage::Un { kind: UnKind::Scale(*c) }], *dst, *mode, *n))
+        }
+        Instr::MulG { up, other, dst, mode, n } => {
+            if *up == lead {
+                Some((
+                    vec![FusedStage::Bin { kind: EwKind::Mul, other: *other, swapped: false }],
+                    *dst,
+                    *mode,
+                    *n,
+                ))
+            } else if *other == lead {
+                Some((
+                    vec![FusedStage::Bin { kind: EwKind::Mul, other: *up, swapped: true }],
+                    *dst,
+                    *mode,
+                    *n,
+                ))
+            } else {
+                None
+            }
+        }
+        Instr::DropoutG { up, mask, dst, mode, n } if *up == lead => {
+            Some((vec![FusedStage::Mask { mask: *mask }], *dst, *mode, *n))
+        }
+        Instr::SigmoidG { up, y, dst, mode, n } if *up == lead => {
+            Some((vec![FusedStage::GradSigmoid { y: *y }], *dst, *mode, *n))
+        }
+        Instr::TanhG { up, y, dst, mode, n } if *up == lead => {
+            Some((vec![FusedStage::GradTanh { y: *y }], *dst, *mode, *n))
+        }
+        Instr::ReluG { up, x, dst, mode, n } if *up == lead => {
+            Some((vec![FusedStage::GradRelu { x: *x }], *dst, *mode, *n))
+        }
+        Instr::FusedEw { a0, stages, dst, mode, n } if *a0 == lead => {
+            Some((stages.clone(), *dst, *mode, *n))
+        }
+        _ => None,
+    }
+}
+
+/// Fuses producer/consumer pairs within one instruction list until no pair
+/// is left. The merged [`Instr::FusedEw`] takes the consumer's position, so
+/// the producer's operand reads move *later* in the schedule — legal only
+/// because nothing in between writes them (checked per pair).
+fn fuse_list(list: &mut Vec<Instr>, pos: &mut Vec<usize>, other: &[Instr], seed_vids: &[u32]) {
+    'restart: loop {
+        for p in 0..list.len() {
+            let Some((a0, pstages, v, n)) = as_producer(&list[p]) else { continue };
+            if seed_vids.contains(&v) {
+                continue;
+            }
+            // The intermediate must have exactly this writer and exactly one
+            // reader anywhere in the plan…
+            let (writes, reads) = slot_use(list, other, v);
+            if writes != 1 || reads != 1 {
+                continue;
+            }
+            // …and that reader must be a fusible consumer later in the SAME
+            // list (a cross-list chain would move the producer past the
+            // gradient seeding that runs between the sweeps).
+            let Some(j) = (0..list.len()).find(|&i| reads_slot(&list[i], v)) else { continue };
+            if j <= p {
+                continue;
+            }
+            let Some((cstages, cdst, cmode, cn)) = consume(&list[j], v) else { continue };
+            if cn != n || pstages.len() + cstages.len() > MAX_STAGES {
+                continue;
+            }
+            // Everything the producer reads must still be intact at `j`…
+            let mut pread: Vec<Loc> = vec![a0];
+            for s in &pstages {
+                if let Some(l) = stage_operand(s) {
+                    pread.push(l);
+                }
+            }
+            let mut clobbered = false;
+            for ins in &list[p + 1..j] {
+                for_each_write(ins, &mut |d| {
+                    if pread.iter().any(|&l| dst_overlaps(d, l)) {
+                        clobbered = true;
+                    }
+                });
+            }
+            if clobbered {
+                continue;
+            }
+            // …including across the merged instruction's own write: the
+            // executor takes the destination buffer out of the store for the
+            // sweep, so no stage may read it.
+            if pread.iter().any(|&l| dst_overlaps(cdst, l)) {
+                continue;
+            }
+            let mut stages = pstages;
+            stages.extend(cstages);
+            list[j] = Instr::FusedEw { a0, stages, dst: cdst, mode: cmode, n };
+            list.remove(p);
+            pos.remove(p);
+            continue 'restart;
+        }
+        break;
+    }
+}
+
+// ------------------------------------------------- single-instruction folds
+
+/// Folds `Gemm { mode: Add }` into [`Instr::GemmAcc`] when the shape runs as
+/// a single k-block, and flips `LstmG` to its direct (scratch-free) form
+/// when both destinations are plain stores.
+fn fold_instr(ins: &mut Instr) {
+    if let Instr::Gemm { ta, tb, a, b, m, k, n, dst, mode: Mode::Add } = *ins {
+        if legw_tensor::gemm_single_k_block(k) {
+            *ins = Instr::GemmAcc { ta, tb, a, b, m, k, n, dst };
+        }
+    }
+    if let Instr::LstmG { dpre, dcp, direct, .. } = ins {
+        if dpre.1 == Mode::Store && dcp.1 == Mode::Store {
+            // Two destinations born at the same schedule position always get
+            // distinct physical slots (births before deaths).
+            debug_assert!(dpre.0 != dcp.0, "LstmG store destinations must be distinct");
+            *direct = true;
+        }
+    }
+}
+
+// ------------------------------------------------------------- entry points
+
+/// Runs every optimization pass over a freshly emitted schedule. Positions
+/// (`fpos`/`bpos`) stay in lockstep with their instruction lists so the
+/// liveness sweep that follows sees a consistent schedule.
+pub(super) fn optimize(
+    fwd: &mut Vec<Instr>,
+    fpos: &mut Vec<usize>,
+    bwd: &mut Vec<Instr>,
+    bpos: &mut Vec<usize>,
+    seed_vids: &[u32],
+) {
+    copy_prop(fwd, bwd, bpos, seed_vids);
+    fuse_list(fwd, fpos, bwd, seed_vids);
+    fuse_list(bwd, bpos, fwd, seed_vids);
+    for ins in fwd.iter_mut().chain(bwd.iter_mut()) {
+        fold_instr(ins);
+    }
+}
+
+/// f32 scratch elements an instruction needs at replay. The capture sizes
+/// the shared scratch buffer to the max over the final schedule; the
+/// executor only ever slices that buffer, so a wrong value here would panic
+/// rather than reallocate.
+pub(super) fn scratch_req(ins: &Instr) -> usize {
+    match ins {
+        Instr::Gemm { m, n, mode: Mode::Add, .. } => m * n,
+        Instr::EmbedG { mode: Mode::Add, vocab, dim, .. } => vocab * dim,
+        Instr::ConvG { dw, dx, geom, batch, oc, .. } => {
+            let ckk = geom.c * geom.kh * geom.kw;
+            let dw_need = matches!(dw, Some((_, Mode::Add))).then_some(oc * ckk).unwrap_or(0);
+            let dx_need = matches!(dx, Some((_, Mode::Add)))
+                .then_some(batch * geom.c * geom.h * geom.w)
+                .unwrap_or(0);
+            dw_need.max(dx_need)
+        }
+        Instr::MaxPoolG { mode: Mode::Add, x_len, .. } => *x_len,
+        Instr::LstmG { direct, b, hid, .. } => {
+            if *direct {
+                0
+            } else {
+                b * 5 * hid
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Instruction histogram over both lists, keyed by [`kind_name`], in first-
+/// appearance order.
+pub(super) fn histogram(fwd: &[Instr], bwd: &[Instr]) -> Vec<(&'static str, usize)> {
+    let mut h: Vec<(&'static str, usize)> = Vec::new();
+    for ins in fwd.iter().chain(bwd.iter()) {
+        let name = kind_name(ins);
+        match h.iter_mut().find(|(n, _)| *n == name) {
+            Some(e) => e.1 += 1,
+            None => h.push((name, 1)),
+        }
+    }
+    h
+}

@@ -32,9 +32,10 @@
 //! trainer path.
 //!
 //! Configuration is explicit: build an [`ExecConfig`] (or parse the
-//! `LEGW_SHARDS` / `LEGW_THREADS` / `LEGW_REDUCE_OVERLAP` environment
-//! variables with [`ExecConfig::from_env`] — the one place in the library
-//! that reads them) and hand it to [`Executor::new`]. The four training
+//! `LEGW_SHARDS` / `LEGW_THREADS` / `LEGW_REDUCE_OVERLAP` /
+//! `LEGW_PLAN_FUSE` environment variables with [`ExecConfig::from_env`] —
+//! the one place in the library that reads them) and hand it to
+//! [`Executor::new`]. The four training
 //! workloads plug in through the [`ShardStep`](crate::steps::ShardStep)
 //! trait and run via [`Executor::step`](crate::steps).
 
@@ -69,11 +70,18 @@ pub struct ExecConfig {
     /// `false` exists for benchmarking the barrier path and as an escape
     /// hatch.
     pub reduce_overlap: bool,
+    /// Plan-optimizer override for captures made through this executor
+    /// (see `legw-autograd`'s plan module): `Some(b)` forces fusion on/off
+    /// for [`step_planned`](crate::plan_cache) captures; `None` (default)
+    /// inherits the `LEGW_PLAN_FUSE` environment toggle read by the
+    /// autograd crate at first capture. Replays are bitwise identical
+    /// either way — the setting only trades schedule size for debuggability.
+    pub plan_fuse: Option<bool>,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { shards: 1, threads: None, reduce_overlap: true }
+        Self { shards: 1, threads: None, reduce_overlap: true, plan_fuse: None }
     }
 }
 
@@ -96,9 +104,18 @@ impl ExecConfig {
         self
     }
 
+    /// Forces the plan optimizer on/off for captures made through this
+    /// executor, overriding the `LEGW_PLAN_FUSE` environment toggle.
+    pub fn with_plan_fuse(mut self, on: bool) -> Self {
+        self.plan_fuse = Some(on);
+        self
+    }
+
     /// Reads `LEGW_SHARDS` (positive integer, default 1), `LEGW_THREADS`
-    /// (positive integer, default machine parallelism) and
-    /// `LEGW_REDUCE_OVERLAP` (`0`/`false`/`off`/`no` disable, default on).
+    /// (positive integer, default machine parallelism),
+    /// `LEGW_REDUCE_OVERLAP` (`0`/`false`/`off`/`no` disable, default on)
+    /// and `LEGW_PLAN_FUSE` (same boolean grammar; unset leaves the plan
+    /// optimizer at the autograd crate's own default).
     ///
     /// A variable that is *set* but malformed (unparsable, zero, or an
     /// unrecognised boolean) falls back to the default **with a warning on
@@ -122,24 +139,25 @@ impl ExecConfig {
                 }
             }
         }
-        let reduce_overlap = match std::env::var("LEGW_REDUCE_OVERLAP") {
-            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-                "0" | "false" | "off" | "no" => false,
-                "1" | "true" | "on" | "yes" | "" => true,
+        fn boolean(key: &str) -> Option<bool> {
+            let raw = std::env::var(key).ok()?;
+            match raw.trim().to_ascii_lowercase().as_str() {
+                "0" | "false" | "off" | "no" => Some(false),
+                "1" | "true" | "on" | "yes" | "" => Some(true),
                 other => {
                     eprintln!(
-                        "legw: ignoring LEGW_REDUCE_OVERLAP={other:?} (expected \
-                         0/false/off/no or 1/true/on/yes); keeping streaming reduction on"
+                        "legw: ignoring {key}={other:?} (expected 0/false/off/no or \
+                         1/true/on/yes); falling back to the default"
                     );
-                    true
+                    None
                 }
-            },
-            Err(_) => true,
-        };
+            }
+        }
         Self {
             shards: positive("LEGW_SHARDS").unwrap_or(1),
             threads: positive("LEGW_THREADS"),
-            reduce_overlap,
+            reduce_overlap: boolean("LEGW_REDUCE_OVERLAP").unwrap_or(true),
+            plan_fuse: boolean("LEGW_PLAN_FUSE"),
         }
     }
 }
@@ -190,6 +208,7 @@ pub struct StepOutcome {
 pub struct Executor {
     shards: usize,
     overlap: bool,
+    plan_fuse: Option<bool>,
     /// Pool the shard closures run on (absent for the serial executor).
     /// Sized so `run(n ≤ shards)` gives each shard its own concurrent
     /// worker (the caller participates as one of them).
@@ -220,14 +239,16 @@ impl Executor {
         }
         let shards = config.shards.max(1);
         let overlap = config.reduce_overlap;
+        let plan_fuse = config.plan_fuse;
         if shards == 1 {
-            return Self { shards, overlap, shard_pool: None, intra: Vec::new() };
+            return Self { shards, overlap, plan_fuse, shard_pool: None, intra: Vec::new() };
         }
         let budget = default_threads();
         let intra_threads = (budget / shards).max(1);
         Self {
             shards,
             overlap,
+            plan_fuse,
             shard_pool: Some(ThreadPool::new(shards)),
             intra: (0..shards).map(|_| Arc::new(ThreadPool::new(intra_threads))).collect(),
         }
@@ -241,6 +262,12 @@ impl Executor {
     /// True when gradient reduction streams as shards complete.
     pub fn reduce_overlap(&self) -> bool {
         self.overlap
+    }
+
+    /// The plan-optimizer override captures made through this executor run
+    /// under (`None` = inherit the `LEGW_PLAN_FUSE` environment toggle).
+    pub fn plan_fuse(&self) -> Option<bool> {
+        self.plan_fuse
     }
 
     /// Contiguous example ranges for a batch of `n` examples: at most
@@ -516,11 +543,16 @@ mod tests {
     #[test]
     fn config_builder_and_defaults() {
         let cfg = ExecConfig::default();
-        assert_eq!(cfg, ExecConfig { shards: 1, threads: None, reduce_overlap: true });
+        assert_eq!(
+            cfg,
+            ExecConfig { shards: 1, threads: None, reduce_overlap: true, plan_fuse: None }
+        );
         let cfg = cfg.with_shards(0).with_reduce_overlap(false);
         assert_eq!(cfg.shards, 1, "shards clamp to >= 1");
         assert!(!cfg.reduce_overlap);
         let cfg = cfg.with_threads(6);
         assert_eq!(cfg.threads, Some(6));
+        let cfg = cfg.with_plan_fuse(false);
+        assert_eq!(cfg.plan_fuse, Some(false));
     }
 }

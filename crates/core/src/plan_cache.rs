@@ -28,11 +28,19 @@
 
 use crate::exec::{Executor, ShardOut, StepOutcome};
 use crate::steps::{MnistStep, PtbStep, ResnetStep, Seq2SeqStep, ShardStep};
+use legw_autograd::{with_fuse_override, PlanStats};
 use legw_models::StepPlan;
 use legw_nn::{DropCtx, GradBuffer, ParamSet};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// `LEGW_PLAN_DEBUG=1` makes [`Executor::step_planned`] print each shard's
+/// schedule summary to stderr on first capture.
+fn plan_debug() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("LEGW_PLAN_DEBUG").is_ok_and(|v| v.trim() == "1"))
+}
 
 /// A [`ShardStep`] whose shards can be captured into reusable plans.
 pub trait PlannedStep: ShardStep {
@@ -62,6 +70,19 @@ pub trait PlannedStep: ShardStep {
         index: usize,
         shard: &Self::Shard,
     ) -> ShardOut<Self::Extra>;
+
+    /// Static statistics of a captured plan, when the state exposes them.
+    /// `Some` lets the executor pre-size the worker's buffer pool to the
+    /// plan's exact peak live set right after capture, so even the *first*
+    /// replay allocates nothing.
+    fn plan_stats(&self, _state: &Self::PlanState) -> Option<PlanStats> {
+        None
+    }
+
+    /// One-line schedule summary for the `LEGW_PLAN_DEBUG=1` capture log.
+    fn plan_describe(&self, _state: &Self::PlanState) -> Option<String> {
+        None
+    }
 }
 
 /// Shape-keyed plan store for [`Executor::step_planned`]: one map per
@@ -132,10 +153,31 @@ impl Executor {
                     let mut slot = cache.slots[i].lock().unwrap();
                     match slot.entry(key) {
                         Entry::Occupied(e) => w.replay(ps_ref, e.into_mut(), i, s),
-                        Entry::Vacant(v) => match w.capture(ps_ref, s) {
-                            Some(p) => w.replay(ps_ref, v.insert(p), i, s),
-                            None => w.run_shard(ps_ref, i, s),
-                        },
+                        Entry::Vacant(v) => {
+                            // The capture runs on this shard's worker thread,
+                            // so the fuse override (thread-local) and the
+                            // pool prewarm (thread-local free list) both land
+                            // where the replays will run.
+                            let captured = match self.plan_fuse() {
+                                Some(b) => with_fuse_override(b, || w.capture(ps_ref, s)),
+                                None => w.capture(ps_ref, s),
+                            };
+                            match captured {
+                                Some(p) => {
+                                    let p = v.insert(p);
+                                    if let Some(stats) = w.plan_stats(p) {
+                                        legw_tensor::pool::prewarm(stats.peak_live_bytes);
+                                    }
+                                    if plan_debug() {
+                                        if let Some(d) = w.plan_describe(p) {
+                                            eprintln!("legw: shard {i} captured {d}");
+                                        }
+                                    }
+                                    w.replay(ps_ref, p, i, s)
+                                }
+                                None => w.run_shard(ps_ref, i, s),
+                            }
+                        }
                     }
                 }
                 None => w.run_shard(ps_ref, i, s),
@@ -168,6 +210,14 @@ impl PlannedStep for MnistStep<'_> {
         plan.write_grads_to(&mut buf);
         ShardOut { grads: buf, loss, extra: () }
     }
+
+    fn plan_stats(&self, plan: &StepPlan) -> Option<PlanStats> {
+        Some(plan.stats())
+    }
+
+    fn plan_describe(&self, plan: &StepPlan) -> Option<String> {
+        Some(plan.describe())
+    }
 }
 
 impl PlannedStep for PtbStep<'_> {
@@ -197,6 +247,14 @@ impl PlannedStep for PtbStep<'_> {
         plan.write_grads_to(&mut buf);
         ShardOut { grads: buf, loss: nll, extra: next }
     }
+
+    fn plan_stats(&self, plan: &StepPlan) -> Option<PlanStats> {
+        Some(plan.stats())
+    }
+
+    fn plan_describe(&self, plan: &StepPlan) -> Option<String> {
+        Some(plan.describe())
+    }
 }
 
 impl PlannedStep for ResnetStep<'_> {
@@ -222,6 +280,14 @@ impl PlannedStep for ResnetStep<'_> {
         let mut buf = GradBuffer::for_params(ps);
         plan.write_grads_to(&mut buf);
         ShardOut { grads: buf, loss, extra: (sy.len() as f32, m) }
+    }
+
+    fn plan_stats(&self, plan: &StepPlan) -> Option<PlanStats> {
+        Some(plan.stats())
+    }
+
+    fn plan_describe(&self, plan: &StepPlan) -> Option<String> {
+        Some(plan.describe())
     }
 }
 
@@ -250,5 +316,13 @@ impl PlannedStep for Seq2SeqStep<'_> {
         let mut buf = GradBuffer::for_params(ps);
         let nll = self.model.planned_loss_grads(ps, sb, scale.as_deref(), plan, &mut buf);
         ShardOut { grads: buf, loss: nll, extra: () }
+    }
+
+    fn plan_stats(&self, plan: &StepPlan) -> Option<PlanStats> {
+        Some(plan.stats())
+    }
+
+    fn plan_describe(&self, plan: &StepPlan) -> Option<String> {
+        Some(plan.describe())
     }
 }

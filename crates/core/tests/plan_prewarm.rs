@@ -1,0 +1,78 @@
+//! Pool pre-sizing contract: a thread whose pool was seeded with
+//! [`legw_tensor::pool::prewarm`] at a plan's exact `peak_live_bytes`
+//! serves the plan's warm-up tensors from the pool (recycles, not
+//! allocations), and the first replay on that thread runs with zero
+//! pool allocations.
+//!
+//! The measurement windows deliberately exclude `Tensor::from_vec`
+//! (packing a batch always counts as one allocation — the buffer is
+//! handed in, never taken from the pool), so every input tensor and the
+//! `GradBuffer` are built *before* the window opens. Pool statistics are
+//! process-global, so a background thread could in principle dirty a
+//! window; each attempt runs on a fresh scoped thread and the test
+//! passes as soon as one attempt observes a quiet window.
+
+use legw_autograd::Feeds;
+use legw_data::SynthMnist;
+use legw_models::MnistLstm;
+use legw_nn::{GradBuffer, ParamSet};
+use legw_tensor::{pool, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn prewarmed_pool_serves_first_replay_without_allocating() {
+    let data = SynthMnist::generate(3, 64, 8);
+    let (bx, by) = data.train.gather(&(0..64).collect::<Vec<_>>());
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ps = ParamSet::new();
+    let model = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+    let mut plan = model.capture_step_plan(&ps, &bx, &by).expect("plan capture");
+    let stats = plan.stats();
+    assert!(stats.peak_live_bytes > 0);
+
+    // Inputs built once, outside every measurement window.
+    let packed = SynthMnist::row_steps_packed(&bx);
+    let hidden = bx.dim(0) * 32;
+
+    let mut quiet = false;
+    for _ in 0..20 {
+        let (plan_ref, ps_ref, packed_ref, by_ref) = (&mut plan, &ps, &packed, &by);
+        let attempt = std::thread::scope(|s| {
+            s.spawn(move || {
+                legw_parallel::set_default_threads(1);
+                pool::prewarm(stats.peak_live_bytes);
+
+                // Window A: the state tensors a replay warms up with must
+                // come out of the prewarmed rungs.
+                let before = pool::stats();
+                let h0 = Tensor::zeros(&[by_ref.len(), 32]);
+                let c0 = Tensor::zeros(&[by_ref.len(), 32]);
+                assert_eq!(h0.as_slice().len() + c0.as_slice().len(), 2 * hidden);
+                let warm = pool::stats().since(&before);
+                if warm.allocations != 0 || warm.recycles < 2 {
+                    return false;
+                }
+
+                // Window B: first replay + gradient export, allocation-free.
+                let mut buf = GradBuffer::for_params(ps_ref);
+                let label_feed: [&[usize]; 1] = [by_ref];
+                let feeds = Feeds { labels: &label_feed, ..Feeds::default() };
+                let before = pool::stats();
+                let loss = plan_ref.replay_step(ps_ref, &[packed_ref, &h0, &c0], &feeds);
+                plan_ref.write_grads_to(&mut buf);
+                let step = pool::stats().since(&before);
+                assert!(loss.is_finite());
+                assert_eq!(buf.filled(), ps_ref.len());
+                step.allocations == 0
+            })
+            .join()
+            .expect("prewarm attempt thread")
+        });
+        if attempt {
+            quiet = true;
+            break;
+        }
+    }
+    assert!(quiet, "no attempt out of 20 observed a zero-allocation prewarmed replay");
+}

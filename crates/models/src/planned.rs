@@ -99,4 +99,10 @@ impl StepPlan {
     pub fn stats(&self) -> PlanStats {
         self.plan.stats()
     }
+
+    /// One-line schedule summary (instruction counts by kind, arena and
+    /// scratch footprints) — see [`Plan::describe`].
+    pub fn describe(&self) -> String {
+        self.plan.describe()
+    }
 }

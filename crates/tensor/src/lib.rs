@@ -56,6 +56,17 @@ pub use matmul::gemm_into;
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
 
+/// True when a GEMM with this inner dimension runs as a single k-block.
+/// For such shapes `gemm_into(..., acc = true)` accumulates the product
+/// directly into the output and is bitwise-identical to computing the
+/// product into scratch and adding it afterwards: the engine computes the
+/// same micro-tile values either way and each output element sees exactly
+/// one `+=`. Multi-k-block shapes interleave partial sums in a different
+/// order and must keep the scratch detour.
+pub fn gemm_single_k_block(k: usize) -> bool {
+    k <= gemm::KC
+}
+
 /// Work below this many elements runs serially; above it, kernels use the
 /// global thread pool. Chosen so LSTM-cell-sized ops stay on one core.
 pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;

@@ -109,6 +109,41 @@ fn give(v: Vec<f32>) {
     });
 }
 
+/// Pre-sizes this thread's free list for a workload whose peak live set is
+/// `bytes` (e.g. a compiled plan's `PlanStats::peak_live_bytes`): seeds a
+/// doubling ladder of power-of-two buffers, two per rung, from
+/// [`MIN_POOL_ELEMS`] up to the first power of two covering the peak. The
+/// take-side fit test accepts a buffer whose capacity is within
+/// [`WASTE_FACTOR`]× of the request, so for any request of `len ≥ 1` the
+/// rung at `len.next_power_of_two().max(MIN_POOL_ELEMS)` qualifies —
+/// after prewarming, first-use requests up to the peak hit the pool
+/// instead of the allocator. Offers go through the normal [`give`] path,
+/// so the per-thread buffer/byte budgets still apply; a second prewarm of
+/// an already-warm pool is a bounded no-op once the caps are reached.
+/// Returns the number of buffers offered. Seeded capacity never touches
+/// the live-buffer counters ([`stats`]) until taken.
+pub fn prewarm(bytes: usize) -> usize {
+    if bytes == 0 {
+        return 0;
+    }
+    // Anything past the per-thread float budget would be rejected by
+    // `give` regardless, so clamp the ladder there.
+    let floats = bytes.div_ceil(4).min(MAX_POOL_FLOATS);
+    let mut offered = 0;
+    let mut rung = MIN_POOL_ELEMS;
+    loop {
+        for _ in 0..2 {
+            give(Vec::with_capacity(rung));
+            offered += 1;
+        }
+        if rung >= floats {
+            break;
+        }
+        rung *= 2;
+    }
+    offered
+}
+
 /// `(hits, misses)` of this thread's pool — test/diagnostic hook.
 #[allow(dead_code)]
 pub(crate) fn thread_stats() -> (usize, usize) {
@@ -317,6 +352,32 @@ mod tests {
         a[0] = -1.0;
         assert_eq!(b[0], 2.0);
         assert_eq!(b[4095], 2.0);
+    }
+
+    #[test]
+    fn prewarm_serves_first_takes_without_allocating() {
+        // Each Rust test runs on its own thread, so this thread's pool is
+        // cold: without prewarm every take below would be a miss.
+        prewarm(300 * 1024); // 76 800 floats → ladder up to 131 072
+        let (h0, m0) = thread_stats();
+        let a = Buffer::zeroed(70_000);
+        let b = Buffer::zeroed(70_000); // two per rung: second take same size
+        let c = Buffer::dirty(4_000);
+        let (h1, m1) = thread_stats();
+        assert_eq!(m1, m0, "prewarmed pool must serve first takes without a miss");
+        assert_eq!(h1, h0 + 3);
+        drop((a, b, c));
+    }
+
+    #[test]
+    fn prewarm_respects_pool_budgets() {
+        // Prewarming for an absurd peak must not blow the per-thread caps.
+        prewarm(usize::MAX / 8);
+        POOL.with(|p| {
+            let p = p.borrow();
+            assert!(p.bufs.len() <= MAX_POOLED);
+            assert!(p.total <= MAX_POOL_FLOATS);
+        });
     }
 
     #[test]

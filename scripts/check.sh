@@ -28,9 +28,13 @@ done
 
 # Plan replay: step_planned must reproduce the tape path (bitwise, or the
 # documented seq2seq embedding tolerance) across its own internal {1,2,4}
-# shard sweep, including the cache-invalidation cases.
-echo "== cargo test -q -p legw --test plan_replay_equivalence"
-cargo test -q -p legw --test plan_replay_equivalence
+# shard × {fused, unfused} sweep, including the cache-invalidation cases.
+# The env matrix then pins the LEGW_PLAN_FUSE plumbing itself: the suite
+# must hold with the optimizer pass forced off and forced on globally.
+for f in 0 1; do
+  echo "== LEGW_PLAN_FUSE=$f cargo test -q -p legw --test plan_replay_equivalence --test plan_prewarm"
+  LEGW_PLAN_FUSE=$f cargo test -q -p legw --test plan_replay_equivalence --test plan_prewarm
+done
 
 if [[ "${1:-}" != "fast" ]]; then
   echo "== cargo clippy --workspace -- -D warnings"
