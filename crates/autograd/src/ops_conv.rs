@@ -240,31 +240,37 @@ impl Graph {
         assert_eq!(scale.len(), c);
         assert_eq!(shift.len(), c);
         let hw = h * w;
+        let shape = xv.shape().to_vec();
         let src = xv.as_slice();
-        let mut out = vec![0.0f32; src.len()];
+        // Two tape nodes rather than one fused op: a Dropout (multiply by
+        // the expanded scale mask) followed by an Add with a constant
+        // shift leaf. Values and gradients are bit-identical to the fused
+        // form (mul then add, separately rounded, as before) — but each
+        // node now replays exactly under plan capture, where `DropoutF`
+        // recomputes `x · mask` and would silently drop a fused `+ shift`.
+        let mut scaled = vec![0.0f32; src.len()];
+        let mut mask = vec![0.0f32; src.len()];
+        let mut shift_full = vec![0.0f32; src.len()];
         for ni in 0..n {
             for ci in 0..c {
                 let base = (ni * c + ci) * hw;
                 for k in 0..hw {
-                    out[base + k] = src[base + k] * scale[ci] + shift[ci];
+                    scaled[base + k] = src[base + k] * scale[ci];
                 }
-            }
-        }
-        // Modelled as a per-element linear op; reuse Dropout's backward
-        // (multiply by a constant mask) by expanding scale to a full mask.
-        let mut mask = vec![0.0f32; src.len()];
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * hw;
                 mask[base..base + hw].iter_mut().for_each(|v| *v = scale[ci]);
+                shift_full[base..base + hw].iter_mut().for_each(|v| *v = shift[ci]);
             }
         }
         let rg = self.requires(x);
-        self.push(
-            Tensor::from_vec(out, xv.shape()),
+        let scaled = self.push(
+            Tensor::from_vec(scaled, &shape),
             rg,
-            Op::Dropout(x, Tensor::from_vec(mask, xv.shape())),
-        )
+            Op::Dropout(x, Tensor::from_vec(mask, &shape)),
+        );
+        // Pushed directly (not via `Graph::input`) so the shift is captured
+        // as a plan constant, not a positional replay input.
+        let sh = self.push(Tensor::from_vec(shift_full, &shape), false, Op::Leaf);
+        self.add(scaled, sh)
     }
 
     pub(crate) fn backward_conv(&mut self, op: &Op, _v: Var, up: &Tensor) {

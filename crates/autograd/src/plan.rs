@@ -324,7 +324,20 @@ impl Plan {
     /// Call after the forward pass — running `backward` first is fine
     /// (the sweep restores every op it visits).
     pub fn capture(g: &Graph, spec: &CaptureSpec) -> Option<Plan> {
-        Capturer::run(g, spec)
+        Capturer::run(g, spec, false)
+    }
+
+    /// Forward-only capture for inference: compiles just the forward
+    /// schedule — no gradient slots, no backward instructions, and no
+    /// per-parameter gradient buffers (frozen-model serving never reads
+    /// them). Liveness runs over the forward schedule alone, so
+    /// intermediates die at their last forward use and the arena is much
+    /// smaller than a training plan's. A `spec.loss` is still computed as
+    /// a forward output (so [`Plan::loss`] works), but
+    /// [`Plan::replay_backward_loss`] / [`Plan::replay_backward`] panic on
+    /// a plan captured this way.
+    pub fn capture_forward(g: &Graph, spec: &CaptureSpec) -> Option<Plan> {
+        Capturer::run(g, spec, true)
     }
 
     /// Re-executes the forward schedule on new data. `inputs` / `params`
@@ -2065,7 +2078,7 @@ fn visit_slots(ins: &mut Instr, f: &mut dyn FnMut(&mut u32)) {
 struct Capturer;
 
 impl Capturer {
-    fn run(g: &Graph, spec: &CaptureSpec) -> Option<Plan> {
+    fn run(g: &Graph, spec: &CaptureSpec, forward_only: bool) -> Option<Plan> {
         let n = g.nodes.len();
         if n == 0 {
             return None;
@@ -2449,18 +2462,23 @@ impl Capturer {
         }
         let ce_n = labels.len();
 
-        // ---- seed bookkeeping (seeds land at schedule position N)
+        // ---- seed bookkeeping (seeds land at schedule position N).
+        // Forward-only capture skips it entirely: `root_max` stays `None`,
+        // so no backward instruction is ever emitted and no gradient slot
+        // enters liveness.
         let mut grads_present = vec![false; n];
         let mut contrib = vec![0usize; n];
         let mut root_max: Option<usize> = None;
-        if let Some(l) = spec.loss {
-            grads_present[l.0] = true;
-            contrib[l.0] = 1;
-            root_max = Some(l.0);
+        if !forward_only {
+            if let Some(l) = spec.loss {
+                grads_present[l.0] = true;
+                contrib[l.0] = 1;
+                root_max = Some(l.0);
+            }
         }
         let mut seed_targets: Vec<Option<(Dst, usize)>> = Vec::with_capacity(spec.outputs.len());
         for &v in spec.outputs {
-            if g.nodes[v.0].requires_grad {
+            if !forward_only && g.nodes[v.0].requires_grad {
                 grads_present[v.0] = true;
                 if contrib[v.0] == 0 {
                     contrib[v.0] = 1;
@@ -2471,7 +2489,11 @@ impl Capturer {
                 seed_targets.push(None);
             }
         }
-        let loss_grad: Option<Dst> = spec.loss.map(|l| Dst::Slot((n + l.0) as u32));
+        let loss_grad: Option<Dst> = if forward_only {
+            None
+        } else {
+            spec.loss.map(|l| Dst::Slot((n + l.0) as u32))
+        };
         let mut seed_vids: Vec<u32> = Vec::new();
         if let Some(Dst::Slot(v)) = loss_grad {
             seed_vids.push(v);
@@ -3169,7 +3191,14 @@ impl Capturer {
         let st = Store {
             slots: phys_sizes.iter().map(|&s| vec![0.0f32; s]).collect(),
             outs,
-            pargrads: spec.params.iter().map(|&v| g.nodes[v.0].value.zeros_like()).collect(),
+            // A forward-only plan never reads or writes parameter
+            // gradients (`par_grad_present` is all-false below), so don't
+            // double the frozen parameters' memory with zero buffers.
+            pargrads: if forward_only {
+                spec.params.iter().map(|_| Tensor::zeros(&[1])).collect()
+            } else {
+                spec.params.iter().map(|&v| g.nodes[v.0].value.zeros_like()).collect()
+            },
             consts,
             states: state_sizes.iter().map(|&s| vec![0.0f32; s]).collect(),
             scratch: vec![0.0f32; scratch],
@@ -3296,6 +3325,62 @@ mod tests {
                 "mlp grad",
             );
         }
+    }
+
+    #[test]
+    fn forward_only_capture_matches_tape_and_drops_backward() {
+        let ps0 = mlp_params(11);
+        let x0 = t(20, &[4, 8]);
+        // Loss-free inference tape: the logits are the only output.
+        fn infer_tape(x: &Tensor, ps: &[&Tensor]) -> (Graph, Var, Vec<Var>, Var) {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let pv: Vec<Var> = ps.iter().map(|p| g.param((*p).clone())).collect();
+            let h = g.matmul(xv, pv[0]);
+            let h = g.add_bias(h, pv[1]);
+            let h = g.relu(h);
+            let o = g.matmul(h, pv[2]);
+            let o = g.add_bias(o, pv[3]);
+            (g, xv, pv, o)
+        }
+        let (g, xv, pv, o) = infer_tape(&x0, &ps0.iter().collect::<Vec<_>>());
+        let spec = CaptureSpec { inputs: &[xv], params: &pv, loss: None, outputs: &[o] };
+        let mut full = Plan::capture(&g, &spec).expect("full capture");
+        let mut fwd = Plan::capture_forward(&g, &spec).expect("forward-only capture");
+        assert_eq!(fwd.stats().bwd_instrs, 0, "no backward schedule");
+        assert!(fwd.param_grad(0).is_none(), "no gradient flows in a forward-only plan");
+        assert!(
+            fwd.stats().arena_bytes <= full.stats().arena_bytes,
+            "forward-only arena must not exceed the training plan's"
+        );
+
+        let ps1 = mlp_params(77);
+        let x1 = t(21, &[4, 8]);
+        let pr: Vec<&Tensor> = ps1.iter().collect();
+        full.replay_forward(&[&x1], &pr, &Feeds::default());
+        fwd.replay_forward(&[&x1], &pr, &Feeds::default());
+        let (g1, _, _, o1) = infer_tape(&x1, &pr);
+        assert_bits(fwd.output(0).as_slice(), g1.value(o1).as_slice(), "fwd-only vs tape");
+        assert_bits(fwd.output(0).as_slice(), full.output(0).as_slice(), "fwd-only vs full");
+    }
+
+    #[test]
+    fn forward_only_capture_still_computes_loss() {
+        let ps = mlp_params(5);
+        let x = t(9, &[4, 8]);
+        let lab = vec![1usize, 0, 2, 3];
+        let tape = mlp_tape(&x, &ps.iter().collect::<Vec<_>>(), &lab);
+        let spec = CaptureSpec {
+            inputs: &[tape.x],
+            params: &tape.params,
+            loss: Some(tape.loss),
+            outputs: &[],
+        };
+        let mut plan = Plan::capture_forward(&tape.g, &spec).expect("capture");
+        assert_eq!(plan.stats().bwd_instrs, 0);
+        let pr: Vec<&Tensor> = ps.iter().collect();
+        plan.replay_forward(&[&x], &pr, &Feeds { labels: &[&lab], ..Feeds::default() });
+        assert_bits(&[plan.loss()], tape.g.value(tape.loss).as_slice(), "fwd-only loss");
     }
 
     // ---- hoisted LSTM chain: preact_seq + recur_step + fused cell -------

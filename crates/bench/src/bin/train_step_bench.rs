@@ -12,8 +12,11 @@
 //! gates: ≥1.15× at threads=1, 0 allocations). A deliberate-straggler
 //! case times the streaming gradient
 //! reduction against the post-barrier reduction when one of eight shards
-//! finishes late, isolating the latency the overlap hides. Prints a single
-//! machine-readable JSON object, like `gemm_bench`:
+//! finishes late, isolating the latency the overlap hides. An inference
+//! serving section freezes the MNIST model and measures batched-vs-
+//! sequential forward throughput plus client-observed p50/p95 query latency
+//! through the dynamic-batching server at 1/8/64 concurrent clients.
+//! Prints a single machine-readable JSON object, like `gemm_bench`:
 //!
 //! ```text
 //! cargo run --release -p legw-bench --bin train_step_bench
@@ -26,8 +29,10 @@ use legw::{MnistStep, PlanCache, Seq2SeqStep};
 use legw_data::{SynthMnist, SynthPtb, SynthTranslation};
 use legw_models::{LmState, MnistLstm, PtbLm, PtbLmConfig, Seq2Seq, Seq2SeqConfig};
 use legw_nn::{GradBuffer, ParamSet};
+use legw_serve::{freeze, restore, BatchConfig, FrozenModel, InferEngine, ModelConfig, Server};
 use legw_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Median wall-clock seconds of `iters` runs of `f` (after 2 warmup runs).
@@ -95,6 +100,12 @@ fn median_portion<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
 struct Case {
     name: String,
     secs: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -350,10 +361,96 @@ fn main() {
         }
     }
 
+    // Inference serving: a frozen MNIST-LSTM artifact restored into an
+    // InferEngine (tape-free forward-only plan replay). Two comparisons:
+    // sequential single-row queries vs one batched forward over the same 64
+    // rows (the amortisation the dynamic batcher exists to capture), and
+    // client-observed query latency through the batching Server at 1/8/64
+    // concurrent clients. Latency includes the batcher's deadline wait and
+    // any plan capture for batch shapes it has not seen — the numbers are
+    // what a client would actually measure.
+    let mut infer_stats: Vec<(String, f64)> = Vec::new();
+    {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ps = ParamSet::new();
+        // The constructor registers the parameters; the served copy of the
+        // model comes back out of the artifact.
+        let _trained = MnistLstm::new(&mut ps, &mut rng, 32, 32);
+        let blob = freeze(&ModelConfig::MnistLstm { proj: 32, hidden: 32 }, &ps);
+        let (frozen, frozen_ps) = restore(&blob).expect("frozen MNIST artifact restores");
+        let FrozenModel::MnistLstm(served) = frozen else { unreachable!("froze MNIST") };
+        let engine = Arc::new(InferEngine::new(served, frozen_ps));
+        let req = |i: usize| -> Vec<f32> {
+            (0..784).map(|p| ((i * 31 + p * 7) % 29) as f32 / 29.0).collect()
+        };
+
+        const ROWS: usize = 64;
+        let reqs: Vec<Vec<f32>> = (0..ROWS).map(req).collect();
+        let states = vec![(); ROWS];
+        // Warm both plan shapes so the timed region is steady-state replay.
+        let _ = engine.run_one(reqs[0].clone(), ());
+        let _ = engine.run(&reqs, &states);
+        let (seq_secs, batched_secs) = time_median_pair(
+            9,
+            || {
+                let mut sink = 0.0f64;
+                for r in &reqs {
+                    sink += engine.run_one(r.clone(), ()).0[0] as f64;
+                }
+                sink
+            },
+            || engine.run(&reqs, &states)[0].0[0] as f64,
+        );
+        cases.push(Case { name: "infer_mnist_64rows_sequential".into(), secs: seq_secs });
+        cases.push(Case { name: "infer_mnist_64rows_batched".into(), secs: batched_secs });
+        infer_stats.push(("infer_mnist_sequential_rows_per_s".into(), ROWS as f64 / seq_secs));
+        infer_stats.push(("infer_mnist_batched_rows_per_s".into(), ROWS as f64 / batched_secs));
+
+        for clients in [1usize, 8, 64] {
+            let server = Server::start(
+                Arc::clone(&engine),
+                BatchConfig { max_batch: 64, max_wait: Duration::from_millis(2) },
+            );
+            let queries = (128 / clients).max(4);
+            let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let mut session = server.session();
+                    let latencies = Arc::clone(&latencies);
+                    std::thread::spawn(move || {
+                        let mut local = Vec::with_capacity(queries);
+                        for q in 0..queries {
+                            let r = req(c * queries + q);
+                            let t0 = Instant::now();
+                            let out = session.query(r);
+                            local.push(t0.elapsed().as_secs_f64());
+                            assert_eq!(out.len(), 10);
+                        }
+                        latencies.lock().unwrap().extend(local);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("bench client thread");
+            }
+            let stats = server.shutdown();
+            let mut lat = latencies.lock().unwrap().clone();
+            lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            infer_stats
+                .push((format!("infer_serve_c{clients}_p50_ms"), percentile(&lat, 0.50) * 1e3));
+            infer_stats
+                .push((format!("infer_serve_c{clients}_p95_ms"), percentile(&lat, 0.95) * 1e3));
+            infer_stats.push((format!("infer_serve_c{clients}_mean_batch"), stats.mean_batch()));
+        }
+    }
+
     println!("{{");
     println!("  \"threads\": {threads},");
     println!("  \"env_shards\": {},", ExecConfig::from_env().shards);
     println!("  \"mnist_b256_replay_pool_allocs_per_step\": {replay_allocs_per_step:.1},");
+    for (name, v) in &infer_stats {
+        println!("  \"{name}\": {v:.3},");
+    }
     for (i, c) in cases.iter().enumerate() {
         let comma = if i + 1 == cases.len() { "" } else { "," };
         println!("  \"{}\": {{ \"ms\": {:.3} }}{}", c.name, c.secs * 1e3, comma);

@@ -119,6 +119,27 @@ impl<P> PlanCache<P> {
             s.lock().unwrap().clear();
         }
     }
+
+    /// Runs `f` on the plan cached under `(slot, key)`, calling `make` to
+    /// capture it on first sight. `make` returning `None` (the plan
+    /// interpreter cannot cover the tape) caches nothing and skips `f`, so
+    /// the caller can fall back to its tape path. The slot lock is held
+    /// across `f` — a plan's replay arena is mutable scratch, so this is
+    /// what serialises concurrent users of one slot (e.g. the inference
+    /// server's batch worker vs. ad-hoc engine calls).
+    pub fn with_plan<R>(
+        &self,
+        slot: usize,
+        key: Vec<usize>,
+        make: impl FnOnce() -> Option<P>,
+        f: impl FnOnce(&mut P) -> R,
+    ) -> Option<R> {
+        let mut guard = self.slots[slot].lock().unwrap();
+        match guard.entry(key) {
+            Entry::Occupied(e) => Some(f(e.into_mut())),
+            Entry::Vacant(v) => make().map(|p| f(v.insert(p))),
+        }
+    }
 }
 
 impl Executor {

@@ -186,6 +186,32 @@ impl TranslationBatch {
         self.refs.len()
     }
 
+    /// Builds an inference-only batch from bare source sequences: sources
+    /// are [`PAD`]-padded to the longest row (the same time-major layout
+    /// training batches use, so batched greedy decoding matches the
+    /// evaluation path), the teacher-forcing fields stay empty, and `refs`
+    /// holds one empty reference per row so [`TranslationBatch::batch_size`]
+    /// works. The serving path assembles these from coalesced requests.
+    pub fn for_inference(sources: &[Vec<usize>]) -> Self {
+        assert!(!sources.is_empty(), "inference batch needs at least one row");
+        let b = sources.len();
+        let max_len = sources.iter().map(|s| s.len()).max().unwrap();
+        assert!(max_len > 0, "empty source sequence");
+        let mut src = vec![vec![PAD; b]; max_len];
+        for (bi, s) in sources.iter().enumerate() {
+            for (ti, &tok) in s.iter().enumerate() {
+                src[ti][bi] = tok;
+            }
+        }
+        Self {
+            src,
+            dec_in: Vec::new(),
+            dec_tgt: Vec::new(),
+            refs: vec![Vec::new(); b],
+            sources: sources.to_vec(),
+        }
+    }
+
     /// The sub-batch of sequences `[start, end)` — every per-step id vector
     /// is column-sliced, keeping padding/masking intact. Used by the
     /// data-parallel executor to shard a batch across workers.

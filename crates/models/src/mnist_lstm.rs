@@ -160,6 +160,39 @@ impl MnistLstm {
         plan.loss()
     }
 
+    /// Builds a loss-free inference tape on a gathered batch `[B, 784]`,
+    /// returning the graph/binding and the logits variable.
+    pub fn forward_infer(&self, ps: &ParamSet, batch: &Tensor) -> (Graph, Binding, Var) {
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let logits = self.forward(&mut g, &mut bd, ps, batch);
+        (g, bd, logits)
+    }
+
+    /// Captures the inference forward into a forward-only [`StepPlan`]
+    /// whose single output is the logits. Input signature is
+    /// `[packed rows, h0, c0]`, same as the training capture.
+    pub fn capture_infer_plan(&self, ps: &ParamSet, batch: &Tensor) -> Option<StepPlan> {
+        let (g, bd, logits) = self.forward_infer(ps, batch);
+        StepPlan::capture_forward(&g, &bd, &[logits])
+    }
+
+    /// Replays a captured inference plan on a fresh same-size batch,
+    /// returning the logits `[B, 10]`.
+    pub fn replay_infer_plan(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Tensor,
+    ) -> Tensor {
+        let b = batch.dim(0);
+        let packed = SynthMnist::row_steps_packed(batch);
+        let h0 = Tensor::zeros(&[b, self.cell.hidden()]);
+        let c0 = Tensor::zeros(&[b, self.cell.hidden()]);
+        plan.replay_forward(ps, &[&packed, &h0, &c0], &Feeds::default());
+        plan.output(0)
+    }
+
     /// Top-1 accuracy over a dataset, evaluated in chunks of `chunk`.
     pub fn evaluate(&self, ps: &ParamSet, data: &Classification, chunk: usize) -> f64 {
         let mut correct = 0.0;
@@ -180,6 +213,53 @@ impl MnistLstm {
             i += chunk;
         }
         correct / total.max(1) as f64
+    }
+}
+
+impl crate::planned::Infer for MnistLstm {
+    type Req = Vec<f32>;
+    type Out = Vec<f32>;
+    type RowState = ();
+    type Batch = Tensor;
+
+    fn zero_state(&self) {}
+
+    fn coalesce_key(&self, _req: &Vec<f32>) -> Vec<usize> {
+        Vec::new() // fixed shape: everything coalesces
+    }
+
+    fn assemble(&self, reqs: &[Vec<f32>], _states: &[()]) -> Tensor {
+        const IMG: usize = 28 * 28;
+        let b = reqs.len();
+        let mut flat = Vec::with_capacity(b * IMG);
+        for r in reqs {
+            assert_eq!(r.len(), IMG, "MNIST request must be 28×28 pixels");
+            flat.extend_from_slice(r);
+        }
+        Tensor::from_vec(flat, &[b, IMG])
+    }
+
+    fn infer_key(&self, batch: &Tensor) -> Vec<usize> {
+        vec![batch.dim(0)]
+    }
+
+    fn capture_infer(&self, ps: &ParamSet, batch: &Tensor) -> Option<StepPlan> {
+        self.capture_infer_plan(ps, batch)
+    }
+
+    fn replay_infer(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Tensor,
+    ) -> Vec<(Vec<f32>, ())> {
+        let logits = self.replay_infer_plan(plan, ps, batch);
+        crate::planned::tensor_rows(&logits).into_iter().map(|r| (r, ())).collect()
+    }
+
+    fn infer_tape(&self, ps: &ParamSet, batch: &Tensor) -> Vec<(Vec<f32>, ())> {
+        let (g, _bd, logits) = self.forward_infer(ps, batch);
+        crate::planned::tensor_rows(g.value(logits)).into_iter().map(|r| (r, ())).collect()
     }
 }
 
@@ -275,6 +355,24 @@ mod tests {
             for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
                 assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{name} grad: {a} vs {b}");
             }
+        }
+    }
+
+    /// Forward-only inference plan vs the live tape: bitwise logits on a
+    /// batch the plan was never captured on, via the `Infer` surface.
+    #[test]
+    fn infer_plan_matches_tape_bitwise() {
+        use crate::planned::Infer;
+        let (ps, m, d) = tiny();
+        let (cap_batch, _) = d.train.gather(&[0, 1, 2]);
+        let (batch, _) = d.train.gather(&[7, 8, 9]);
+        let mut plan = m.capture_infer(&ps, &cap_batch).expect("inference tape must capture");
+        let planned = m.replay_infer(&mut plan, &ps, &batch);
+        let taped = m.infer_tape(&ps, &batch);
+        assert_eq!(planned.len(), 3);
+        for ((a, ()), (b, ())) in planned.iter().zip(&taped) {
+            assert_eq!(a.len(), 10);
+            assert_eq!(a, b, "frozen-path logits must match the tape bitwise");
         }
     }
 

@@ -37,6 +37,18 @@ impl StepPlan {
         Plan::capture(g, &spec).map(|plan| Self { plan, ids })
     }
 
+    /// Forward-only capture for inference serving: same wiring as
+    /// [`StepPlan::capture`], but via [`Plan::capture_forward`] — no
+    /// backward schedule, no gradient buffers, and a forward-liveness
+    /// arena. Replays run through [`StepPlan::replay_forward`];
+    /// the backward entry points panic on a plan captured this way.
+    pub fn capture_forward(g: &Graph, bd: &Binding, outputs: &[Var]) -> Option<Self> {
+        let params: Vec<Var> = bd.bound().iter().map(|&(_, v)| v).collect();
+        let ids: Vec<ParamId> = bd.bound().iter().map(|&(id, _)| id).collect();
+        let spec = CaptureSpec { inputs: g.input_vars(), params: &params, loss: None, outputs };
+        Plan::capture_forward(g, &spec).map(|plan| Self { plan, ids })
+    }
+
     fn param_values<'a>(&self, ps: &'a ParamSet) -> Vec<&'a Tensor> {
         self.ids.iter().map(|&id| ps.value(id)).collect()
     }
@@ -105,4 +117,75 @@ impl StepPlan {
     pub fn describe(&self) -> String {
         self.plan.describe()
     }
+}
+
+/// Splits a row-major tensor into one `Vec<f32>` per leading-dimension
+/// row — the scatter half of batched serving.
+pub(crate) fn tensor_rows(t: &Tensor) -> Vec<Vec<f32>> {
+    let rows = t.dim(0);
+    let w = t.numel() / rows.max(1);
+    t.as_slice().chunks(w).map(|c| c.to_vec()).collect()
+}
+
+/// One model family's frozen-inference surface, unifying the per-model
+/// `capture_*_plan` / `replay_*_plan` zoo behind a single interface the
+/// serving stack (and any model-generic eval loop) can drive: assemble
+/// client rows into a batch, capture a forward-only plan for that batch
+/// shape, replay it tape-free, and carry per-row recurrent state between
+/// requests.
+///
+/// Implementations for the four families:
+///
+/// | family      | `Req`         | `Out`          | `RowState` |
+/// |-------------|---------------|----------------|------------|
+/// | `MnistLstm` | 784 pixels    | 10 logits      | none       |
+/// | `PtbLm`     | token window  | vocab logits   | `LmState`  |
+/// | `Seq2Seq`   | source tokens | decoded tokens | none       |
+/// | `ResNet`    | 3·32·32 image | class logits   | none       |
+pub trait Infer {
+    /// One client request (a single row).
+    type Req: Send + 'static;
+    /// One row's inference result.
+    type Out: Send + 'static;
+    /// Per-row recurrent state carried across requests (`()` for
+    /// stateless families).
+    type RowState: Clone + Send + 'static;
+    /// The assembled batch the forward consumes.
+    type Batch;
+
+    /// Fresh carried state for a new session.
+    fn zero_state(&self) -> Self::RowState;
+
+    /// Requests with equal keys may share one batched forward — the
+    /// dynamic batcher groups by this. Length-sensitive families key on
+    /// the token count; fixed-shape and pad-tolerant families return a
+    /// constant so everything coalesces.
+    fn coalesce_key(&self, req: &Self::Req) -> Vec<usize>;
+
+    /// Packs coalesced rows and their carried states into one batch.
+    /// `reqs` and `states` are parallel slices.
+    fn assemble(&self, reqs: &[Self::Req], states: &[Self::RowState]) -> Self::Batch;
+
+    /// Plan-cache key of an assembled batch (batch size plus whatever
+    /// shape dimensions the capture freezes).
+    fn infer_key(&self, batch: &Self::Batch) -> Vec<usize>;
+
+    /// Captures a forward-only plan for this batch shape. `None` means
+    /// the plan interpreter cannot cover the tape — callers fall back to
+    /// [`Infer::infer_tape`].
+    fn capture_infer(&self, ps: &ParamSet, batch: &Self::Batch) -> Option<StepPlan>;
+
+    /// Replays a captured plan on the batch, returning one
+    /// `(output, carried state)` per row.
+    fn replay_infer(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Self::Batch,
+    ) -> Vec<(Self::Out, Self::RowState)>;
+
+    /// The live-tape forward on the same batch — the equivalence oracle
+    /// for the frozen path and the fallback when capture declines.
+    fn infer_tape(&self, ps: &ParamSet, batch: &Self::Batch)
+        -> Vec<(Self::Out, Self::RowState)>;
 }

@@ -296,6 +296,72 @@ impl PtbLm {
         (nll, carried)
     }
 
+    /// Records a loss-free next-token inference window onto `g`: embeds the
+    /// time-major ids, runs the hoisted LSTM from `state`, and applies the
+    /// head at the *last* position only (a streaming next-token query).
+    /// No dropout — inference is always eval-mode. Returns the binding, the
+    /// logits variable `[B, vocab]`, and the final per-layer states.
+    fn infer_window_tape(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        inputs_tm: &[Vec<usize>],
+        state: &LmState,
+    ) -> (Binding, Var, Vec<LstmState>) {
+        let mut bd = Binding::new();
+        let mut states = Vec::with_capacity(state.0.len());
+        for (h, c) in &state.0 {
+            states.push(LstmState { h: g.input(h.clone()), c: g.input(c.clone()) });
+        }
+        let mut xs = Vec::with_capacity(inputs_tm.len());
+        for ids in inputs_tm {
+            xs.push(self.embedding.forward(g, &mut bd, ps, ids));
+        }
+        let (outputs, finals) = self.lstm.forward_seq(g, &mut bd, ps, &xs, states);
+        let last = *outputs.last().expect("window has at least one step");
+        let logits = self.head.forward(g, &mut bd, ps, last);
+        (bd, logits, finals)
+    }
+
+    /// Captures a next-token inference window into a forward-only
+    /// [`StepPlan`]: output 0 is the last position's logits `[B, vocab]`;
+    /// outputs `1 + 2l` / `2 + 2l` are layer `l`'s final `h` / `c`, so
+    /// replays carry streaming state across requests. Inputs are the
+    /// per-layer `[h, c]` states; token ids enter as feeds.
+    pub fn capture_infer_plan(
+        &self,
+        ps: &ParamSet,
+        inputs_tm: &[Vec<usize>],
+        state: &LmState,
+    ) -> Option<StepPlan> {
+        let mut g = Graph::new();
+        let (bd, logits, finals) = self.infer_window_tape(&mut g, ps, inputs_tm, state);
+        let mut outputs = vec![logits];
+        outputs.extend(finals.iter().flat_map(|s| [s.h, s.c]));
+        StepPlan::capture_forward(&g, &bd, &outputs)
+    }
+
+    /// Replays a captured inference window on fresh tokens/state of the
+    /// same shape. Returns the last-position logits and the carried state.
+    pub fn replay_infer_plan(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        inputs_tm: &[Vec<usize>],
+        state: &LmState,
+    ) -> (Tensor, LmState) {
+        let inputs: Vec<&Tensor> = state.0.iter().flat_map(|(h, c)| [h, c]).collect();
+        let ids: Vec<&[usize]> = inputs_tm.iter().map(|v| v.as_slice()).collect();
+        let feeds = Feeds { ids: &ids, ..Feeds::default() };
+        plan.replay_forward(ps, &inputs, &feeds);
+        let carried = LmState(
+            (0..state.0.len())
+                .map(|l| (plan.output(1 + 2 * l), plan.output(2 + 2 * l)))
+                .collect(),
+        );
+        (plan.output(0), carried)
+    }
+
     /// Mean NLL (nats/token) over a full split; exp of this is perplexity.
     pub fn evaluate_nll(&self, ps: &ParamSet, data: &SynthPtb, train_split: bool, batch: usize, seq_len: usize) -> f64 {
         let mut state = LmState::zeros(&self.cfg, batch);
@@ -322,6 +388,76 @@ impl PtbLm {
     /// Perplexity over the validation stream.
     pub fn evaluate_perplexity(&self, ps: &ParamSet, data: &SynthPtb, batch: usize, seq_len: usize) -> f64 {
         self.evaluate_nll(ps, data, false, batch, seq_len).exp()
+    }
+}
+
+impl crate::planned::Infer for PtbLm {
+    type Req = Vec<usize>;
+    type Out = Vec<f32>;
+    type RowState = LmState;
+    /// Time-major token ids plus the gathered carried state.
+    type Batch = (Vec<Vec<usize>>, LmState);
+
+    fn zero_state(&self) -> LmState {
+        LmState::zeros(&self.cfg, 1)
+    }
+
+    fn coalesce_key(&self, req: &Vec<usize>) -> Vec<usize> {
+        // Only equal-length windows coalesce: padding a recurrent stream
+        // would corrupt the carried state of the padded rows.
+        vec![req.len()]
+    }
+
+    fn assemble(&self, reqs: &[Vec<usize>], states: &[LmState]) -> Self::Batch {
+        let b = reqs.len();
+        let t_len = reqs[0].len();
+        assert!(t_len > 0, "empty token window");
+        let mut tm = vec![vec![0usize; b]; t_len];
+        for (bi, r) in reqs.iter().enumerate() {
+            assert_eq!(r.len(), t_len, "coalesced LM requests must share a window length");
+            for (ti, &tok) in r.iter().enumerate() {
+                tm[ti][bi] = tok;
+            }
+        }
+        (tm, LmState::concat(states))
+    }
+
+    fn infer_key(&self, batch: &Self::Batch) -> Vec<usize> {
+        vec![batch.0[0].len(), batch.0.len()] // [B, T]
+    }
+
+    fn capture_infer(&self, ps: &ParamSet, batch: &Self::Batch) -> Option<StepPlan> {
+        self.capture_infer_plan(ps, &batch.0, &batch.1)
+    }
+
+    fn replay_infer(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Self::Batch,
+    ) -> Vec<(Vec<f32>, LmState)> {
+        let (logits, carried) = self.replay_infer_plan(plan, ps, &batch.0, &batch.1);
+        crate::planned::tensor_rows(&logits)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, carried.slice_rows(i, i + 1)))
+            .collect()
+    }
+
+    fn infer_tape(&self, ps: &ParamSet, batch: &Self::Batch) -> Vec<(Vec<f32>, LmState)> {
+        let mut g = Graph::new();
+        let (_bd, logits, finals) = self.infer_window_tape(&mut g, ps, &batch.0, &batch.1);
+        let carried = LmState(
+            finals
+                .iter()
+                .map(|s| (g.value(s.h).clone(), g.value(s.c).clone()))
+                .collect(),
+        );
+        crate::planned::tensor_rows(g.value(logits))
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, carried.slice_rows(i, i + 1)))
+            .collect()
     }
 }
 
@@ -439,6 +575,37 @@ mod tests {
         assert_ne!(nll_eval, nll_train, "masks must perturb the training loss");
         let (_, _, _, nll_replay, _) = m.forward_loss_with(&ps, &w[0], &s0, Some(&ctx));
         assert_eq!(nll_train, nll_replay, "same stream key replays the same masks");
+    }
+
+    /// Forward-only inference plan vs the live tape, with carried state:
+    /// bitwise logits and carried `(h, c)` on fresh tokens and a fresh
+    /// (non-zero) state, via the `Infer` surface.
+    #[test]
+    fn infer_plan_matches_tape_and_carries_state() {
+        use crate::planned::Infer;
+        let (ps, m, _d) = tiny();
+        let reqs: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]];
+        let states = vec![m.zero_state(); 3];
+        let batch = m.assemble(&reqs, &states);
+        let mut plan = m.capture_infer(&ps, &batch).expect("inference tape must capture");
+
+        // First window primes a non-zero carried state per row.
+        let first = m.replay_infer(&mut plan, &ps, &batch);
+        assert!(first[0].1 .0[0].0.l2_norm() > 0.0, "state must move off zero");
+
+        // Second window replays from the carried states; tape must agree.
+        let reqs2: Vec<Vec<usize>> = vec![vec![9, 8, 7], vec![6, 5, 4], vec![3, 2, 1]];
+        let states2: Vec<LmState> = first.iter().map(|(_, s)| s.clone()).collect();
+        let batch2 = m.assemble(&reqs2, &states2);
+        let planned = m.replay_infer(&mut plan, &ps, &batch2);
+        let taped = m.infer_tape(&ps, &batch2);
+        for ((la, sa), (lb, sb)) in planned.iter().zip(&taped) {
+            assert_eq!(la, lb, "frozen-path logits must match the tape bitwise");
+            for ((ha, ca), (hb, cb)) in sa.0.iter().zip(&sb.0) {
+                assert_eq!(ha.as_slice(), hb.as_slice(), "carried h must match");
+                assert_eq!(ca.as_slice(), cb.as_slice(), "carried c must match");
+            }
+        }
     }
 
     #[test]

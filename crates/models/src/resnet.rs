@@ -234,6 +234,61 @@ impl ResNet {
         bns
     }
 
+    /// Builds an eval-mode (running-statistics) inference tape on a
+    /// throwaway clone — eval never mutates BN state, but `forward` takes
+    /// `&mut self` for the training path's sake. Returns graph/binding and
+    /// the logits variable.
+    pub fn forward_infer(&self, ps: &ParamSet, images: &Tensor) -> (Graph, Binding, Var) {
+        let mut probe = self.clone();
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let logits = probe.forward(&mut g, &mut bd, ps, images, false);
+        (g, bd, logits)
+    }
+
+    /// Captures the eval-mode forward into a forward-only [`StepPlan`].
+    /// Eval BN folds gamma/beta and the running statistics into per-capture
+    /// constants, so the plan is valid only while parameters *and* running
+    /// stats stay frozen — exactly the serving contract.
+    pub fn capture_infer_plan(&self, ps: &ParamSet, images: &Tensor) -> Option<StepPlan> {
+        let (g, bd, logits) = self.forward_infer(ps, images);
+        StepPlan::capture_forward(&g, &bd, &[logits])
+    }
+
+    /// Replays a captured eval forward on fresh same-shape images,
+    /// returning the logits. The empty mask feed re-uses the captured
+    /// folded-BN scale masks.
+    pub fn replay_infer_plan(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        images: &Tensor,
+    ) -> Tensor {
+        plan.replay_forward(ps, &[images], &Feeds::default());
+        plan.output(0)
+    }
+
+    /// Running statistics `(mean, var)` of every BatchNorm layer in
+    /// [`ResNet::batch_norms`] order — the non-parameter state a frozen
+    /// artifact must carry alongside the checkpointed `ParamSet`.
+    pub fn bn_running_stats(&self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        self.batch_norms()
+            .iter()
+            .map(|bn| (bn.running_mean.clone(), bn.running_var.clone()))
+            .collect()
+    }
+
+    /// Restores statistics exported by [`ResNet::bn_running_stats`].
+    pub fn set_bn_running_stats(&mut self, stats: &[(Vec<f32>, Vec<f32>)]) {
+        let bns = self.batch_norms_mut();
+        assert_eq!(stats.len(), bns.len(), "BN layer count mismatch");
+        for (bn, (m, v)) in bns.into_iter().zip(stats) {
+            assert_eq!(bn.running_mean.len(), m.len(), "BN channel count mismatch");
+            bn.running_mean.copy_from_slice(m);
+            bn.running_var.copy_from_slice(v);
+        }
+    }
+
     /// Replaces this model's BatchNorm running statistics with the
     /// weighted average of the shard clones' statistics (weights must sum
     /// to 1; use shard-example fractions). Deterministic: iterates shards
@@ -278,6 +333,53 @@ impl ResNet {
             i += chunk;
         }
         (top1 / total.max(1) as f64, topk / total.max(1) as f64)
+    }
+}
+
+impl crate::planned::Infer for ResNet {
+    type Req = Vec<f32>;
+    type Out = Vec<f32>;
+    type RowState = ();
+    type Batch = Tensor;
+
+    fn zero_state(&self) {}
+
+    fn coalesce_key(&self, _req: &Vec<f32>) -> Vec<usize> {
+        Vec::new() // fixed shape: everything coalesces
+    }
+
+    fn assemble(&self, reqs: &[Vec<f32>], _states: &[()]) -> Tensor {
+        const IMG: usize = 3 * 32 * 32;
+        let b = reqs.len();
+        let mut flat = Vec::with_capacity(b * IMG);
+        for r in reqs {
+            assert_eq!(r.len(), IMG, "ResNet request must be a 3×32×32 image");
+            flat.extend_from_slice(r);
+        }
+        Tensor::from_vec(flat, &[b, 3, 32, 32])
+    }
+
+    fn infer_key(&self, batch: &Tensor) -> Vec<usize> {
+        vec![batch.dim(0)]
+    }
+
+    fn capture_infer(&self, ps: &ParamSet, batch: &Tensor) -> Option<StepPlan> {
+        self.capture_infer_plan(ps, batch)
+    }
+
+    fn replay_infer(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &Tensor,
+    ) -> Vec<(Vec<f32>, ())> {
+        let logits = self.replay_infer_plan(plan, ps, batch);
+        crate::planned::tensor_rows(&logits).into_iter().map(|r| (r, ())).collect()
+    }
+
+    fn infer_tape(&self, ps: &ParamSet, batch: &Tensor) -> Vec<(Vec<f32>, ())> {
+        let (g, _bd, logits) = self.forward_infer(ps, batch);
+        crate::planned::tensor_rows(g.value(logits)).into_iter().map(|r| (r, ())).collect()
     }
 }
 
@@ -337,6 +439,28 @@ mod tests {
             }
         }
         assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    /// Eval-mode inference plan vs the live eval tape: bitwise logits on a
+    /// fresh batch, after training passes have moved the BN running stats
+    /// off their initial values (so the folded constants matter).
+    #[test]
+    fn infer_plan_matches_eval_tape_bitwise() {
+        use crate::planned::Infer;
+        let (ps, mut m, d) = tiny();
+        let (batch, labels) = d.train.gather(&(0..8).collect::<Vec<_>>());
+        for _ in 0..2 {
+            let _ = m.forward_loss(&ps, &batch, &labels);
+        }
+        let (cap_batch, _) = d.train.gather(&[0, 1, 2]);
+        let (fresh, _) = d.test.gather(&[3, 4, 5]);
+        let mut plan = m.capture_infer(&ps, &cap_batch).expect("eval tape must capture");
+        let planned = m.replay_infer(&mut plan, &ps, &fresh);
+        let taped = m.infer_tape(&ps, &fresh);
+        for ((a, ()), (b, ())) in planned.iter().zip(&taped) {
+            assert_eq!(a.len(), 6);
+            assert_eq!(a, b, "frozen-path logits must match the eval tape bitwise");
+        }
     }
 
     #[test]

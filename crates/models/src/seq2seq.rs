@@ -390,23 +390,37 @@ impl Seq2Seq {
     /// evaluation loops reuse one node allocation across batches.
     fn greedy_decode_into(
         &self,
-        mut g: &mut Graph,
+        g: &mut Graph,
         ps: &ParamSet,
         batch: &TranslationBatch,
     ) -> Vec<Vec<usize>> {
         g.reset();
         let b = batch.batch_size();
         let mut bd = Binding::new();
-        let enc = self.encode(&mut g, &mut bd, ps, &batch.src);
-        let mut s0 = self.dec0.zero_state(&mut g, b);
+        let enc = self.encode(g, &mut bd, ps, &batch.src);
+        self.greedy_loop(g, &mut bd, ps, &enc, b)
+    }
+
+    /// The feedback decode loop over an already-encoded source — shared by
+    /// the tape path ([`Seq2Seq::greedy_decode_into`]) and the frozen-plan
+    /// path ([`Seq2Seq::greedy_decode_planned`]), so both decode
+    /// identically by construction.
+    fn greedy_loop(
+        &self,
+        g: &mut Graph,
+        bd: &mut Binding,
+        ps: &ParamSet,
+        enc: &Encoded,
+        b: usize,
+    ) -> Vec<Vec<usize>> {
+        let mut s0 = self.dec0.zero_state(g, b);
         let mut s1 = LstmState { h: enc.last.h, c: enc.last.c };
 
         let mut hyps: Vec<Vec<usize>> = vec![Vec::new(); b];
         let mut done = vec![false; b];
         let mut tokens = vec![legw_data::BOS; b];
         for _ in 0..self.cfg.max_decode {
-            let (logits, ns0, ns1) =
-                self.decode_step(&mut g, &mut bd, ps, &enc, &tokens, s0, s1);
+            let (logits, ns0, ns1) = self.decode_step(g, bd, ps, enc, &tokens, s0, s1);
             s0 = ns0;
             s1 = ns1;
             let preds = g.value(logits).argmax_rows();
@@ -428,6 +442,57 @@ impl Seq2Seq {
         hyps
     }
 
+    /// Captures the encoder into a *forward-only* plan for frozen-model
+    /// serving — same tape and outputs as [`Seq2Seq::capture_encoder_plan`],
+    /// but with no backward schedule or gradient buffers.
+    pub fn capture_infer_plan(
+        &self,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+    ) -> Option<StepPlan> {
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let enc = self.encode(&mut g, &mut bd, ps, &batch.src);
+        let mut outputs: Vec<Var> = Vec::with_capacity(2 * enc.states.len() + 1);
+        outputs.extend(&enc.states);
+        outputs.extend(&enc.proj);
+        outputs.push(enc.last.c);
+        StepPlan::capture_forward(&g, &bd, &outputs)
+    }
+
+    /// Greedy decoding with the encoder replayed from a forward-only plan:
+    /// the shape-static encoder runs tape-free; the data-dependent feedback
+    /// decoder runs on a small fresh tape over the replayed encoder
+    /// outputs, re-entered as plain (gradient-free) inputs. Matches
+    /// [`Seq2Seq::greedy_decode`] token-for-token on the same padded batch.
+    pub fn greedy_decode_planned(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+    ) -> Vec<Vec<usize>> {
+        let b = batch.batch_size();
+        let t_len = batch.src.len();
+        let zero_state = Tensor::zeros(&[b, self.cfg.hidden]);
+        let enc_inputs: Vec<&Tensor> = vec![&zero_state; 6];
+        let ids: Vec<&[usize]> = batch.src.iter().map(|v| v.as_slice()).collect();
+        let feeds = Feeds { ids: &ids, ..Feeds::default() };
+        plan.replay_forward(ps, &enc_inputs, &feeds);
+
+        let mut g = Graph::new();
+        let mut bd = Binding::new();
+        let states: Vec<Var> = (0..t_len).map(|t| g.input(plan.output(t))).collect();
+        let proj: Vec<Var> =
+            (0..t_len).map(|t| g.input(plan.output(t_len + t))).collect();
+        let last_c = g.input(plan.output(2 * t_len));
+        let enc = Encoded {
+            last: LstmState { h: states[t_len - 1], c: last_c },
+            states,
+            proj,
+        };
+        self.greedy_loop(&mut g, &mut bd, ps, &enc, b)
+    }
+
     /// Corpus BLEU over a split (paper metric, higher is better).
     pub fn evaluate_bleu(&self, ps: &ParamSet, data: &SynthTranslation, batch: usize) -> f64 {
         let mut cands = Vec::new();
@@ -440,6 +505,46 @@ impl Seq2Seq {
             refs.extend(b.refs.clone());
         }
         metrics::corpus_bleu(&cands, &refs)
+    }
+}
+
+impl crate::planned::Infer for Seq2Seq {
+    type Req = Vec<usize>;
+    type Out = Vec<usize>;
+    type RowState = ();
+    type Batch = TranslationBatch;
+
+    fn zero_state(&self) {}
+
+    fn coalesce_key(&self, _req: &Vec<usize>) -> Vec<usize> {
+        // Pad-tolerant: ragged sources PAD-pad into one batch, exactly like
+        // the evaluation batches the model is scored on.
+        Vec::new()
+    }
+
+    fn assemble(&self, reqs: &[Vec<usize>], _states: &[()]) -> TranslationBatch {
+        TranslationBatch::for_inference(reqs)
+    }
+
+    fn infer_key(&self, batch: &TranslationBatch) -> Vec<usize> {
+        vec![batch.batch_size(), batch.src.len()]
+    }
+
+    fn capture_infer(&self, ps: &ParamSet, batch: &TranslationBatch) -> Option<StepPlan> {
+        self.capture_infer_plan(ps, batch)
+    }
+
+    fn replay_infer(
+        &self,
+        plan: &mut StepPlan,
+        ps: &ParamSet,
+        batch: &TranslationBatch,
+    ) -> Vec<(Vec<usize>, ())> {
+        self.greedy_decode_planned(plan, ps, batch).into_iter().map(|h| (h, ())).collect()
+    }
+
+    fn infer_tape(&self, ps: &ParamSet, batch: &TranslationBatch) -> Vec<(Vec<usize>, ())> {
+        self.greedy_decode(ps, batch).into_iter().map(|h| (h, ())).collect()
     }
 }
 
@@ -523,6 +628,34 @@ mod tests {
             for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
                 assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{name} grad: {a} vs {b}");
             }
+        }
+    }
+
+    /// Frozen-encoder greedy decoding vs the live-tape path: identical
+    /// token sequences on a ragged request set the plan was never captured
+    /// on, via the `Infer` surface (PAD-coalescing like evaluation).
+    #[test]
+    fn planned_greedy_decode_matches_tape() {
+        use crate::planned::Infer;
+        let (ps, m, d) = tiny();
+        let cap: Vec<Vec<usize>> = d.test.iter().map(|(s, _)| s.clone()).take(4).collect();
+        let fresh: Vec<Vec<usize>> =
+            d.test.iter().map(|(s, _)| s.clone()).skip(4).take(4).collect();
+        let pad_to = cap.iter().chain(&fresh).map(|s| s.len()).max().unwrap();
+        // Equal padded width so one captured plan serves both request sets.
+        let widen = |rows: &[Vec<usize>]| -> Vec<Vec<usize>> {
+            let mut rows = rows.to_vec();
+            let fill = rows[0][0];
+            rows[0].resize(pad_to, fill);
+            rows
+        };
+        let cap_batch = m.assemble(&widen(&cap), &[(); 4]);
+        let batch = m.assemble(&widen(&fresh), &[(); 4]);
+        let mut plan = m.capture_infer(&ps, &cap_batch).expect("encoder tape must capture");
+        let planned = m.replay_infer(&mut plan, &ps, &batch);
+        let taped = m.infer_tape(&ps, &batch);
+        for ((a, ()), (b, ())) in planned.iter().zip(&taped) {
+            assert_eq!(a, b, "frozen-path decode must match the tape token-for-token");
         }
     }
 

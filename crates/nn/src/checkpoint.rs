@@ -1,21 +1,208 @@
 //! Model checkpointing: binary serialization of a [`ParamSet`]'s values.
 //!
-//! Format (little-endian): magic `LGWP`, version u16, parameter count u32,
-//! then per parameter: name (u16 length + UTF-8), ndim u8, dims u32…,
-//! f32 payload. Gradients are not persisted (they are transient state).
+//! ## Format v2 (current, little-endian)
+//!
+//! ```text
+//! magic  b"LGWP"
+//! version u16 = 2
+//! dtype   u8  (0 = f32; the only dtype today, tagged for forward compat)
+//! count   u32
+//! per parameter:
+//!   name_len u16, name bytes (UTF-8)
+//!   ndim u8, dims u32 × ndim
+//!   payload_len u64 (bytes; must equal Π dims · 4)
+//!   payload (f32 × Π dims)
+//! config_len u32, config bytes   (opaque model-config section; 0 = none)
+//! crc32 u32   (IEEE, over every preceding byte including the magic)
+//! ```
+//!
+//! Version 1 (magic, version, count, params without `payload_len`, no
+//! config, no CRC) is still loadable; [`save_v1`] writes it for
+//! compatibility tests. Gradients are never persisted (transient state).
+//!
+//! Restores are **all-or-nothing**: the stream is parsed and validated
+//! into scratch storage first and committed to the [`ParamSet`] only once
+//! everything checked out, so a truncated or corrupt blob leaves the
+//! store untouched.
 
-use crate::param::{ParamSet};
+use crate::param::ParamSet;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use legw_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"LGWP";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// The only payload dtype today. Tagged in the header so a future
+/// reduced-precision artifact can be detected instead of misread.
+const DTYPE_F32: u8 = 0;
 
-/// Serializes all parameter values (not gradients).
+/// Why a checkpoint failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob does not start with the `LGWP` magic.
+    NotACheckpoint,
+    /// The version tag is one this build cannot parse.
+    UnsupportedVersion(u16),
+    /// The dtype tag is one this build cannot parse.
+    UnsupportedDtype(u8),
+    /// The stream ended inside the named field.
+    Truncated(&'static str),
+    /// The trailing CRC32 does not match the stream contents.
+    CrcMismatch { stored: u32, computed: u32 },
+    /// Parameter count differs between checkpoint and store.
+    CountMismatch { checkpoint: usize, store: usize },
+    /// Parameter `index` is named differently in checkpoint and store.
+    NameMismatch { index: usize, checkpoint: String, store: String },
+    /// The named parameter has a different shape in checkpoint and store.
+    ShapeMismatch { name: String, checkpoint: Vec<usize>, store: Vec<usize> },
+    /// A structurally invalid field (bad ndim, payload length ≠ shape…).
+    BadField { what: &'static str, name: String },
+    /// A parameter name that is not UTF-8.
+    NonUtf8Name,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotACheckpoint => write!(f, "not a LGWP checkpoint"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::UnsupportedDtype(d) => write!(f, "unsupported checkpoint dtype {d}"),
+            Self::Truncated(what) => write!(f, "checkpoint truncated in {what}"),
+            Self::CrcMismatch { stored, computed } => {
+                write!(f, "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            Self::CountMismatch { checkpoint, store } => {
+                write!(f, "checkpoint has {checkpoint} params, store has {store}")
+            }
+            Self::NameMismatch { index, checkpoint, store } => {
+                write!(f, "parameter {index} name mismatch: checkpoint {checkpoint:?}, store {store:?}")
+            }
+            Self::ShapeMismatch { name, checkpoint, store } => {
+                write!(f, "parameter {name} shape mismatch: checkpoint {checkpoint:?}, store {store:?}")
+            }
+            Self::BadField { what, name } => write!(f, "bad {what} for {name}"),
+            Self::NonUtf8Name => write!(f, "non-UTF8 parameter name"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+// ---------------------------------------------------------------- crc32
+
+/// IEEE CRC-32 (reflected 0xEDB88320) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let mut c = crc;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+// ---------------------------------------------------------------- save
+
+/// CRC-tracking writer over any [`BufMut`].
+struct Writer<'a, B: BufMut> {
+    out: &'a mut B,
+    crc: u32,
+}
+
+impl<'a, B: BufMut> Writer<'a, B> {
+    fn new(out: &'a mut B) -> Self {
+        Self { out, crc: 0xFFFF_FFFF }
+    }
+    fn slice(&mut self, s: &[u8]) {
+        self.out.put_slice(s);
+        self.crc = crc32_update(self.crc, s);
+    }
+    fn u8(&mut self, v: u8) {
+        self.slice(&[v]);
+    }
+    fn u16(&mut self, v: u16) {
+        self.slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.slice(&v.to_le_bytes());
+    }
+    fn finish(self) -> u32 {
+        !self.crc
+    }
+}
+
+/// Serializes all parameter values (not gradients) in the v2 format with
+/// no config section.
 pub fn save(ps: &ParamSet) -> Bytes {
+    save_with_config(ps, None)
+}
+
+/// [`save`] plus an opaque model-config section (the freeze path stores
+/// the model hyperparameters there so a server can rebuild the model).
+pub fn save_with_config(ps: &ParamSet, config: Option<&[u8]>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + ps.num_scalars() * 4);
+    save_to(ps, config, &mut buf);
+    buf.freeze()
+}
+
+/// Streaming variant of [`save_with_config`]: appends the checkpoint to
+/// any [`BufMut`] (a `Vec<u8>`, a `BytesMut`, …).
+pub fn save_to(ps: &ParamSet, config: Option<&[u8]>, out: &mut impl BufMut) {
+    let mut w = Writer::new(out);
+    w.slice(MAGIC);
+    w.u16(VERSION);
+    w.u8(DTYPE_F32);
+    w.u32(ps.len() as u32);
+    let mut payload: Vec<u8> = Vec::new();
+    for (_, p) in ps.iter() {
+        let name = p.name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "parameter name too long");
+        w.u16(name.len() as u16);
+        w.slice(name);
+        let dims = p.value.shape();
+        w.u8(dims.len() as u8);
+        for &d in dims {
+            w.u32(d as u32);
+        }
+        let vals = p.value.as_slice();
+        w.u64(vals.len() as u64 * 4);
+        payload.clear();
+        payload.reserve(vals.len() * 4);
+        for &v in vals {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        w.slice(&payload);
+    }
+    let config = config.unwrap_or(&[]);
+    assert!(config.len() <= u32::MAX as usize, "config section too long");
+    w.u32(config.len() as u32);
+    w.slice(config);
+    let crc = w.finish();
+    out.put_u32_le(crc);
+}
+
+/// Writes the legacy v1 layout (no dtype tag, payload lengths, config or
+/// CRC). Kept so the v1-compatibility path stays testable.
+pub fn save_v1(ps: &ParamSet) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + ps.num_scalars() * 4);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(1);
     buf.put_u32_le(ps.len() as u32);
     for (_, p) in ps.iter() {
         let name = p.name.as_bytes();
@@ -34,69 +221,191 @@ pub fn save(ps: &ParamSet) -> Bytes {
     buf.freeze()
 }
 
-/// Restores parameter values into an existing, structurally identical
-/// [`ParamSet`] (names and shapes must match in order — the normal flow is
-/// to rebuild the model from its constructor, then load).
-///
-/// # Errors
-/// Returns a message on any mismatch or truncation; on error the store may
-/// be partially updated.
-pub fn load(ps: &mut ParamSet, mut buf: &[u8]) -> Result<(), String> {
-    if buf.remaining() < 10 || &buf[..4] != MAGIC {
-        return Err("not a LGWP checkpoint".into());
+// ---------------------------------------------------------------- load
+
+/// CRC-tracking reader over any [`Buf`].
+struct Reader<'a, B: Buf> {
+    src: &'a mut B,
+    crc: u32,
+}
+
+impl<'a, B: Buf> Reader<'a, B> {
+    fn new(src: &'a mut B) -> Self {
+        Self { src, crc: 0xFFFF_FFFF }
     }
-    buf.advance(4);
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(format!("unsupported checkpoint version {version}"));
+    fn fixed<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], CheckpointError> {
+        if self.src.remaining() < N {
+            return Err(CheckpointError::Truncated(what));
+        }
+        let mut a = [0u8; N];
+        self.src.copy_to_slice(&mut a);
+        self.crc = crc32_update(self.crc, &a);
+        Ok(a)
     }
-    let count = buf.get_u32_le() as usize;
-    if count != ps.len() {
-        return Err(format!("checkpoint has {count} params, store has {}", ps.len()));
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<Vec<u8>, CheckpointError> {
+        if self.src.remaining() < n {
+            return Err(CheckpointError::Truncated(what));
+        }
+        let mut v = vec![0u8; n];
+        self.src.copy_to_slice(&mut v);
+        self.crc = crc32_update(self.crc, &v);
+        Ok(v)
     }
-    for i in 0..count {
-        if buf.remaining() < 2 {
-            return Err("truncated name length".into());
+    fn u8(&mut self, what: &'static str) -> Result<u8, CheckpointError> {
+        Ok(self.fixed::<1>(what)?[0])
+    }
+    fn u16(&mut self, what: &'static str) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.fixed(what)?))
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.fixed(what)?))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.fixed(what)?))
+    }
+    /// Reads the trailing CRC field itself — excluded from the running CRC.
+    fn raw_u32(&mut self, what: &'static str) -> Result<u32, CheckpointError> {
+        if self.src.remaining() < 4 {
+            return Err(CheckpointError::Truncated(what));
         }
-        let name_len = buf.get_u16_le() as usize;
-        if buf.remaining() < name_len + 1 {
-            return Err("truncated name".into());
+        let mut a = [0u8; 4];
+        self.src.copy_to_slice(&mut a);
+        Ok(u32::from_le_bytes(a))
+    }
+}
+
+/// One parameter parsed out of the stream, not yet committed.
+type Staged = (String, Vec<usize>, Vec<f32>);
+
+fn parse_param<B: Buf>(r: &mut Reader<'_, B>, with_len: bool) -> Result<Staged, CheckpointError> {
+    let name_len = r.u16("name length")? as usize;
+    let name_bytes = r.bytes(name_len, "name")?;
+    let name =
+        String::from_utf8(name_bytes).map_err(|_| CheckpointError::NonUtf8Name)?;
+    let ndim = r.u8("ndim")? as usize;
+    if ndim == 0 || ndim > 4 {
+        return Err(CheckpointError::BadField { what: "ndim", name });
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(r.u32("dims")? as usize);
+    }
+    let numel: usize = dims.iter().product();
+    if with_len {
+        let plen = r.u64("payload length")?;
+        if plen != numel as u64 * 4 {
+            return Err(CheckpointError::BadField { what: "payload length", name });
         }
-        let name = std::str::from_utf8(&buf[..name_len])
-            .map_err(|_| "non-UTF8 parameter name".to_string())?
-            .to_string();
-        buf.advance(name_len);
-        let ndim = buf.get_u8() as usize;
-        if ndim == 0 || ndim > 4 || buf.remaining() < 4 * ndim {
-            return Err(format!("bad ndim {ndim} for {name}"));
+    }
+    let raw = r.bytes(numel * 4, "payload")?;
+    let vals: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok((name, dims, vals))
+}
+
+/// Parses and fully validates a checkpoint stream (either version) without
+/// touching any `ParamSet`. Returns the staged parameters and the config
+/// section, if present.
+fn parse(src: &mut impl Buf) -> Result<(Vec<Staged>, Option<Vec<u8>>), CheckpointError> {
+    let mut r = Reader::new(src);
+    let magic = r.fixed::<4>("magic")?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::NotACheckpoint);
+    }
+    let version = r.u16("version")?;
+    match version {
+        1 => {
+            let count = r.u32("count")? as usize;
+            let mut staged = Vec::with_capacity(count);
+            for _ in 0..count {
+                staged.push(parse_param(&mut r, false)?);
+            }
+            Ok((staged, None))
         }
-        let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            dims.push(buf.get_u32_le() as usize);
+        2 => {
+            let dtype = r.u8("dtype")?;
+            if dtype != DTYPE_F32 {
+                return Err(CheckpointError::UnsupportedDtype(dtype));
+            }
+            let count = r.u32("count")? as usize;
+            let mut staged = Vec::with_capacity(count);
+            for _ in 0..count {
+                staged.push(parse_param(&mut r, true)?);
+            }
+            let config_len = r.u32("config length")? as usize;
+            let config = if config_len == 0 { None } else { Some(r.bytes(config_len, "config")?) };
+            let computed = !r.crc;
+            let stored = r.raw_u32("crc")?;
+            if stored != computed {
+                return Err(CheckpointError::CrcMismatch { stored, computed });
+            }
+            Ok((staged, config))
         }
-        let numel: usize = dims.iter().product();
-        if buf.remaining() < numel * 4 {
-            return Err(format!("truncated payload for {name}"));
-        }
-        let mut vals = Vec::with_capacity(numel);
-        for _ in 0..numel {
-            vals.push(buf.get_f32_le());
-        }
-        // match against the store
-        let (_, p) = ps.iter_mut().nth(i).expect("index in range");
-        if p.name != name {
-            return Err(format!("parameter {i} name mismatch: {} vs {name}", p.name));
+        v => Err(CheckpointError::UnsupportedVersion(v)),
+    }
+}
+
+/// Validates the staged parameters against the store, then commits. Called
+/// only after [`parse`] succeeded, so the store is never half-written.
+fn commit(ps: &mut ParamSet, staged: Vec<Staged>) -> Result<(), CheckpointError> {
+    if staged.len() != ps.len() {
+        return Err(CheckpointError::CountMismatch { checkpoint: staged.len(), store: ps.len() });
+    }
+    for (i, ((_, p), (name, dims, _))) in ps.iter().zip(staged.iter()).enumerate() {
+        if p.name != *name {
+            return Err(CheckpointError::NameMismatch {
+                index: i,
+                checkpoint: name.clone(),
+                store: p.name.clone(),
+            });
         }
         if p.value.shape() != dims.as_slice() {
-            return Err(format!(
-                "parameter {name} shape mismatch: {:?} vs {:?}",
-                p.value.shape(),
-                dims
-            ));
+            return Err(CheckpointError::ShapeMismatch {
+                name: name.clone(),
+                checkpoint: dims.clone(),
+                store: p.value.shape().to_vec(),
+            });
         }
+    }
+    for ((_, p), (_, dims, vals)) in ps.iter_mut().zip(staged) {
         p.value = Tensor::from_vec(vals, &dims);
     }
     Ok(())
+}
+
+/// Restores parameter values into an existing, structurally identical
+/// [`ParamSet`] (names and shapes must match in order — the normal flow is
+/// to rebuild the model from its constructor, then load). Accepts both v1
+/// and v2 blobs.
+///
+/// # Errors
+/// On any mismatch, truncation or corruption the store is left untouched.
+pub fn load(ps: &mut ParamSet, buf: &[u8]) -> Result<(), CheckpointError> {
+    let mut src = buf;
+    load_from(ps, &mut src).map(|_| ())
+}
+
+/// Streaming variant of [`load`]: consumes the checkpoint from any
+/// [`Buf`] and returns the model-config section if one is present (v2
+/// only — v1 blobs have none).
+pub fn load_from(
+    ps: &mut ParamSet,
+    src: &mut impl Buf,
+) -> Result<Option<Vec<u8>>, CheckpointError> {
+    let (staged, config) = parse(src)?;
+    commit(ps, staged)?;
+    Ok(config)
+}
+
+/// Fully validates a blob (structure and CRC) and returns its config
+/// section without needing a [`ParamSet`] — the restore path reads this
+/// first to learn which model to construct.
+pub fn read_config(buf: &[u8]) -> Result<Option<Vec<u8>>, CheckpointError> {
+    let mut src = buf;
+    let (_, config) = parse(&mut src)?;
+    Ok(config)
 }
 
 #[cfg(test)]
@@ -110,20 +419,59 @@ mod tests {
         ps
     }
 
+    fn scrambled() -> ParamSet {
+        let mut ps = store();
+        for (_, p) in ps.iter_mut() {
+            p.value.fill_(9.0);
+        }
+        ps
+    }
+
+    fn assert_matches(a: &ParamSet, b: &ParamSet) {
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.value.as_slice(), y.value.as_slice());
+        }
+    }
+
     #[test]
     fn save_load_roundtrip() {
         let ps = store();
         let blob = save(&ps);
-        let mut fresh = store();
-        // scramble then restore
-        for (_, p) in fresh.iter_mut() {
-            p.value.fill_(9.0);
-        }
+        let mut fresh = scrambled();
         load(&mut fresh, &blob).unwrap();
-        for ((_, a), (_, b)) in ps.iter().zip(fresh.iter()) {
-            assert_eq!(a.value.as_slice(), b.value.as_slice());
-            assert_eq!(a.name, b.name);
-        }
+        assert_matches(&ps, &fresh);
+    }
+
+    #[test]
+    fn v1_blobs_still_load() {
+        let ps = store();
+        let blob = save_v1(&ps);
+        let mut fresh = scrambled();
+        let config = load_from(&mut fresh, &mut &blob[..]).unwrap();
+        assert!(config.is_none(), "v1 has no config section");
+        assert_matches(&ps, &fresh);
+    }
+
+    #[test]
+    fn config_section_roundtrips() {
+        let ps = store();
+        let blob = save_with_config(&ps, Some(b"model-config"));
+        assert_eq!(read_config(&blob).unwrap().as_deref(), Some(&b"model-config"[..]));
+        let mut fresh = scrambled();
+        let config = load_from(&mut fresh, &mut &blob[..]).unwrap();
+        assert_eq!(config.as_deref(), Some(&b"model-config"[..]));
+        assert_matches(&ps, &fresh);
+        // no config → None, not Some(empty)
+        assert_eq!(read_config(&save(&ps)).unwrap(), None);
+    }
+
+    #[test]
+    fn streaming_save_to_matches_save() {
+        let ps = store();
+        let mut v: Vec<u8> = Vec::new();
+        save_to(&ps, Some(b"cfg"), &mut v);
+        assert_eq!(&v[..], &save_with_config(&ps, Some(b"cfg"))[..]);
     }
 
     #[test]
@@ -132,25 +480,87 @@ mod tests {
         let blob = save(&ps);
         let mut other = ParamSet::new();
         other.add("layer.w", Tensor::zeros(&[2, 3]));
-        assert!(load(&mut other, &blob).is_err(), "param count mismatch");
+        assert!(matches!(
+            load(&mut other, &blob),
+            Err(CheckpointError::CountMismatch { checkpoint: 2, store: 1 })
+        ));
 
         let mut renamed = ParamSet::new();
         renamed.add("x.w", Tensor::zeros(&[2, 3]));
         renamed.add("layer.b", Tensor::zeros(&[3]));
-        assert!(load(&mut renamed, &blob).unwrap_err().contains("name mismatch"));
+        assert!(matches!(
+            load(&mut renamed, &blob),
+            Err(CheckpointError::NameMismatch { index: 0, .. })
+        ));
 
         let mut reshaped = ParamSet::new();
         reshaped.add("layer.w", Tensor::zeros(&[3, 2]));
         reshaped.add("layer.b", Tensor::zeros(&[3]));
-        assert!(load(&mut reshaped, &blob).unwrap_err().contains("shape mismatch"));
+        assert!(matches!(
+            load(&mut reshaped, &blob),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
-    fn rejects_garbage_and_truncation() {
+    fn rejects_garbage_truncation_and_corruption() {
         let mut ps = store();
-        assert!(load(&mut ps, b"junk").is_err());
+        assert_eq!(load(&mut ps, b"jk"), Err(CheckpointError::Truncated("magic")));
+        assert_eq!(load(&mut ps, b"junk"), Err(CheckpointError::NotACheckpoint));
         let blob = save(&ps);
-        assert!(load(&mut ps, &blob[..blob.len() - 3]).is_err());
+        assert!(matches!(
+            load(&mut ps, &blob[..blob.len() - 5]),
+            Err(CheckpointError::Truncated(_))
+        ));
+        // flip one payload bit → CRC catches it
+        let mut bad = blob.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            load(&mut ps, &bad),
+            Err(CheckpointError::CrcMismatch { .. })
+        ));
+        // unknown version
+        let mut wrong_ver = blob.to_vec();
+        wrong_ver[4] = 9;
+        assert_eq!(
+            load(&mut ps, &wrong_ver),
+            Err(CheckpointError::UnsupportedVersion(9))
+        );
+    }
+
+    #[test]
+    fn failed_load_leaves_store_untouched() {
+        let ps = store();
+        let blob = save(&ps);
+
+        // Truncate inside the SECOND parameter's payload: the first
+        // parameter parses cleanly, and before the all-or-nothing fix its
+        // value would already have been committed.
+        let mut fresh = scrambled();
+        let before: Vec<Vec<f32>> =
+            fresh.iter().map(|(_, p)| p.value.as_slice().to_vec()).collect();
+        assert!(load(&mut fresh, &blob[..blob.len() - 9]).is_err());
+        for ((_, p), want) in fresh.iter().zip(&before) {
+            assert_eq!(p.value.as_slice(), &want[..], "store mutated by failed load");
+        }
+
+        // Same for a v1 blob, where the seed implementation had the bug.
+        let v1 = save_v1(&ps);
+        let mut fresh = scrambled();
+        assert!(load(&mut fresh, &v1[..v1.len() - 3]).is_err());
+        for ((_, p), want) in fresh.iter().zip(&before) {
+            assert_eq!(p.value.as_slice(), &want[..], "store mutated by failed v1 load");
+        }
+
+        // And for a structural mismatch detected after a clean parse.
+        let mut renamed = ParamSet::new();
+        renamed.add("x.w", Tensor::from_vec(vec![7.0; 6], &[2, 3]));
+        renamed.add("layer.b", Tensor::from_vec(vec![7.0; 3], &[3]));
+        assert!(load(&mut renamed, &blob).is_err());
+        for (_, p) in renamed.iter() {
+            assert!(p.value.as_slice().iter().all(|&v| v == 7.0));
+        }
     }
 
     #[test]
@@ -164,8 +574,14 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(99); // different init
         let mut ps2 = ParamSet::new();
         let _ = crate::Linear::new(&mut ps2, &mut rng2, "fc", 4, 2, true);
-        assert_ne!(ps.iter().next().unwrap().1.value.as_slice(), ps2.iter().next().unwrap().1.value.as_slice());
+        assert_ne!(
+            ps.iter().next().unwrap().1.value.as_slice(),
+            ps2.iter().next().unwrap().1.value.as_slice()
+        );
         load(&mut ps2, &blob).unwrap();
-        assert_eq!(ps.iter().next().unwrap().1.value.as_slice(), ps2.iter().next().unwrap().1.value.as_slice());
+        assert_eq!(
+            ps.iter().next().unwrap().1.value.as_slice(),
+            ps2.iter().next().unwrap().1.value.as_slice()
+        );
     }
 }

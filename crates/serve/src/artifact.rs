@@ -1,0 +1,297 @@
+//! Versioned freeze/restore of trained models.
+//!
+//! A frozen artifact is a checkpoint-v2 blob ([`legw_nn::checkpoint`])
+//! whose optional config section carries a [`ModelConfig`]: the model
+//! family tag, its constructor dimensions, and any non-parameter state the
+//! eval forward needs (ResNet's BatchNorm running statistics — those live
+//! outside the `ParamSet` and would otherwise be lost). [`restore`]
+//! rebuilds the module tree from the config — parameter names and shapes
+//! are a pure function of the constructor arguments — then reloads the
+//! checkpointed values all-or-nothing under the v2 CRC.
+
+use bytes::{Buf, BufMut, Bytes};
+use legw_models::{MnistLstm, PtbLm, PtbLmConfig, ResNet, Seq2Seq, Seq2SeqConfig};
+use legw_nn::checkpoint::{self, CheckpointError};
+use legw_nn::ParamSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// What went wrong freezing or restoring an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The checkpoint layer rejected the blob (truncation, CRC, version,
+    /// name/shape mismatch against the rebuilt model, …).
+    Checkpoint(CheckpointError),
+    /// The blob is a valid checkpoint but carries no model config — it was
+    /// written by `checkpoint::save`, not by [`freeze`].
+    MissingConfig,
+    /// The config section is present but malformed.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            Self::MissingConfig => write!(f, "artifact has no model-config section"),
+            Self::BadConfig(what) => write!(f, "malformed model config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<CheckpointError> for ArtifactError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// The model family and everything needed to rebuild it: constructor
+/// dimensions plus non-parameter eval state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelConfig {
+    /// §5.1.1 MNIST LSTM: input projection and hidden widths.
+    MnistLstm { proj: usize, hidden: usize },
+    /// §5.1.2 PTB LM. Dropout keep is not stored: inference is always
+    /// eval-mode, so restore builds with `keep = 1.0` (same parameters).
+    PtbLm { vocab: usize, embed: usize, hidden: usize, layers: usize },
+    /// §5.1.3 GNMT-style seq2seq.
+    Seq2Seq { vocab: usize, embed: usize, hidden: usize, attn: usize, max_decode: usize },
+    /// §6 ResNet, plus the BatchNorm running `(mean, var)` per layer in
+    /// `ResNet::batch_norms` order — eval state the `ParamSet` misses.
+    ResNet { width: usize, n_classes: usize, bn_stats: Vec<(Vec<f32>, Vec<f32>)> },
+}
+
+const TAG_MNIST: u8 = 0;
+const TAG_PTB: u8 = 1;
+const TAG_S2S: u8 = 2;
+const TAG_RESNET: u8 = 3;
+
+impl ModelConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::MnistLstm { proj, hidden } => {
+                out.put_u8(TAG_MNIST);
+                out.put_u32_le(*proj as u32);
+                out.put_u32_le(*hidden as u32);
+            }
+            Self::PtbLm { vocab, embed, hidden, layers } => {
+                out.put_u8(TAG_PTB);
+                out.put_u32_le(*vocab as u32);
+                out.put_u32_le(*embed as u32);
+                out.put_u32_le(*hidden as u32);
+                out.put_u32_le(*layers as u32);
+            }
+            Self::Seq2Seq { vocab, embed, hidden, attn, max_decode } => {
+                out.put_u8(TAG_S2S);
+                out.put_u32_le(*vocab as u32);
+                out.put_u32_le(*embed as u32);
+                out.put_u32_le(*hidden as u32);
+                out.put_u32_le(*attn as u32);
+                out.put_u32_le(*max_decode as u32);
+            }
+            Self::ResNet { width, n_classes, bn_stats } => {
+                out.put_u8(TAG_RESNET);
+                out.put_u32_le(*width as u32);
+                out.put_u32_le(*n_classes as u32);
+                out.put_u32_le(bn_stats.len() as u32);
+                for (mean, var) in bn_stats {
+                    debug_assert_eq!(mean.len(), var.len());
+                    out.put_u32_le(mean.len() as u32);
+                    for &m in mean {
+                        out.put_f32_le(m);
+                    }
+                    for &v in var {
+                        out.put_f32_le(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(mut buf: &[u8]) -> Result<Self, ArtifactError> {
+        let u32_field = |buf: &mut &[u8]| -> Result<usize, ArtifactError> {
+            if buf.remaining() < 4 {
+                return Err(ArtifactError::BadConfig("truncated field"));
+            }
+            Ok(buf.get_u32_le() as usize)
+        };
+        if buf.remaining() < 1 {
+            return Err(ArtifactError::BadConfig("empty config"));
+        }
+        let cfg = match buf.get_u8() {
+            TAG_MNIST => Self::MnistLstm {
+                proj: u32_field(&mut buf)?,
+                hidden: u32_field(&mut buf)?,
+            },
+            TAG_PTB => Self::PtbLm {
+                vocab: u32_field(&mut buf)?,
+                embed: u32_field(&mut buf)?,
+                hidden: u32_field(&mut buf)?,
+                layers: u32_field(&mut buf)?,
+            },
+            TAG_S2S => Self::Seq2Seq {
+                vocab: u32_field(&mut buf)?,
+                embed: u32_field(&mut buf)?,
+                hidden: u32_field(&mut buf)?,
+                attn: u32_field(&mut buf)?,
+                max_decode: u32_field(&mut buf)?,
+            },
+            TAG_RESNET => {
+                let width = u32_field(&mut buf)?;
+                let n_classes = u32_field(&mut buf)?;
+                let layers = u32_field(&mut buf)?;
+                let mut bn_stats = Vec::with_capacity(layers);
+                for _ in 0..layers {
+                    let ch = u32_field(&mut buf)?;
+                    if buf.remaining() < 8 * ch {
+                        return Err(ArtifactError::BadConfig("truncated BN statistics"));
+                    }
+                    let read = |n: usize, buf: &mut &[u8]| -> Vec<f32> {
+                        (0..n).map(|_| buf.get_f32_le()).collect()
+                    };
+                    let mean = read(ch, &mut buf);
+                    let var = read(ch, &mut buf);
+                    bn_stats.push((mean, var));
+                }
+                Self::ResNet { width, n_classes, bn_stats }
+            }
+            _ => return Err(ArtifactError::BadConfig("unknown model tag")),
+        };
+        if buf.remaining() > 0 {
+            return Err(ArtifactError::BadConfig("trailing bytes"));
+        }
+        Ok(cfg)
+    }
+}
+
+/// A model restored from a frozen artifact, ready for an
+/// [`crate::InferEngine`] of the matching family.
+pub enum FrozenModel {
+    /// §5.1.1 MNIST classifier.
+    MnistLstm(MnistLstm),
+    /// §5.1.2 PTB language model.
+    PtbLm(PtbLm),
+    /// §5.1.3 translation model.
+    Seq2Seq(Seq2Seq),
+    /// §6 image classifier, BN running stats restored.
+    ResNet(ResNet),
+}
+
+/// Snapshots a trained model into a self-describing artifact: checkpoint
+/// v2 (dtype-tagged, length-prefixed, CRC-protected) with `cfg` encoded
+/// into the config section. The caller provides the `ModelConfig` matching
+/// the model the `ParamSet` was trained with — for ResNet that includes
+/// the current running statistics ([`ResNet::bn_running_stats`]).
+pub fn freeze(cfg: &ModelConfig, ps: &ParamSet) -> Bytes {
+    let mut cfg_bytes = Vec::new();
+    cfg.encode(&mut cfg_bytes);
+    checkpoint::save_with_config(ps, Some(&cfg_bytes))
+}
+
+/// Rebuilds the model named by the artifact's config section and reloads
+/// its parameters. Construction RNG is irrelevant (every initial value is
+/// overwritten by the checkpoint), but parameter *names and shapes* are a
+/// pure function of the config, so the checkpoint's name/shape validation
+/// cross-checks the config against the payload before anything mutates.
+pub fn restore(blob: &[u8]) -> Result<(FrozenModel, ParamSet), ArtifactError> {
+    let cfg_bytes = checkpoint::read_config(blob)?.ok_or(ArtifactError::MissingConfig)?;
+    let cfg = ModelConfig::decode(&cfg_bytes)?;
+    let mut ps = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = match cfg {
+        ModelConfig::MnistLstm { proj, hidden } => {
+            FrozenModel::MnistLstm(MnistLstm::new(&mut ps, &mut rng, proj, hidden))
+        }
+        ModelConfig::PtbLm { vocab, embed, hidden, layers } => {
+            let cfg = PtbLmConfig { vocab, embed, hidden, layers, keep: 1.0 };
+            FrozenModel::PtbLm(PtbLm::new(&mut ps, &mut rng, cfg))
+        }
+        ModelConfig::Seq2Seq { vocab, embed, hidden, attn, max_decode } => {
+            let cfg = Seq2SeqConfig { vocab, embed, hidden, attn, max_decode };
+            FrozenModel::Seq2Seq(Seq2Seq::new(&mut ps, &mut rng, cfg))
+        }
+        ModelConfig::ResNet { width, n_classes, bn_stats } => {
+            let mut m = ResNet::new(&mut ps, &mut rng, width, n_classes);
+            m.set_bn_running_stats(&bn_stats);
+            FrozenModel::ResNet(m)
+        }
+    };
+    checkpoint::load(&mut ps, blob)?;
+    Ok((model, ps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_roundtrips() {
+        let cfgs = [
+            ModelConfig::MnistLstm { proj: 64, hidden: 128 },
+            ModelConfig::PtbLm { vocab: 30, embed: 48, hidden: 48, layers: 2 },
+            ModelConfig::Seq2Seq { vocab: 23, embed: 12, hidden: 12, attn: 8, max_decode: 8 },
+            ModelConfig::ResNet {
+                width: 4,
+                n_classes: 6,
+                bn_stats: vec![(vec![0.5, -0.5], vec![1.0, 2.0]), (vec![0.0], vec![1.5])],
+            },
+        ];
+        for cfg in &cfgs {
+            let mut bytes = Vec::new();
+            cfg.encode(&mut bytes);
+            assert_eq!(&ModelConfig::decode(&bytes).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_configs() {
+        assert_eq!(ModelConfig::decode(&[]), Err(ArtifactError::BadConfig("empty config")));
+        assert_eq!(
+            ModelConfig::decode(&[9, 0, 0, 0, 0]),
+            Err(ArtifactError::BadConfig("unknown model tag"))
+        );
+        let mut ok = Vec::new();
+        ModelConfig::MnistLstm { proj: 1, hidden: 2 }.encode(&mut ok);
+        assert_eq!(
+            ModelConfig::decode(&ok[..ok.len() - 1]),
+            Err(ArtifactError::BadConfig("truncated field"))
+        );
+        ok.push(0);
+        assert_eq!(
+            ModelConfig::decode(&ok),
+            Err(ArtifactError::BadConfig("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn restore_rejects_configless_checkpoints() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _m = MnistLstm::new(&mut ps, &mut rng, 8, 8);
+        let blob = checkpoint::save(&ps);
+        match restore(&blob) {
+            Err(ArtifactError::MissingConfig) => {}
+            other => panic!("expected MissingConfig, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_config_payload_mismatch() {
+        // Freeze MNIST params but lie about the family in the config: the
+        // rebuilt PTB model's parameter names don't match the payload, and
+        // the all-or-nothing load must reject before any mutation.
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _m = MnistLstm::new(&mut ps, &mut rng, 8, 8);
+        let wrong = ModelConfig::PtbLm { vocab: 10, embed: 8, hidden: 8, layers: 2 };
+        let blob = freeze(&wrong, &ps);
+        match restore(&blob) {
+            Err(ArtifactError::Checkpoint(_)) => {}
+            Err(other) => panic!("expected a checkpoint-layer rejection, got {other:?}"),
+            Ok(_) => panic!("mismatched config/payload must not restore"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Tape-free inference execution: frozen parameters + cached forward-only
+//! plans, with optional per-client recurrent state.
+
+use legw::PlanCache;
+use legw_models::{Infer, StepPlan};
+use legw_nn::ParamSet;
+use std::sync::Arc;
+
+/// A frozen model plus a shape-keyed cache of forward-only plans.
+///
+/// The first batch of a given shape pays one tape build (the capture);
+/// every later batch of that shape replays the plan with zero tape
+/// recording, no gradient buffers, and (steady-state) zero pool
+/// allocation. Tapes the plan interpreter cannot cover fall back to the
+/// live-graph forward transparently.
+///
+/// `run` takes `&self`: the cache synchronises internally, so one engine
+/// can be shared across threads behind an [`Arc`].
+pub struct InferEngine<M: Infer> {
+    model: M,
+    ps: ParamSet,
+    plans: PlanCache<StepPlan>,
+}
+
+impl<M: Infer> InferEngine<M> {
+    /// Wraps a model and its (frozen) parameters. The parameters are
+    /// owned and never mutated — freezing is what makes plan reuse and
+    /// ResNet's folded-BN capture sound.
+    pub fn new(model: M, ps: ParamSet) -> Self {
+        Self { model, ps, plans: PlanCache::new(1) }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Number of distinct batch shapes captured so far.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// One batched forward over parallel request/state rows (all rows must
+    /// share a coalesce key). Returns one `(output, carried state)` per
+    /// row, in request order.
+    pub fn run(&self, reqs: &[M::Req], states: &[M::RowState]) -> Vec<(M::Out, M::RowState)> {
+        assert_eq!(reqs.len(), states.len(), "one carried state per request");
+        assert!(!reqs.is_empty(), "empty inference batch");
+        let batch = self.model.assemble(reqs, states);
+        let key = self.model.infer_key(&batch);
+        self.plans
+            .with_plan(
+                0,
+                key,
+                || self.model.capture_infer(&self.ps, &batch),
+                |plan| self.model.replay_infer(plan, &self.ps, &batch),
+            )
+            .unwrap_or_else(|| self.model.infer_tape(&self.ps, &batch))
+    }
+
+    /// Single-row convenience around [`InferEngine::run`].
+    pub fn run_one(&self, req: M::Req, state: M::RowState) -> (M::Out, M::RowState) {
+        self.run(std::slice::from_ref(&req), std::slice::from_ref(&state))
+            .pop()
+            .expect("one row in, one row out")
+    }
+}
+
+/// A stateful client session over a shared engine: carries the model's
+/// per-row recurrent state across queries (for the PTB LM, the `(h, c)`
+/// stack of its private track), so consecutive requests continue one
+/// stream exactly like training-time truncated BPTT carries state across
+/// windows.
+pub struct InferSession<M: Infer> {
+    engine: Arc<InferEngine<M>>,
+    state: M::RowState,
+}
+
+impl<M: Infer> InferSession<M> {
+    /// A fresh session (zero recurrent state) on a shared engine.
+    pub fn new(engine: Arc<InferEngine<M>>) -> Self {
+        let state = engine.model().zero_state();
+        Self { engine, state }
+    }
+
+    /// Runs one request, carrying this session's state forward.
+    pub fn query(&mut self, req: M::Req) -> M::Out {
+        let (out, next) = self.engine.run_one(req, self.state.clone());
+        self.state = next;
+        out
+    }
+
+    /// Drops the carried state (start a new stream).
+    pub fn reset(&mut self) {
+        self.state = self.engine.model().zero_state();
+    }
+
+    /// The current carried state.
+    pub fn state(&self) -> &M::RowState {
+        &self.state
+    }
+}

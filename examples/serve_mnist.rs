@@ -1,0 +1,120 @@
+//! Serving quickstart: train → freeze → restore → batched tape-free serving.
+//!
+//! ```text
+//! cargo run --release --example serve_mnist
+//! ```
+//!
+//! Trains the MNIST-LSTM for a few SGD steps, freezes the parameters into a
+//! versioned artifact (checkpoint v2 + model-config header), restores the
+//! artifact into an [`InferEngine`] that knows nothing about the training
+//! code path, and serves it two ways:
+//!
+//! 1. directly, through a stateless [`InferEngine::run_one`] loop, and
+//! 2. behind a dynamic-batching [`Server`] with several concurrent client
+//!    threads, whose single-row queries are coalesced into batched forwards
+//!    under a max-latency deadline.
+
+use legw_repro::data::SynthMnist;
+use legw_repro::models::MnistLstm;
+use legw_repro::nn::ParamSet;
+use legw_repro::serve::{freeze, restore, BatchConfig, FrozenModel, InferEngine, ModelConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PROJ: usize = 32;
+const HIDDEN: usize = 32;
+
+fn main() {
+    // --- Train (briefly) -------------------------------------------------
+    let data = SynthMnist::generate(7, 1024, 256);
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut ps = ParamSet::new();
+    let model = MnistLstm::new(&mut ps, &mut rng, PROJ, HIDDEN);
+
+    let idx: Vec<usize> = (0..64).collect();
+    let (batch, labels) = data.train.gather(&idx);
+    for step in 0..20 {
+        let (mut g, bd, loss, _) = model.forward_loss(&ps, &batch, &labels);
+        let lv = g.value(loss).item();
+        if step % 5 == 0 {
+            println!("train step {step:2}: loss {lv:.4}");
+        }
+        g.backward(loss);
+        bd.write_grads(&g, &mut ps);
+        for (_, p) in ps.iter_mut() {
+            let grad = p.grad.clone();
+            p.value.axpy(-0.5, &grad);
+            p.grad.fill_(0.0);
+        }
+    }
+
+    // --- Freeze ----------------------------------------------------------
+    // The artifact is self-describing: checkpoint v2 payload (dtype-tagged,
+    // CRC-protected) plus a config header naming the model family and its
+    // hyper-parameters, so `restore` needs no out-of-band information.
+    let blob = freeze(&ModelConfig::MnistLstm { proj: PROJ, hidden: HIDDEN }, &ps);
+    println!("\nfrozen artifact: {} bytes", blob.len());
+
+    // --- Restore ---------------------------------------------------------
+    let (frozen, frozen_ps) = restore(&blob).expect("artifact round-trip");
+    let FrozenModel::MnistLstm(served) = frozen else {
+        panic!("artifact holds a different model family")
+    };
+    let engine = Arc::new(InferEngine::new(served, frozen_ps));
+
+    // --- Serve directly --------------------------------------------------
+    let (eval_batch, eval_labels) = data.test.gather(&(0..16).collect::<Vec<_>>());
+    let rows: Vec<Vec<f32>> =
+        eval_batch.as_slice().chunks(784).map(|c| c.to_vec()).collect();
+    let mut correct = 0usize;
+    for (row, label) in rows.iter().zip(&eval_labels) {
+        let (logits, ()) = engine.run_one(row.clone(), ());
+        let pred = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        correct += usize::from(pred == *label);
+    }
+    println!(
+        "direct serving: {}/{} eval rows correct, {} cached forward plan(s)",
+        correct,
+        rows.len(),
+        engine.cached_plans()
+    );
+
+    // --- Serve through the dynamic batcher -------------------------------
+    const CLIENTS: usize = 4;
+    const QUERIES: usize = 8;
+    let server = Server::start(
+        Arc::clone(&engine),
+        BatchConfig { max_batch: 16, max_wait: Duration::from_millis(2) },
+    );
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let mut session = server.session();
+            let rows = rows.clone();
+            std::thread::spawn(move || {
+                for q in 0..QUERIES {
+                    let out = session.query(rows[(c * QUERIES + q) % rows.len()].clone());
+                    assert_eq!(out.len(), 10);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let stats = server.shutdown();
+    println!(
+        "batched serving: {} requests in {} batches (mean batch {:.2}, largest {}), max queue wait {:?}",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch(),
+        stats.largest_batch,
+        stats.max_queue_wait
+    );
+}

@@ -26,6 +26,15 @@ for s in 1 2 4; do
   LEGW_SHARDS=$s cargo test -q -p legw --test shard_equivalence --test reduce_sched_orders
 done
 
+# Inference serving: frozen-artifact restore must match the live forward
+# (bitwise / token-for-token), and the dynamic batcher must coalesce
+# concurrent clients without losing per-session state. `cargo test -q`
+# above already runs these under the harness's default test parallelism;
+# this leg re-runs the suite serially, so the batcher's deadline and
+# coalescing assertions hold without sibling tests stealing the core.
+echo "== cargo test -q -p legw-serve -- --test-threads=1"
+cargo test -q -p legw-serve -- --test-threads=1
+
 # Plan replay: step_planned must reproduce the tape path (bitwise, or the
 # documented seq2seq embedding tolerance) across its own internal {1,2,4}
 # shard × {fused, unfused} sweep, including the cache-invalidation cases.

@@ -13,7 +13,8 @@
 //!
 //! See the individual crates for the full APIs:
 //! [`parallel`], [`tensor`], [`autograd`], [`nn`], [`optim`], [`schedules`],
-//! [`data`], [`models`], [`core`] (re-exported as [`legw`]), [`cluster_sim`].
+//! [`data`], [`models`], [`core`] (re-exported as [`legw`]), [`cluster_sim`],
+//! [`serve`].
 
 pub use legw as core;
 pub use legw_autograd as autograd;
@@ -24,4 +25,5 @@ pub use legw_nn as nn;
 pub use legw_optim as optim;
 pub use legw_parallel as parallel;
 pub use legw_schedules as schedules;
+pub use legw_serve as serve;
 pub use legw_tensor as tensor;
