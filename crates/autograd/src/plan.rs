@@ -26,7 +26,7 @@
 //! fall back to the tape on unseen shapes).
 
 use crate::graph::{Graph, Op, Var, IGNORE_INDEX};
-use legw_tensor::fastmath::{fast_sigmoid, fast_tanh};
+use legw_tensor::kernels::{self, Kernel};
 use legw_tensor::{
     col2im_into, gemm_into, im2col_into, lstm_cell_backward_into, lstm_cell_forward_into,
     Conv2dGeom, Tensor,
@@ -731,6 +731,23 @@ fn par_apply(dst: &mut [f32], mode: Mode, f: impl Fn(usize) -> f32 + Sync) {
     }
 }
 
+/// `dst[i] = f(src[i])` through a runtime-dispatched activation sweep,
+/// chunked like [`par_apply`]. The map is pure per-element, so any
+/// chunking produces the serial sweep's bits; the kernel choice is read
+/// once on the issuing thread.
+fn par_sweep_map(dst: &mut [f32], src: &[f32], sweep: fn(Kernel, &mut [f32])) {
+    let kern = kernels::selected();
+    dst.copy_from_slice(src);
+    if dst.len() <= EW_CHUNK {
+        return sweep(kern, dst);
+    }
+    let pool = legw_parallel::current();
+    if pool.threads() == 1 {
+        return sweep(kern, dst);
+    }
+    legw_parallel::par_chunks_mut(&pool, dst, EW_CHUNK, |_, chunk| sweep(kern, chunk));
+}
+
 /// Stack-block size for [`fused_apply`] (4 KiB of f32).
 const FUSE_BLOCK: usize = 1024;
 
@@ -746,6 +763,9 @@ const FUSE_BLOCK: usize = 1024;
 /// interpretation), so the result is bitwise identical; only the loop
 /// nesting differs.
 fn fused_apply(dst: &mut [f32], mode: Mode, lead: &[f32], stages: &[FusedStage], ops: &[&[f32]]) {
+    // Read the dispatched kernel once on the issuing thread — pool workers
+    // can't see this thread's override, so it rides in via the closure.
+    let kern = kernels::selected();
     let run = |start: usize, out: &mut [f32]| {
         let mut t = [0.0f32; FUSE_BLOCK];
         let mut off = 0;
@@ -755,7 +775,7 @@ fn fused_apply(dst: &mut [f32], mode: Mode, lead: &[f32], stages: &[FusedStage],
             let tb = &mut t[..len];
             tb.copy_from_slice(&lead[base..base + len]);
             for (s, op) in stages.iter().zip(ops) {
-                eval_stage(s, op, base, tb);
+                eval_stage(kern, s, op, base, tb);
             }
             match mode {
                 Mode::Store => out[off..off + len].copy_from_slice(tb),
@@ -781,7 +801,7 @@ fn fused_apply(dst: &mut [f32], mode: Mode, lead: &[f32], stages: &[FusedStage],
 /// One fused stage over one stack block. `base` is the block's absolute
 /// element offset (index context for the positional stages); `op` is the
 /// stage's operand slice (empty for operand-less stages).
-fn eval_stage(s: &FusedStage, op: &[f32], base: usize, t: &mut [f32]) {
+fn eval_stage(kern: Kernel, s: &FusedStage, op: &[f32], base: usize, t: &mut [f32]) {
     match s {
         FusedStage::Bin { kind, swapped, .. } => {
             let o = &op[base..base + t.len()];
@@ -795,8 +815,11 @@ fn eval_stage(s: &FusedStage, op: &[f32], base: usize, t: &mut [f32]) {
             }
         }
         FusedStage::Un { kind } => match kind {
-            UnKind::Sigmoid => t.iter_mut().for_each(|t| *t = fast_sigmoid(*t)),
-            UnKind::Tanh => t.iter_mut().for_each(|t| *t = fast_tanh(*t)),
+            // The activation stages go through the runtime-dispatched
+            // sweeps (bitwise-equal across variants, so fused-vs-unfused
+            // equivalence is preserved whatever the CPU).
+            UnKind::Sigmoid => kernels::sigmoid_sweep(kern, t),
+            UnKind::Tanh => kernels::tanh_sweep(kern, t),
             UnKind::Relu => t.iter_mut().for_each(|t| *t = t.max(0.0)),
             UnKind::Scale(c) => t.iter_mut().for_each(|t| *t *= c),
             UnKind::AddScalar(c) => t.iter_mut().for_each(|t| *t += c),
@@ -915,8 +938,8 @@ fn exec(ins: &Instr, st: &mut Store, inputs: &[&Tensor], params: &[&Tensor]) {
                 let av = st.read(*a, inputs, params);
                 debug_assert_eq!(buf.s().len(), *n);
                 match kind {
-                    UnKind::Sigmoid => par_apply(buf.s(), Mode::Store, |i| fast_sigmoid(av[i])),
-                    UnKind::Tanh => par_apply(buf.s(), Mode::Store, |i| fast_tanh(av[i])),
+                    UnKind::Sigmoid => par_sweep_map(buf.s(), av, kernels::sigmoid_sweep),
+                    UnKind::Tanh => par_sweep_map(buf.s(), av, kernels::tanh_sweep),
                     UnKind::Relu => par_apply(buf.s(), Mode::Store, |i| av[i].max(0.0)),
                     UnKind::Scale(c) => par_apply(buf.s(), Mode::Store, |i| av[i] * c),
                     UnKind::AddScalar(c) => par_apply(buf.s(), Mode::Store, |i| av[i] + c),

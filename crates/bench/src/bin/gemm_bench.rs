@@ -4,12 +4,17 @@
 //! Unlike the Criterion benches this prints a single machine-readable JSON
 //! object, so before/after numbers can be recorded in-tree without parsing
 //! Criterion's output directory. Run with `LEGW_THREADS=1` for single-thread
-//! numbers:
+//! numbers; `LEGW_KERNEL=scalar|avx2|avx512` pins the runtime-dispatched
+//! SIMD tier for A/B comparisons (the `"kernel"` field records what ran):
 //!
 //! ```text
 //! cargo run --release -p legw-bench --bin gemm_bench
 //! LEGW_THREADS=1 cargo run --release -p legw-bench --bin gemm_bench
+//! LEGW_THREADS=1 LEGW_KERNEL=avx2 cargo run --release -p legw-bench --bin gemm_bench
 //! ```
+//!
+//! The `*_bf16` cases run the same GEMM with bf16 packed-panel storage
+//! (serving mode): same FLOPs, half the panel bytes.
 
 use legw_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
@@ -48,6 +53,12 @@ struct Case {
 
 fn main() {
     legw_bench::init_threads_from_env();
+    // `--print-kernel`: report the dispatched SIMD tier and exit (used by
+    // scripts/bench_smoke.sh to label its runs).
+    if std::env::args().any(|a| a == "--print-kernel") {
+        println!("{}", legw_tensor::kernels::selected().name());
+        return;
+    }
     let mut rng = StdRng::seed_from_u64(42);
     let threads = legw_parallel::global().threads();
     let mut cases: Vec<Case> = Vec::new();
@@ -90,9 +101,28 @@ fn main() {
         let secs = time_median(17, || a.matvec(&v).as_slice()[0]);
         cases.push(Case { name: "matvec_1024", flops: 2.0 * 1024.0 * 1024.0, secs });
     }
+    // bf16 packed-panel storage (the serving-side memory mode) on the two
+    // headline shapes — same arithmetic in f32, half the pack traffic.
+    {
+        let a = rnd(&mut rng, &[512, 512]);
+        let b = rnd(&mut rng, &[512, 512]);
+        let secs =
+            time_median(9, || legw_tensor::with_bf16_gemm(|| a.matmul(&b)).as_slice()[0]);
+        cases.push(Case { name: "square_512_bf16", flops: 2.0 * 512f64.powi(3), secs });
+        let a = rnd(&mut rng, &[256, 256]);
+        let b = rnd(&mut rng, &[256, 512]);
+        let secs =
+            time_median(9, || legw_tensor::with_bf16_gemm(|| a.matmul(&b)).as_slice()[0]);
+        cases.push(Case {
+            name: "gate_256x256x512_bf16",
+            flops: 2.0 * 256.0 * 256.0 * 512.0,
+            secs,
+        });
+    }
 
     println!("{{");
     println!("  \"threads\": {threads},");
+    println!("  \"kernel\": \"{}\",", legw_tensor::kernels::selected().name());
     for (i, c) in cases.iter().enumerate() {
         let comma = if i + 1 == cases.len() { "" } else { "," };
         println!(

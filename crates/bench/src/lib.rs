@@ -120,13 +120,24 @@ pub fn quick_mode() -> bool {
     std::env::var("LEGW_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
-/// Installs the `LEGW_THREADS` budget into the kernel thread pool. Bench
-/// binaries call this at the top of `main`, before the first kernel runs;
-/// the variable itself is parsed by [`legw::ExecConfig::from_env`] — the
-/// library's single environment read — this merely forwards the result.
+/// Installs the `LEGW_THREADS` budget into the kernel thread pool and pins
+/// the SIMD kernel choice (`LEGW_KERNEL`, else CPUID-best) for the whole
+/// run. Bench binaries call this at the top of `main`, before the first
+/// kernel runs; the variables themselves are parsed by
+/// [`legw::ExecConfig::from_env`] — the library's single environment read —
+/// this merely forwards the result.
 pub fn init_threads_from_env() {
-    if let Some(t) = legw::ExecConfig::from_env().threads {
+    let cfg = legw::ExecConfig::from_env();
+    if let Some(t) = cfg.threads {
         legw_parallel::set_default_threads(t);
+    }
+    match cfg.kernel {
+        Some(k) => {
+            legw_tensor::kernels::force(k);
+        }
+        None => {
+            legw_tensor::kernels::init();
+        }
     }
 }
 

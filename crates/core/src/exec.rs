@@ -77,11 +77,20 @@ pub struct ExecConfig {
     /// autograd crate at first capture. Replays are bitwise identical
     /// either way — the setting only trades schedule size for debuggability.
     pub plan_fuse: Option<bool>,
+    /// SIMD kernel variant for the runtime-dispatched tensor kernels
+    /// (GEMM micro-tile, `matvec` dot, activation sweeps, fused LSTM gate
+    /// row). `Some(k)` asks [`Executor::new`] to install `k` as the
+    /// process-wide selection (first-wins, like `threads`; ignored with a
+    /// stderr warning if a different selection is already fixed or the CPU
+    /// can't run it). `None` (default) leaves selection to the
+    /// `LEGW_KERNEL` variable / CPUID detection at init. Every variant is
+    /// bitwise-equal, so this is a performance knob, never a numerics one.
+    pub kernel: Option<legw_tensor::kernels::Kernel>,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { shards: 1, threads: None, reduce_overlap: true, plan_fuse: None }
+        Self { shards: 1, threads: None, reduce_overlap: true, plan_fuse: None, kernel: None }
     }
 }
 
@@ -111,11 +120,20 @@ impl ExecConfig {
         self
     }
 
+    /// Requests a specific SIMD kernel variant (see [`ExecConfig::kernel`]).
+    pub fn with_kernel(mut self, k: legw_tensor::kernels::Kernel) -> Self {
+        self.kernel = Some(k);
+        self
+    }
+
     /// Reads `LEGW_SHARDS` (positive integer, default 1), `LEGW_THREADS`
     /// (positive integer, default machine parallelism),
-    /// `LEGW_REDUCE_OVERLAP` (`0`/`false`/`off`/`no` disable, default on)
-    /// and `LEGW_PLAN_FUSE` (same boolean grammar; unset leaves the plan
-    /// optimizer at the autograd crate's own default).
+    /// `LEGW_REDUCE_OVERLAP` (`0`/`false`/`off`/`no` disable, default on),
+    /// `LEGW_PLAN_FUSE` (same boolean grammar; unset leaves the plan
+    /// optimizer at the autograd crate's own default) and `LEGW_KERNEL`
+    /// (`scalar`/`avx2`/`avx512`; unset leaves SIMD kernel selection to
+    /// CPUID detection — the tensor crate also honours the variable
+    /// directly for standalone use, with identical grammar).
     ///
     /// A variable that is *set* but malformed (unparsable, zero, or an
     /// unrecognised boolean) falls back to the default **with a warning on
@@ -153,11 +171,25 @@ impl ExecConfig {
                 }
             }
         }
+        fn kernel_var() -> Option<legw_tensor::kernels::Kernel> {
+            let raw = std::env::var("LEGW_KERNEL").ok()?;
+            match legw_tensor::kernels::Kernel::parse(&raw) {
+                Some(k) => Some(k),
+                None => {
+                    eprintln!(
+                        "legw: ignoring LEGW_KERNEL={raw:?} (expected scalar/avx2/avx512); \
+                         falling back to runtime detection"
+                    );
+                    None
+                }
+            }
+        }
         Self {
             shards: positive("LEGW_SHARDS").unwrap_or(1),
             threads: positive("LEGW_THREADS"),
             reduce_overlap: boolean("LEGW_REDUCE_OVERLAP").unwrap_or(true),
             plan_fuse: boolean("LEGW_PLAN_FUSE"),
+            kernel: kernel_var(),
         }
     }
 }
@@ -235,6 +267,30 @@ impl Executor {
                      thread budget is already fixed at {}",
                     default_threads()
                 );
+            }
+        }
+        // SIMD kernel selection happens here, at executor init, not on a
+        // hot path: either install the requested variant (first-wins, same
+        // contract as the thread budget) or eagerly resolve detection.
+        match config.kernel {
+            Some(k) => {
+                if !legw_tensor::kernels::force(k) {
+                    eprintln!(
+                        "legw: ExecConfig.kernel = {} ignored: {}",
+                        k.name(),
+                        if legw_tensor::kernels::supported(k) {
+                            format!(
+                                "the process-wide kernel selection is already fixed at {}",
+                                legw_tensor::kernels::init().name()
+                            )
+                        } else {
+                            "this CPU does not support it".to_string()
+                        }
+                    );
+                }
+            }
+            None => {
+                legw_tensor::kernels::init();
             }
         }
         let shards = config.shards.max(1);
@@ -545,7 +601,13 @@ mod tests {
         let cfg = ExecConfig::default();
         assert_eq!(
             cfg,
-            ExecConfig { shards: 1, threads: None, reduce_overlap: true, plan_fuse: None }
+            ExecConfig {
+                shards: 1,
+                threads: None,
+                reduce_overlap: true,
+                plan_fuse: None,
+                kernel: None
+            }
         );
         let cfg = cfg.with_shards(0).with_reduce_overlap(false);
         assert_eq!(cfg.shards, 1, "shards clamp to >= 1");
@@ -554,5 +616,7 @@ mod tests {
         assert_eq!(cfg.threads, Some(6));
         let cfg = cfg.with_plan_fuse(false);
         assert_eq!(cfg.plan_fuse, Some(false));
+        let cfg = cfg.with_kernel(legw_tensor::kernels::Kernel::Scalar);
+        assert_eq!(cfg.kernel, Some(legw_tensor::kernels::Kernel::Scalar));
     }
 }

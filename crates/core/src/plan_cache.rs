@@ -85,17 +85,49 @@ pub trait PlannedStep: ShardStep {
     }
 }
 
+/// One shard slot: the key→plan map plus the logical clock driving LRU
+/// eviction. Each cached plan carries the tick of its last use.
+struct Slot<P> {
+    map: HashMap<Vec<usize>, (u64, P)>,
+    tick: u64,
+}
+
+impl<P> Slot<P> {
+    fn new() -> Self {
+        Self { map: HashMap::new(), tick: 0 }
+    }
+}
+
 /// Shape-keyed plan store for [`Executor::step_planned`]: one map per
 /// shard index, so concurrent shard workers never contend and every plan's
 /// mutable replay arena stays with its worker slot.
+///
+/// A cache built with [`PlanCache::with_capacity`] holds at most `capacity`
+/// plans **per slot**, evicting the least-recently-used entry to make room
+/// for a new capture. Training steps use the unbounded [`PlanCache::new`]
+/// (a run sees a handful of shapes: the steady batch plus ragged tails);
+/// the bounded form is for serving, where adversarial batch-shape traffic
+/// would otherwise grow the cache without limit. Eviction is safe by
+/// construction: a plan is pure replay state, so dropping one only means
+/// the next occurrence of that shape pays one re-capture — which produces
+/// a bitwise-identical plan (captures are deterministic functions of the
+/// frozen weights and the shape).
 pub struct PlanCache<P> {
-    slots: Vec<Mutex<HashMap<Vec<usize>, P>>>,
+    slots: Vec<Mutex<Slot<P>>>,
+    /// Max plans per slot; `None` = unbounded.
+    capacity: Option<usize>,
 }
 
 impl<P> PlanCache<P> {
-    /// A cache for up to `shards` shard slots.
+    /// An unbounded cache for up to `shards` shard slots.
     pub fn new(shards: usize) -> Self {
-        Self { slots: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect() }
+        Self { slots: (0..shards.max(1)).map(|_| Mutex::new(Slot::new())).collect(), capacity: None }
+    }
+
+    /// A cache holding at most `capacity` plans per shard slot (clamped to
+    /// ≥ 1), with least-recently-used eviction on overflow.
+    pub fn with_capacity(shards: usize, capacity: usize) -> Self {
+        Self { capacity: Some(capacity.max(1)), ..Self::new(shards) }
     }
 
     /// A cache sized for `exec`'s shard count.
@@ -103,9 +135,19 @@ impl<P> PlanCache<P> {
         Self::new(exec.shards())
     }
 
+    /// Number of shard slots this cache was built for.
+    pub fn shard_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Per-slot plan capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Total number of cached plans across all shard slots.
     pub fn len(&self) -> usize {
-        self.slots.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.slots.iter().map(|s| s.lock().unwrap().map.len()).sum()
     }
 
     /// True when no plan has been captured yet.
@@ -116,7 +158,7 @@ impl<P> PlanCache<P> {
     /// Drops every cached plan (e.g. after a config change).
     pub fn clear(&self) {
         for s in &self.slots {
-            s.lock().unwrap().clear();
+            s.lock().unwrap().map.clear();
         }
     }
 
@@ -127,6 +169,11 @@ impl<P> PlanCache<P> {
     /// across `f` — a plan's replay arena is mutable scratch, so this is
     /// what serialises concurrent users of one slot (e.g. the inference
     /// server's batch worker vs. ad-hoc engine calls).
+    ///
+    /// Every hit refreshes the entry's LRU stamp; on a bounded cache, an
+    /// insert that would exceed the slot's capacity first evicts the
+    /// least-recently-used plan (O(slot len) scan — capacities are small
+    /// and captures are rare, so this never sits on a hot path).
     pub fn with_plan<R>(
         &self,
         slot: usize,
@@ -135,9 +182,29 @@ impl<P> PlanCache<P> {
         f: impl FnOnce(&mut P) -> R,
     ) -> Option<R> {
         let mut guard = self.slots[slot].lock().unwrap();
-        match guard.entry(key) {
-            Entry::Occupied(e) => Some(f(e.into_mut())),
-            Entry::Vacant(v) => make().map(|p| f(v.insert(p))),
+        let s = &mut *guard;
+        s.tick += 1;
+        let tick = s.tick;
+        if let Some(v) = s.map.get_mut(&key) {
+            v.0 = tick;
+            return Some(f(&mut v.1));
+        }
+        let p = make()?;
+        if let Some(cap) = self.capacity {
+            while s.map.len() >= cap {
+                let oldest = s.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k.clone());
+                match oldest {
+                    Some(k) => {
+                        s.map.remove(&k);
+                    }
+                    None => break,
+                }
+            }
+        }
+        match s.map.entry(key) {
+            Entry::Vacant(v) => Some(f(&mut v.insert((tick, p)).1)),
+            // get_mut above returned None for this key under the same lock.
+            Entry::Occupied(_) => unreachable!("plan inserted concurrently under the slot lock"),
         }
     }
 }
@@ -158,49 +225,46 @@ impl Executor {
     ) -> (StepOutcome, Vec<W::Extra>) {
         let shards = w.split(self);
         assert!(
-            shards.len() <= cache.slots.len(),
+            shards.len() <= cache.shard_slots(),
             "plan cache has {} shard slots but the step split into {}",
-            cache.slots.len(),
+            cache.shard_slots(),
             shards.len()
         );
         let weights: Vec<f64> = shards.iter().map(|s| w.weight(s)).collect();
         let ps_ref: &ParamSet = ps;
         let (grads, mut out, extras) =
             self.run_shards(w.reduce(), &shards, &weights, |i, s| match w.plan_key(s) {
-                Some(key) => {
-                    // Shard i's slot is only ever touched by shard task i,
-                    // so this lock is uncontended; it exists to keep
-                    // `PlanCache` Sync across the worker threads.
-                    let mut slot = cache.slots[i].lock().unwrap();
-                    match slot.entry(key) {
-                        Entry::Occupied(e) => w.replay(ps_ref, e.into_mut(), i, s),
-                        Entry::Vacant(v) => {
-                            // The capture runs on this shard's worker thread,
-                            // so the fuse override (thread-local) and the
-                            // pool prewarm (thread-local free list) both land
-                            // where the replays will run.
+                // Shard i's slot is only ever touched by shard task i, so
+                // the slot lock is uncontended; it exists to keep
+                // `PlanCache` Sync across the worker threads.
+                Some(key) => cache
+                    .with_plan(
+                        i,
+                        key,
+                        || {
+                            // The capture runs on this shard's worker
+                            // thread, so the fuse override (thread-local)
+                            // and the pool prewarm (thread-local free list)
+                            // both land where the replays will run.
                             let captured = match self.plan_fuse() {
                                 Some(b) => with_fuse_override(b, || w.capture(ps_ref, s)),
                                 None => w.capture(ps_ref, s),
                             };
-                            match captured {
-                                Some(p) => {
-                                    let p = v.insert(p);
-                                    if let Some(stats) = w.plan_stats(p) {
-                                        legw_tensor::pool::prewarm(stats.peak_live_bytes);
-                                    }
-                                    if plan_debug() {
-                                        if let Some(d) = w.plan_describe(p) {
-                                            eprintln!("legw: shard {i} captured {d}");
-                                        }
-                                    }
-                                    w.replay(ps_ref, p, i, s)
+                            if let Some(p) = &captured {
+                                if let Some(stats) = w.plan_stats(p) {
+                                    legw_tensor::pool::prewarm(stats.peak_live_bytes);
                                 }
-                                None => w.run_shard(ps_ref, i, s),
+                                if plan_debug() {
+                                    if let Some(d) = w.plan_describe(p) {
+                                        eprintln!("legw: shard {i} captured {d}");
+                                    }
+                                }
                             }
-                        }
-                    }
-                }
+                            captured
+                        },
+                        |p| w.replay(ps_ref, p, i, s),
+                    )
+                    .unwrap_or_else(|| w.run_shard(ps_ref, i, s)),
                 None => w.run_shard(ps_ref, i, s),
             });
         out.grad_sq_norm = grads.apply_with_sq_norm(ps);

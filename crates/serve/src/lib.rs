@@ -29,4 +29,4 @@ pub mod session;
 
 pub use artifact::{freeze, restore, ArtifactError, FrozenModel, ModelConfig};
 pub use server::{BatchConfig, Server, ServerSession, ServerStats};
-pub use session::{InferEngine, InferSession};
+pub use session::{InferEngine, InferSession, DEFAULT_PLAN_CAPACITY};

@@ -20,6 +20,27 @@
 //! `Tensor::tanh` ops share these exact scalars, which is what keeps the
 //! fused and unfused tape paths bit-identical to each other.
 
+// Polynomial coefficients, shared verbatim by the scalar kernel below and
+// the AVX2/AVX-512 transcriptions in `crate::kernels` — a single source of
+// truth is what keeps the variants bitwise-interchangeable.
+/// Input clamp: past this the true tanh rounds to ±1 in f32 anyway.
+pub(crate) const CLAMP: f32 = 7.905_311_5;
+/// Odd numerator coefficients (degree 13).
+pub(crate) const A1: f32 = 4.893_524_6e-3;
+pub(crate) const A3: f32 = 6.372_619_3e-4;
+pub(crate) const A5: f32 = 1.485_722_4e-5;
+pub(crate) const A7: f32 = 5.122_297_1e-8;
+pub(crate) const A9: f32 = -8.604_671_5e-11;
+pub(crate) const A11: f32 = 2.000_187_9e-13;
+pub(crate) const A13: f32 = -2.760_768_5e-16;
+/// Even denominator coefficients (degree 6).
+pub(crate) const B0: f32 = 4.893_525_2e-3;
+pub(crate) const B2: f32 = 2.268_434_6e-3;
+pub(crate) const B4: f32 = 1.185_347_1e-4;
+pub(crate) const B6: f32 = 1.198_258_4e-6;
+/// Past this the tails are pinned to exactly ±1.0 by a branch-free select.
+pub(crate) const SATURATE: f32 = 9.011;
+
 /// Rational `tanh` approximation: odd degree-13 numerator over even
 /// degree-6 denominator, with the argument clamped where the true `tanh`
 /// rounds to `±1` in f32 anyway. The final clamp guarantees the result
@@ -27,21 +48,6 @@
 /// products) keep their exact bounds.
 #[inline(always)]
 pub fn fast_tanh(x: f32) -> f32 {
-    const CLAMP: f32 = 7.905_311_5;
-    const A1: f32 = 4.893_524_6e-3;
-    const A3: f32 = 6.372_619_3e-4;
-    const A5: f32 = 1.485_722_4e-5;
-    const A7: f32 = 5.122_297_1e-8;
-    const A9: f32 = -8.604_671_5e-11;
-    const A11: f32 = 2.000_187_9e-13;
-    const A13: f32 = -2.760_768_5e-16;
-    const B0: f32 = 4.893_525_2e-3;
-    const B2: f32 = 2.268_434_6e-3;
-    const B4: f32 = 1.185_347_1e-4;
-    const B6: f32 = 1.198_258_4e-6;
-    // Past this the true tanh rounds to ±1 in f32; a branch-free select
-    // (compiled to a blend) pins the tails to exactly ±1.0.
-    const SATURATE: f32 = 9.011;
     let xc = x.clamp(-CLAMP, CLAMP);
     let x2 = xc * xc;
     // Horner chains on fused multiply-adds: one rounding per step (more

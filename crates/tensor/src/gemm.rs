@@ -5,11 +5,14 @@
 //! classic three-level blocking of high-performance BLAS (GotoBLAS/BLIS),
 //! scaled to this crate's needs:
 //!
-//! * **Register tiling** — the innermost unit is an [`MR`]×[`NR`] tile of
-//!   `f32` accumulators held in local arrays. The fixed-extent inner loops
-//!   contain no branches (in particular no `a == 0.0` skips), so LLVM keeps
-//!   the accumulators in vector registers and auto-vectorises the
-//!   rank-1-update loop.
+//! * **Register tiling** — the innermost unit is an `MR×NR` tile of `f32`
+//!   accumulators. The tile computation is a runtime-dispatched
+//!   [`crate::kernels::Micro`] variant: explicit AVX-512F (8×16), AVX2
+//!   (8×8), or the original safe-Rust scalar tile, selected once per call
+//!   from [`crate::kernels::selected`] — so a portable build without
+//!   `-C target-cpu=native` still runs vector microkernels on hardware
+//!   that has them. All variants are bitwise-equal (same per-element
+//!   mul/add rounding sequence; see the `kernels` module docs).
 //! * **Panel packing** — before the microkernel runs, the A and B operands
 //!   of the current cache block are repacked into contiguous buffers laid
 //!   out exactly in microkernel access order (`MR`- and `NR`-wide
@@ -18,7 +21,12 @@
 //!   the gather pattern of the pack loop, so there is a single compute
 //!   kernel instead of three divergent hand-written loops. Edge tiles are
 //!   zero-padded at pack time, which keeps the microkernel free of bounds
-//!   logic.
+//!   logic. Packing is also where the **bf16 storage mode** lives: inside
+//!   a [`with_bf16`] scope the panels are narrowed f32→bf16
+//!   (round-to-nearest-even) as they are packed — halving packed bytes and
+//!   pack traffic — and widened back (exactly) inside the micro-tile, with
+//!   all accumulation still in f32. Only the packed panels change layout;
+//!   operands and outputs stay f32.
 //! * **Cache blocking + 2-D parallelism** — the output is cut into an
 //!   ([`MC`] × [`NC`]) block grid; each grid cell is an independent task
 //!   dispatched via [`legw_parallel::par_tiles_2d`], and loops over shared
@@ -27,19 +35,26 @@
 //!   the LSTM-gate and im2col shapes large-batch training produces — still
 //!   fan out over every worker instead of leaving threads idle the way the
 //!   old row-chunk decomposition did.
-//! * **Scratch reuse** — packing buffers are thread-local and persist
-//!   across calls, and outputs come from the [`crate::pool`] recycler, so
-//!   the steady-state training loop performs no per-call heap allocation
-//!   here.
+//! * **Scratch reuse** — packing buffers are thread-local (one pair per
+//!   packed element type) and persist across calls, and outputs come from
+//!   the [`crate::pool`] recycler, so the steady-state training loop
+//!   performs no per-call heap allocation here.
 
+use crate::kernels::{self, Kernel, Micro, PackElem};
 use crate::pool::Buffer;
 use legw_parallel::{current, par_chunks_mut, par_tiles_2d, ThreadPool};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Microkernel rows: the M-extent of the register tile.
-pub(crate) const MR: usize = 8;
-/// Microkernel columns: the N-extent of the register tile.
-pub(crate) const NR: usize = 8;
+/// Scalar/AVX2 microkernel rows: the M-extent of the register tile. (The
+/// AVX-512 tile is 8×16; blocking adapts per variant.) Only the boundary
+/// tests need the name — the engine takes tile extents from the dispatched
+/// [`Micro`] variant.
+#[cfg(test)]
+pub(crate) const MR: usize = kernels::scalar::TILE;
+/// Scalar/AVX2 microkernel columns: the N-extent of the register tile.
+#[cfg(test)]
+pub(crate) const NR: usize = kernels::scalar::TILE;
 /// M-dimension cache block (A block of `MC×KC` targets L2).
 pub(crate) const MC: usize = 128;
 /// K-dimension cache block (packed panels of `MR×KC`/`KC×NR` live in L1).
@@ -51,9 +66,94 @@ pub(crate) const NC: usize = 256;
 const PAR_FLOPS: usize = 64 * 64 * 64;
 
 thread_local! {
-    /// Reused (packed-A, packed-B) scratch; grows to `MC·KC` / `KC·NC` once
-    /// and is then reused by every GEMM call on this thread.
-    static SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Reused (packed-A, packed-B) f32 scratch; grows to `MC·KC` / `KC·NC`
+    /// once and is then reused by every GEMM call on this thread.
+    static SCRATCH_F32: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// bf16-mode packing scratch (bf16 bit patterns).
+    static SCRATCH_BF16: RefCell<(Vec<u16>, Vec<u16>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Whether GEMMs issued from this thread pack panels as bf16.
+    static BF16_MODE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Bytes written into f32 packed panels, process-wide.
+static PACKED_F32_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bytes written into bf16 packed panels, process-wide.
+static PACKED_BF16_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative packed-panel traffic (process-wide, monotonic). The bf16
+/// serving mode's "half the packed weight bytes" claim is measured against
+/// these counters; both count bytes *written to pack buffers*, so for one
+/// shape the bf16 number is exactly half the f32 number.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackTraffic {
+    /// Bytes packed by f32-mode GEMMs.
+    pub f32_bytes: u64,
+    /// Bytes packed by bf16-mode GEMMs.
+    pub bf16_bytes: u64,
+}
+
+/// Snapshot of the process-wide [`PackTraffic`] counters.
+pub fn pack_traffic() -> PackTraffic {
+    PackTraffic {
+        f32_bytes: PACKED_F32_BYTES.load(Ordering::Relaxed),
+        bf16_bytes: PACKED_BF16_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs `f` with bf16 packed-panel storage enabled for every GEMM *issued
+/// from this thread* (the mode is read once at `gemm_into` entry, so a
+/// parallel GEMM's worker tasks inherit the issuing call's mode). Restores
+/// the previous mode on exit; scopes nest.
+///
+/// Numerics contract: inside the scope, `A·B` is computed bitwise as the
+/// f32 engine would compute `round_bf16(A) · round_bf16(B)` — rounding
+/// happens once per packed element, accumulation stays f32, and `matvec`
+/// (which packs nothing) is unaffected. See `kernels::bf16`.
+pub fn with_bf16<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BF16_MODE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(BF16_MODE.with(|c| c.replace(true)));
+    f()
+}
+
+/// True when this thread is inside a [`with_bf16`] scope.
+pub fn bf16_enabled() -> bool {
+    BF16_MODE.with(Cell::get)
+}
+
+/// Packed-element plumbing the blocked engine needs beyond
+/// [`PackElem`]: a per-thread scratch pair and a traffic counter.
+trait PackScratch: PackElem {
+    fn with_scratch<R>(f: impl FnOnce(&mut Vec<Self>, &mut Vec<Self>) -> R) -> R;
+    fn counter() -> &'static AtomicU64;
+}
+
+impl PackScratch for f32 {
+    fn with_scratch<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+        SCRATCH_F32.with(|s| {
+            let (a, b) = &mut *s.borrow_mut();
+            f(a, b)
+        })
+    }
+    fn counter() -> &'static AtomicU64 {
+        &PACKED_F32_BYTES
+    }
+}
+
+impl PackScratch for u16 {
+    fn with_scratch<R>(f: impl FnOnce(&mut Vec<u16>, &mut Vec<u16>) -> R) -> R {
+        SCRATCH_BF16.with(|s| {
+            let (a, b) = &mut *s.borrow_mut();
+            f(a, b)
+        })
+    }
+    fn counter() -> &'static AtomicU64 {
+        &PACKED_BF16_BYTES
+    }
 }
 
 /// Computes `C = A·B` into a pooled buffer.
@@ -97,6 +197,11 @@ impl OutPtr {
 /// pre-computed input-projection block. Also the test and bench hook — lets
 /// single- vs multi-threaded execution be compared without touching the
 /// global pool.
+///
+/// The kernel variant ([`crate::kernels::selected`]) and the bf16 pack
+/// mode ([`bf16_enabled`]) are both read **once, here, on the calling
+/// thread** — worker tasks inherit the choice through monomorphisation, so
+/// thread-local overrides and bf16 scopes cover the whole call.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_into(
     pool: &ThreadPool,
@@ -121,11 +226,62 @@ pub(crate) fn gemm_into(
         }
         return;
     }
+    use crate::kernels::scalar::ScalarMicro;
+    #[cfg(target_arch = "x86_64")]
+    use crate::kernels::{avx2::Avx2Micro, avx512::Avx512Micro};
+    match (kernels::selected(), bf16_enabled()) {
+        (Kernel::Scalar, false) => {
+            gemm_blocked::<ScalarMicro<f32>>(pool, trans_a, trans_b, a, b, m, k, n, out, acc)
+        }
+        (Kernel::Scalar, true) => {
+            gemm_blocked::<ScalarMicro<u16>>(pool, trans_a, trans_b, a, b, m, k, n, out, acc)
+        }
+        #[cfg(target_arch = "x86_64")]
+        (Kernel::Avx2, false) => {
+            gemm_blocked::<Avx2Micro<f32>>(pool, trans_a, trans_b, a, b, m, k, n, out, acc)
+        }
+        #[cfg(target_arch = "x86_64")]
+        (Kernel::Avx2, true) => {
+            gemm_blocked::<Avx2Micro<u16>>(pool, trans_a, trans_b, a, b, m, k, n, out, acc)
+        }
+        #[cfg(target_arch = "x86_64")]
+        (Kernel::Avx512, false) => {
+            gemm_blocked::<Avx512Micro<f32>>(pool, trans_a, trans_b, a, b, m, k, n, out, acc)
+        }
+        #[cfg(target_arch = "x86_64")]
+        (Kernel::Avx512, true) => {
+            gemm_blocked::<Avx512Micro<u16>>(pool, trans_a, trans_b, a, b, m, k, n, out, acc)
+        }
+        // selected() never returns a vector variant off x86-64.
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector kernel selected on non-x86_64"),
+    }
+}
+
+/// The blocked engine, monomorphised per micro-tile variant. The loop
+/// structure (and, for the scalar f32 instantiation, every arithmetic
+/// step) is identical to the pre-dispatch engine.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked<M: Micro>(
+    pool: &ThreadPool,
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    acc: bool,
+) where
+    M::E: PackScratch,
+{
     let lda = if trans_a { m } else { k };
     let ldb = if trans_b { k } else { n };
 
     let parallel = m * n * k >= PAR_FLOPS && pool.threads() > 1;
-    let (mc, nc) = if parallel { plan_blocks(m, n, pool.threads()) } else { (MC, NC) };
+    let (mc, nc) =
+        if parallel { plan_blocks(m, n, pool.threads(), M::MR, M::NR) } else { (MC, NC) };
 
     let base = OutPtr(out.as_mut_ptr());
     let tile = |ti: usize, tj: usize| {
@@ -133,18 +289,24 @@ pub(crate) fn gemm_into(
         let mb = mc.min(m - i0);
         let j0 = tj * nc;
         let nb = nc.min(n - j0);
-        SCRATCH.with(|s| {
-            let (apack, bpack) = &mut *s.borrow_mut();
+        M::E::with_scratch(|apack, bpack| {
             for k0 in (0..k).step_by(KC) {
                 let kb = KC.min(k - k0);
-                pack_a(apack, a, trans_a, lda, i0, mb, k0, kb);
-                pack_b(bpack, b, trans_b, ldb, k0, kb, j0, nb);
+                pack_a::<M::E>(apack, a, trans_a, lda, i0, mb, k0, kb, M::MR);
+                pack_b::<M::E>(bpack, b, trans_b, ldb, k0, kb, j0, nb, M::NR);
+                M::E::counter().fetch_add(
+                    ((apack.len() + bpack.len()) * std::mem::size_of::<M::E>()) as u64,
+                    Ordering::Relaxed,
+                );
                 // Only the first k-block of a beta=0 GEMM overwrites; later
                 // k-blocks always accumulate partial sums.
                 let acc_block = acc || k0 > 0;
                 // SAFETY: this (ti, tj) task exclusively owns output rows
-                // i0..i0+mb × columns j0..j0+nb; tiles are disjoint.
-                unsafe { macro_kernel(apack, bpack, mb, nb, kb, base.get(), n, i0, j0, acc_block) };
+                // i0..i0+mb × columns j0..j0+nb; tiles are disjoint; the
+                // dispatch layer only selects variants this CPU supports.
+                unsafe {
+                    macro_kernel::<M>(apack, bpack, mb, nb, kb, base.get(), n, i0, j0, acc_block)
+                };
             }
         });
     };
@@ -164,30 +326,34 @@ pub(crate) fn gemm_into(
 /// Chooses (MC, NC) for this problem: start from the cache-friendly
 /// defaults and halve the proportionally larger block until the tile grid
 /// has at least `2·threads` cells (or blocks reach two micro-tiles), so
-/// skinny shapes still occupy the whole pool.
-fn plan_blocks(m: usize, n: usize, threads: usize) -> (usize, usize) {
-    let mut mc = MC.min(m.next_multiple_of(MR));
-    let mut nc = NC.min(n.next_multiple_of(NR));
+/// skinny shapes still occupy the whole pool. `mr`/`nr` are the selected
+/// variant's tile extents (blocks stay micro-tile-aligned).
+fn plan_blocks(m: usize, n: usize, threads: usize, mr: usize, nr: usize) -> (usize, usize) {
+    let mut mc = MC.min(m.next_multiple_of(mr));
+    let mut nc = NC.min(n.next_multiple_of(nr));
     while m.div_ceil(mc) * n.div_ceil(nc) < 2 * threads {
-        let can_m = mc > 2 * MR;
-        let can_n = nc > 2 * NR;
+        let can_m = mc > 2 * mr;
+        let can_n = nc > 2 * nr;
         if !can_m && !can_n {
             break;
         }
-        if can_m && (!can_n || mc / MR >= nc / NR) {
-            mc = (mc / 2).next_multiple_of(MR);
+        if can_m && (!can_n || mc / mr >= nc / nr) {
+            mc = (mc / 2).next_multiple_of(mr);
         } else {
-            nc = (nc / 2).next_multiple_of(NR);
+            nc = (nc / 2).next_multiple_of(nr);
         }
     }
     (mc, nc)
 }
 
-/// Packs the `mb×kb` block of A starting at `(i0, k0)` into `MR`-row
-/// micro-panels, k-major within each panel. Rows past `mb` in the last
-/// panel are zero-filled so the microkernel needs no M-edge handling.
-fn pack_a(
-    buf: &mut Vec<f32>,
+/// Packs the `mb×kb` block of A starting at `(i0, k0)` into `mr`-row
+/// micro-panels, k-major within each panel, converting each element via
+/// [`PackElem::pack`] (identity for f32, round-to-nearest-even for bf16).
+/// Rows past `mb` in the last panel are zero-filled so the microkernel
+/// needs no M-edge handling.
+#[allow(clippy::too_many_arguments)]
+fn pack_a<E: PackElem>(
+    buf: &mut Vec<E>,
     a: &[f32],
     trans: bool,
     lda: usize,
@@ -195,37 +361,42 @@ fn pack_a(
     mb: usize,
     k0: usize,
     kb: usize,
+    mr: usize,
 ) {
-    let panels = mb.div_ceil(MR);
+    let panels = mb.div_ceil(mr);
     buf.clear();
-    buf.resize(panels * kb * MR, 0.0);
+    buf.resize(panels * kb * mr, E::default());
     for p in 0..panels {
-        let r0 = i0 + p * MR;
-        let rows = MR.min(i0 + mb - r0);
-        let dst = &mut buf[p * kb * MR..(p + 1) * kb * MR];
+        let r0 = i0 + p * mr;
+        let rows = mr.min(i0 + mb - r0);
+        let dst = &mut buf[p * kb * mr..(p + 1) * kb * mr];
         if trans {
             // A stored [k, m]: row kk of the source is already contiguous
-            // in i, so each k-step is a straight memcpy.
+            // in i, so each k-step is a straight converting copy.
             for kk in 0..kb {
                 let src = &a[(k0 + kk) * lda + r0..(k0 + kk) * lda + r0 + rows];
-                dst[kk * MR..kk * MR + rows].copy_from_slice(src);
+                for (d, &v) in dst[kk * mr..kk * mr + rows].iter_mut().zip(src) {
+                    *d = E::pack(v);
+                }
             }
         } else {
-            // A stored [m, k]: gather each row's k-slice with stride MR.
+            // A stored [m, k]: gather each row's k-slice with stride mr.
             for r in 0..rows {
                 let src = &a[(r0 + r) * lda + k0..][..kb];
                 for (kk, &v) in src.iter().enumerate() {
-                    dst[kk * MR + r] = v;
+                    dst[kk * mr + r] = E::pack(v);
                 }
             }
         }
     }
 }
 
-/// Packs the `kb×nb` block of B starting at `(k0, j0)` into `NR`-column
-/// micro-panels, k-major within each panel, zero-padding the N edge.
-fn pack_b(
-    buf: &mut Vec<f32>,
+/// Packs the `kb×nb` block of B starting at `(k0, j0)` into `nr`-column
+/// micro-panels, k-major within each panel, zero-padding the N edge and
+/// converting via [`PackElem::pack`].
+#[allow(clippy::too_many_arguments)]
+fn pack_b<E: PackElem>(
+    buf: &mut Vec<E>,
     b: &[f32],
     trans: bool,
     ldb: usize,
@@ -233,62 +404,48 @@ fn pack_b(
     kb: usize,
     j0: usize,
     nb: usize,
+    nr: usize,
 ) {
-    let panels = nb.div_ceil(NR);
+    let panels = nb.div_ceil(nr);
     buf.clear();
-    buf.resize(panels * kb * NR, 0.0);
+    buf.resize(panels * kb * nr, E::default());
     for p in 0..panels {
-        let c0 = j0 + p * NR;
-        let cols = NR.min(j0 + nb - c0);
-        let dst = &mut buf[p * kb * NR..(p + 1) * kb * NR];
+        let c0 = j0 + p * nr;
+        let cols = nr.min(j0 + nb - c0);
+        let dst = &mut buf[p * kb * nr..(p + 1) * kb * nr];
         if trans {
-            // B stored [n, k]: gather each column's k-slice with stride NR.
+            // B stored [n, k]: gather each column's k-slice with stride nr.
             for c in 0..cols {
                 let src = &b[(c0 + c) * ldb + k0..][..kb];
                 for (kk, &v) in src.iter().enumerate() {
-                    dst[kk * NR + c] = v;
+                    dst[kk * nr + c] = E::pack(v);
                 }
             }
         } else {
-            // B stored [k, n]: each k-step is a contiguous copy.
+            // B stored [k, n]: each k-step is a contiguous converting copy.
             for kk in 0..kb {
                 let src = &b[(k0 + kk) * ldb + c0..][..cols];
-                dst[kk * NR..kk * NR + cols].copy_from_slice(src);
+                for (d, &v) in dst[kk * nr..kk * nr + cols].iter_mut().zip(src) {
+                    *d = E::pack(v);
+                }
             }
         }
     }
 }
 
-/// Rank-1-update microkernel: `acc[r][c] += ap[kk·MR+r] · bp[kk·NR+c]`.
-///
-/// `acc` is an `MR×NR` array of locals; the fixed-extent loops (no early
-/// exits, no zero-skip branches) let LLVM hold it in vector registers.
-#[inline(always)]
-fn microkernel(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for kk in 0..kb {
-        let a8: &[f32; MR] = ap[kk * MR..kk * MR + MR].try_into().unwrap();
-        let b8: &[f32; NR] = bp[kk * NR..kk * NR + NR].try_into().unwrap();
-        for r in 0..MR {
-            let ar = a8[r];
-            for c in 0..NR {
-                acc[r][c] += ar * b8[c];
-            }
-        }
-    }
-}
-
-/// Runs the microkernel over every micro-tile of one packed (mb×nb) block
-/// and stores into `out` (row stride `ldc`, block origin `(i0, j0)`):
+/// Runs the micro-tile over every tile of one packed (mb×nb) block and
+/// stores into `out` (row stride `ldc`, block origin `(i0, j0)`):
 /// `C += tile` when `acc`, `C = tile` otherwise (the beta=1/beta=0 store
-/// variants — only the store loop differs, the compute path is shared).
+/// variants — only the store differs, the compute path is shared).
 ///
 /// # Safety
 /// The caller must own output rows `i0..i0+mb` × columns `j0..j0+nb` of the
-/// `ldc`-stride matrix at `out` exclusively.
+/// `ldc`-stride matrix at `out` exclusively, and `M` must be runnable on
+/// this CPU (guaranteed by the dispatch layer).
 #[allow(clippy::too_many_arguments)]
-unsafe fn macro_kernel(
-    apack: &[f32],
-    bpack: &[f32],
+unsafe fn macro_kernel<M: Micro>(
+    apack: &[M::E],
+    bpack: &[M::E],
     mb: usize,
     nb: usize,
     kb: usize,
@@ -298,27 +455,22 @@ unsafe fn macro_kernel(
     j0: usize,
     acc: bool,
 ) {
-    for jp in 0..nb.div_ceil(NR) {
-        let bp = &bpack[jp * kb * NR..(jp + 1) * kb * NR];
-        let cols = NR.min(nb - jp * NR);
-        for ip in 0..mb.div_ceil(MR) {
-            let ap = &apack[ip * kb * MR..(ip + 1) * kb * MR];
-            let rows = MR.min(mb - ip * MR);
-            let mut tile = [[0.0f32; NR]; MR];
-            microkernel(kb, ap, bp, &mut tile);
-            for r in 0..rows {
-                let dst = std::slice::from_raw_parts_mut(
-                    out.add((i0 + ip * MR + r) * ldc + j0 + jp * NR),
-                    cols,
-                );
-                if acc {
-                    for (d, &v) in dst.iter_mut().zip(tile[r][..cols].iter()) {
-                        *d += v;
-                    }
-                } else {
-                    dst.copy_from_slice(&tile[r][..cols]);
-                }
-            }
+    for jp in 0..nb.div_ceil(M::NR) {
+        let bp = &bpack[jp * kb * M::NR..(jp + 1) * kb * M::NR];
+        let cols = M::NR.min(nb - jp * M::NR);
+        for ip in 0..mb.div_ceil(M::MR) {
+            let ap = &apack[ip * kb * M::MR..(ip + 1) * kb * M::MR];
+            let rows = M::MR.min(mb - ip * M::MR);
+            M::tile(
+                kb,
+                ap,
+                bp,
+                out.add((i0 + ip * M::MR) * ldc + j0 + jp * M::NR),
+                ldc,
+                rows,
+                cols,
+                acc,
+            );
         }
     }
 }
@@ -330,10 +482,13 @@ unsafe fn macro_kernel(
 /// A GEMM with n = 1 wastes the whole blocking machinery (each packed B
 /// "panel" is one column), so `matvec` gets a straight multi-accumulator
 /// dot product over contiguous rows instead, parallelised over row chunks.
+/// The dot kernel is runtime-dispatched (scalar or the 256-bit AVX2
+/// variant — see `kernels`), read once here on the calling thread.
 pub(crate) fn gemv(pool: &ThreadPool, a: &[f32], v: &[f32], m: usize, k: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "gemv A size");
     assert_eq!(v.len(), k, "gemv x size");
     assert_eq!(out.len(), m, "gemv y size");
+    let kern = kernels::selected();
     let rows_per_chunk = if m * k < PAR_FLOPS || pool.threads() == 1 {
         m.max(1)
     } else {
@@ -341,29 +496,9 @@ pub(crate) fn gemv(pool: &ThreadPool, a: &[f32], v: &[f32], m: usize, k: usize, 
     };
     par_chunks_mut(pool, out, rows_per_chunk, |row0, chunk| {
         for (r, o) in chunk.iter_mut().enumerate() {
-            *o = dot(&a[(row0 + r) * k..(row0 + r + 1) * k], v);
+            *o = kernels::dot(kern, &a[(row0 + r) * k..(row0 + r + 1) * k], v);
         }
     });
-}
-
-/// Branch-free dot product with eight independent accumulator lanes so the
-/// reduction vectorises despite f32 non-associativity.
-fn dot(x: &[f32], y: &[f32]) -> f32 {
-    const L: usize = 8;
-    let mut acc = [0.0f32; L];
-    let chunks = x.len() / L;
-    for i in 0..chunks {
-        let xa: &[f32; L] = x[i * L..i * L + L].try_into().unwrap();
-        let ya: &[f32; L] = y[i * L..i * L + L].try_into().unwrap();
-        for l in 0..L {
-            acc[l] += xa[l] * ya[l];
-        }
-    }
-    let mut s = acc.iter().sum::<f32>();
-    for i in chunks * L..x.len() {
-        s += x[i] * y[i];
-    }
-    s
 }
 
 #[cfg(test)]
@@ -483,12 +618,14 @@ mod tests {
     #[test]
     fn plan_blocks_fans_out_skinny_shapes() {
         // The LSTM-gate shape [256, 256] @ [256, 512] must produce enough
-        // tiles to occupy an 8-thread pool.
-        let (mc, nc) = plan_blocks(256, 512, 8);
-        assert!(256usize.div_ceil(mc) * 512usize.div_ceil(nc) >= 16);
-        // Tiny problems can't be split below two micro-tiles per block.
-        let (mc, nc) = plan_blocks(8, 8, 8);
-        assert!(mc >= MR && nc >= NR);
+        // tiles to occupy an 8-thread pool, whatever the tile extents.
+        for &(mr, nr) in &[(MR, NR), (8usize, 16usize)] {
+            let (mc, nc) = plan_blocks(256, 512, 8, mr, nr);
+            assert!(256usize.div_ceil(mc) * 512usize.div_ceil(nc) >= 16);
+            // Tiny problems can't be split below two micro-tiles per block.
+            let (mc, nc) = plan_blocks(8, 8, 8, mr, nr);
+            assert!(mc >= mr && nc >= nr);
+        }
     }
 
     #[test]
@@ -581,5 +718,36 @@ mod tests {
         assert!(c.iter().all(|&x| x == 7.0));
         gemm_into(&pool, false, false, &[], &[], 3, 0, 4, &mut c, false);
         assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn bf16_mode_equals_f32_on_prerounded_operands() {
+        // The bf16 path's whole contract in one place: gemm_bf16(A, B)
+        // must be bitwise gemm_f32(round(A), round(B)).
+        let pool = ThreadPool::new(2);
+        for &(m, k, n) in &[(MR + 3, KC + 1, NR + 5), (MC + 1, 2 * MR, MC - 1)] {
+            let a = lcg(31 + m as u64, m * k);
+            let b = lcg(32 + n as u64, k * n);
+            let ar: Vec<f32> = a.iter().map(|&x| kernels::bf16::round_f32(x)).collect();
+            let br: Vec<f32> = b.iter().map(|&x| kernels::bf16::round_f32(x)).collect();
+            let mut got = vec![0.0f32; m * n];
+            with_bf16(|| gemm_into(&pool, false, false, &a, &b, m, k, n, &mut got, false));
+            let mut want = vec![0.0f32; m * n];
+            gemm_into(&pool, false, false, &ar, &br, m, k, n, &mut want, false);
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_scope_restores_mode() {
+        assert!(!bf16_enabled());
+        with_bf16(|| {
+            assert!(bf16_enabled());
+            with_bf16(|| assert!(bf16_enabled()));
+            assert!(bf16_enabled());
+        });
+        assert!(!bf16_enabled());
     }
 }

@@ -1,0 +1,88 @@
+//! bf16 storage conversion: round-to-nearest-even truncation of f32.
+//!
+//! bfloat16 is the top 16 bits of an IEEE-754 binary32 — same exponent
+//! range (8 bits), 7 mantissa bits. That makes it the natural *storage*
+//! format for a GEMM whose arithmetic stays f32: narrowing is one
+//! round-to-nearest-even on the low mantissa half, and widening back is an
+//! **exact** `<< 16` bit shift. The packed-GEMM bf16 path therefore has a
+//! precise contract: `gemm_bf16(A, B)` is bitwise-identical to
+//! `gemm_f32(widen(round(A)), widen(round(B)))` — all rounding happens at
+//! pack time, none inside the accumulation.
+
+/// Narrows an f32 to bf16 bits with round-to-nearest-even. NaN payloads
+/// are truncated but forced quiet (so a NaN can never round into an
+/// infinity bit pattern).
+#[inline(always)]
+pub fn round(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round-to-nearest-even on bit 16: add 0x7fff plus the current LSB of
+    // the kept half; carries propagate into the exponent correctly
+    // (overflow rounds to ±inf, as IEEE narrowing requires).
+    let round_bias = ((bits >> 16) & 1) + 0x7fff;
+    ((bits.wrapping_add(round_bias)) >> 16) as u16
+}
+
+/// Widens bf16 bits back to f32 — exact, no rounding.
+#[inline(always)]
+pub fn widen(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// [`round`] then [`widen`]: the f32 value the bf16 path actually
+/// computes with. Exposed for equivalence tests and accuracy tracking.
+#[inline(always)]
+pub fn round_f32(x: f32) -> f32 {
+    widen(round(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_survive_round_trip() {
+        // Values with ≤7 mantissa bits are exactly representable.
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 96.0, f32::from_bits(0xbd24_0000)] {
+            assert_eq!(round_f32(x).to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16 neighbours 1.0 and
+        // 1.0078125; nearest-even keeps the even mantissa (1.0).
+        let half_way = f32::from_bits(0x3f80_8000);
+        assert_eq!(round_f32(half_way), 1.0);
+        // One ulp above halfway rounds up.
+        let above = f32::from_bits(0x3f80_8001);
+        assert_eq!(round_f32(above), f32::from_bits(0x3f81_0000));
+        // Halfway with odd kept-LSB rounds up to the even neighbour.
+        let odd_half = f32::from_bits(0x3f81_8000);
+        assert_eq!(round_f32(odd_half), f32::from_bits(0x3f82_0000));
+    }
+
+    #[test]
+    fn relative_error_bounded_by_bf16_epsilon() {
+        // 2^-8 relative bound for normal values (7 explicit mantissa bits).
+        let mut s = 0x243f_6a88u32; // arbitrary seed
+        for _ in 0..10_000 {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            let x = ((s >> 8) as f32 / (1u32 << 23) as f32 - 1.0) * 100.0;
+            let r = round_f32(x);
+            assert!((r - x).abs() <= x.abs() * (1.0 / 256.0) + f32::MIN_POSITIVE, "{x} -> {r}");
+        }
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(round_f32(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_f32(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(round_f32(f32::NAN).is_nan());
+        // Overflow past bf16's max finite rounds to inf (same exponent
+        // range as f32, so only values near f32::MAX can do this).
+        assert_eq!(round_f32(f32::MAX), f32::INFINITY);
+    }
+}

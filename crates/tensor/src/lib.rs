@@ -16,7 +16,13 @@
 //!   MC/KC/NC cache blocking with a 2-D parallel tile grid, and thread-local
 //!   packing scratch reused across calls. Kernel outputs come from a
 //!   recycling buffer pool, so steady-state training loops stop paying the
-//!   allocator per call.
+//!   allocator per call. The micro-tile (and the other hot kernels: the
+//!   `matvec` dot, the activation sweeps, the fused LSTM gate row) is a
+//!   runtime-dispatched SIMD variant — AVX-512F, AVX2+FMA, or scalar —
+//!   selected once per process (see the [`kernels`] module), so portable
+//!   builds keep their vector kernels; all variants are bitwise-equal. An
+//!   opt-in bf16 packed-storage mode ([`with_bf16_gemm`]) halves packed
+//!   panel bytes for frozen-weight serving, accumulating in f32.
 //! * Axis [reductions](Tensor::sum_axis), softmax/log-softmax rows, argmax.
 //! * [`im2col`]/[`col2im`] for convolution lowered onto matmul.
 //! * Seeded random initialisers (uniform, Gaussian via Box–Muller) — the
@@ -39,6 +45,7 @@ mod conv;
 pub mod fastmath;
 mod gemm;
 mod init;
+pub mod kernels;
 mod lstm_cell;
 mod matmul;
 mod ops;
@@ -48,6 +55,7 @@ mod shape;
 mod tensor;
 
 pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeom};
+pub use gemm::{bf16_enabled, pack_traffic, with_bf16 as with_bf16_gemm, PackTraffic};
 pub use lstm_cell::{
     lstm_cell_backward, lstm_cell_backward_into, lstm_cell_forward, lstm_cell_forward_into,
     LstmCellFwd,

@@ -25,7 +25,7 @@
 //! Both kernels are row-parallel on [`legw_parallel::current`], so they
 //! respect the executor's thread-local per-shard pool override.
 
-use crate::fastmath::{fast_sigmoid, fast_tanh};
+use crate::kernels::{self, Kernel};
 use crate::pool::Buffer;
 use crate::tensor::Tensor;
 use crate::PAR_THRESHOLD;
@@ -56,7 +56,9 @@ impl SendPtr {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fwd_rows(
+    kern: Kernel,
     rows: Range<usize>,
     hid: usize,
     pa: &[f32],
@@ -78,21 +80,7 @@ fn fwd_rows(
                 h_out.slice(r * hid, hid),
             )
         };
-        for j in 0..hid {
-            let i = fast_sigmoid(pa_r[j]);
-            let f = fast_sigmoid(pa_r[hid + j]);
-            let g = fast_tanh(pa_r[2 * hid + j]);
-            let o = fast_sigmoid(pa_r[3 * hid + j]);
-            let c = f * cp_r[j] + i * g;
-            let tc = fast_tanh(c);
-            g_r[j] = i;
-            g_r[hid + j] = f;
-            g_r[2 * hid + j] = g;
-            g_r[3 * hid + j] = o;
-            c_r[j] = c;
-            t_r[j] = tc;
-            h_r[j] = o * tc;
-        }
+        kernels::lstm_gate_row(kern, pa_r, cp_r, hid, g_r, c_r, t_r, h_r);
     }
 }
 
@@ -125,9 +113,12 @@ pub fn lstm_cell_forward_into(
     let tp = SendPtr(tanh_c.as_mut_ptr());
     let hp = SendPtr(h_out.as_mut_ptr());
     let min_rows = (PAR_THRESHOLD / (4 * hid).max(1)).max(1);
+    // Read once on the calling thread: pool workers don't see this
+    // thread's kernel override, so the choice rides in via the closure.
+    let kern = kernels::selected();
     let pool = current();
     parallel_for(&pool, b, min_rows, |rows| {
-        fwd_rows(rows, hid, preact, c_prev, &gp, &op, &tp, &hp);
+        fwd_rows(kern, rows, hid, preact, c_prev, &gp, &op, &tp, &hp);
     });
 }
 
@@ -347,7 +338,7 @@ mod tests {
                 let g = ga[r * 4 * hid + 2 * hid + j];
                 let c = f * c_prev.as_slice()[r * hid + j] + i * g;
                 assert_eq!(c.to_bits(), fwd.c.as_slice()[r * hid + j].to_bits());
-                assert_eq!(fast_tanh(c).to_bits(), tc[r * hid + j].to_bits());
+                assert_eq!(crate::fastmath::fast_tanh(c).to_bits(), tc[r * hid + j].to_bits());
             }
         }
     }
@@ -431,6 +422,7 @@ mod tests {
         let mut tanh_c = vec![0.0f32; b * hid];
         let mut h_out = vec![0.0f32; b * hid];
         fwd_rows(
+            Kernel::Scalar,
             0..b,
             hid,
             preact.as_slice(),

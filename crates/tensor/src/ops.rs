@@ -103,6 +103,25 @@ fn binary_op(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tens
     Tensor::from_vec(out, out_shape.dims())
 }
 
+/// Unary map through a runtime-dispatched sweep kernel (the activation
+/// paths). The variant is read once here, on the calling thread, so a
+/// kernel override covers the pool workers; chunking doesn't affect the
+/// result of a pure elementwise map, so the parallel split is unchanged.
+fn unary_sweep(a: &Tensor, sweep: fn(crate::kernels::Kernel, &mut [f32])) -> Tensor {
+    let kern = crate::kernels::selected();
+    let mut out = a.as_slice().to_vec();
+    let n = out.len();
+    if n >= PAR_THRESHOLD {
+        let pool = current();
+        par_chunks_mut(&pool, &mut out, n.div_ceil(pool.threads() * 2).max(1024), |_, c| {
+            sweep(kern, c)
+        });
+    } else {
+        sweep(kern, &mut out);
+    }
+    Tensor::from_vec(out, a.shape())
+}
+
 fn unary_op(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let mut out = a.as_slice().to_vec();
     let n = out.len();
@@ -194,17 +213,18 @@ impl Tensor {
     }
 
     /// Logistic sigmoid `1/(1+e^{-x})` via the branch-free rational
-    /// kernel in [`crate::fastmath`] — saturates to exact `0`/`1` on the
-    /// tails and auto-vectorises (no per-element libm call).
+    /// kernel in [`crate::fastmath`], runtime-dispatched to the widest
+    /// SIMD sweep this CPU supports (see [`crate::kernels`]) — saturates
+    /// to exact `0`/`1` on the tails, no per-element libm call.
     pub fn sigmoid(&self) -> Tensor {
-        unary_op(self, crate::fastmath::fast_sigmoid)
+        unary_sweep(self, crate::kernels::sigmoid_sweep)
     }
 
     /// Hyperbolic tangent via the branch-free rational kernel in
-    /// [`crate::fastmath`] (within a few ulp of `f32::tanh`, exact `±1`
-    /// saturation, auto-vectorises).
+    /// [`crate::fastmath`], runtime-dispatched like [`Tensor::sigmoid`]
+    /// (within a few ulp of `f32::tanh`, exact `±1` saturation).
     pub fn tanh(&self) -> Tensor {
-        unary_op(self, crate::fastmath::fast_tanh)
+        unary_sweep(self, crate::kernels::tanh_sweep)
     }
 
     /// Rectified linear unit `max(x, 0)`.

@@ -1,0 +1,45 @@
+//! Packed-panel byte accounting for the bf16 storage mode.
+//!
+//! Deliberately a **single test in its own integration binary**: the
+//! [`legw_tensor::pack_traffic`] counters are process-wide, so this is the
+//! only code in the process issuing GEMMs and the before/after deltas are
+//! exact — the bf16 mode must pack *exactly half* the bytes of the f32
+//! mode for the same shapes (same panel layout, 2-byte vs 4-byte
+//! elements).
+
+use legw_tensor::{pack_traffic, with_bf16_gemm, Tensor};
+
+#[test]
+fn bf16_mode_packs_exactly_half_the_bytes() {
+    // Shapes with edge tiles and k > KC so panel padding and multi-k-block
+    // repacking are in the byte count on both sides.
+    let shapes: [(usize, usize, usize); 3] = [(9, 300, 17), (64, 64, 64), (33, 257, 31)];
+    let run = |bf16: bool| {
+        for &(m, k, n) in &shapes {
+            let a = Tensor::full(&[m, k], 0.5);
+            let b = Tensor::full(&[k, n], 0.25);
+            if bf16 {
+                with_bf16_gemm(|| a.matmul(&b));
+            } else {
+                a.matmul(&b);
+            }
+        }
+    };
+
+    let t0 = pack_traffic();
+    run(false);
+    let t1 = pack_traffic();
+    run(true);
+    let t2 = pack_traffic();
+
+    let f32_bytes = t1.f32_bytes - t0.f32_bytes;
+    let bf16_bytes = t2.bf16_bytes - t1.bf16_bytes;
+    assert!(f32_bytes > 0, "f32 GEMMs must pack panels");
+    assert_eq!(t1.bf16_bytes, t0.bf16_bytes, "f32-mode GEMMs must not touch the bf16 counter");
+    assert_eq!(t2.f32_bytes, t1.f32_bytes, "bf16-mode GEMMs must not touch the f32 counter");
+    assert_eq!(
+        2 * bf16_bytes,
+        f32_bytes,
+        "bf16 mode must pack exactly half the bytes ({bf16_bytes} vs {f32_bytes})"
+    );
+}

@@ -21,6 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Label the run with the SIMD tier the runtime dispatcher picked (honours
+# LEGW_KERNEL; see README.md) so numbers from different machines or forced
+# tiers are never compared blind.
+echo "== dispatched kernel: $(cargo run --quiet --release -p legw-bench --bin gemm_bench -- --print-kernel)"
+
 FILTER="${1:-}"
 cargo bench --package legw-bench --bench kernels -- --quick ${FILTER:+"$FILTER"}
 cargo bench --package legw-bench --bench training_step -- --quick ${FILTER:+"$FILTER"}

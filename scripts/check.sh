@@ -35,6 +35,18 @@ done
 echo "== cargo test -q -p legw-serve -- --test-threads=1"
 cargo test -q -p legw-serve -- --test-threads=1
 
+# Kernel dispatch: since PR 10 the default build is portable (no
+# -C target-cpu=native — see .cargo/config.toml) and picks its SIMD tier
+# at runtime, so `cargo test` above already exercises the detected-best
+# kernels on a baseline-x86-64 binary. This leg re-runs the tensor suite
+# (which includes the cross-variant bitwise dispatch tests) and the
+# serving bf16/LRU suite with the selector forced to the scalar fallback,
+# pinning the no-SIMD path that machines without AVX2 would take.
+echo "== LEGW_KERNEL=scalar cargo test -q -p legw-tensor"
+LEGW_KERNEL=scalar cargo test -q -p legw-tensor
+echo "== LEGW_KERNEL=scalar cargo test -q -p legw-serve --test bf16_serving"
+LEGW_KERNEL=scalar cargo test -q -p legw-serve --test bf16_serving -- --test-threads=1
+
 # Plan replay: step_planned must reproduce the tape path (bitwise, or the
 # documented seq2seq embedding tolerance) across its own internal {1,2,4}
 # shard × {fused, unfused} sweep, including the cache-invalidation cases.
